@@ -1,0 +1,56 @@
+// Fig. 1a: hardware trend of NVIDIA Spectrum data-center switches — buffer
+// size fails to keep pace with switch capacity, so the buffering headroom
+// (buffer/capacity, in microseconds of absorbable burst) keeps shrinking.
+// This is vendor data, reproduced as the paper plots it.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct SwitchGen {
+  const char* name;
+  const char* year;
+  double capacity_tbps;
+  double buffer_mb;
+};
+
+// NVIDIA Spectrum generation data (paper Fig. 1a / NVIDIA datasheets).
+constexpr SwitchGen kGenerations[] = {
+    {"Spectrum", "2015.6", 3.2, 16.0},
+    {"Spectrum-2", "2017.7", 6.4, 42.0},
+    {"Spectrum-3", "2020.3", 12.8, 64.0},
+    {"Spectrum-4", "2022.3", 51.2, 160.0},
+};
+
+}  // namespace
+
+int main() {
+  using namespace fncc::bench;
+  Banner("Fig 1a: switch buffer vs capacity trend");
+  std::printf("%-12s %8s %14s %12s %22s\n", "switch", "year", "capacity(Tb/s)",
+              "buffer(MB)", "buffer/capacity(us)");
+  double first_ratio = 0.0;
+  double last_ratio = 0.0;
+  double max_ratio = 0.0;
+  for (const SwitchGen& g : kGenerations) {
+    // Burst headroom: how long the full fabric rate can be absorbed.
+    // MB * 8 = Mb; Mb / (Tb/s) = microseconds.
+    const double ratio_us = g.buffer_mb * 8.0 / g.capacity_tbps;
+    std::printf("%-12s %8s %14.1f %12.0f %22.2f\n", g.name, g.year,
+                g.capacity_tbps, g.buffer_mb, ratio_us);
+    if (first_ratio == 0.0) first_ratio = ratio_us;
+    last_ratio = ratio_us;
+    if (ratio_us > max_ratio) max_ratio = ratio_us;
+  }
+  PaperVsMeasured("fig1a", "buffer/capacity trend",
+                  "headroom shrinks as capacity scales (Fig. 1a)",
+                  Fmt("%.1f us peak -> ", max_ratio) +
+                      Fmt("%.1f us at Spectrum-4 (16x the capacity)",
+                          last_ratio));
+  PaperVsMeasured("fig1a", "latest generation vs peak", "lowest of the set",
+                  last_ratio < first_ratio && last_ratio < max_ratio
+                      ? "lowest of the set"
+                      : "NOT lowest");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark): throughput of the simulator's hot
+// paths — event queue, ECMP hashing, switch pipeline, HPCC/FNCC ACK
+// processing, and end-to-end packets/second on the dumbbell.
+#include <benchmark/benchmark.h>
+
+#include "cc/hpcc.hpp"
+#include "core/fncc.hpp"
+#include "harness/dumbbell_runner.hpp"
+#include "net/routing.hpp"
+#include "sim/event_queue.hpp"
+
+namespace fncc {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      q.Schedule((i * 7919) % 1000, [] {});
+    }
+    while (!q.Empty()) {
+      Time t = 0;
+      q.PopNext(&t)();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EcmpHash(benchmark::State& state) {
+  std::uint32_t acc = 0;
+  std::uint16_t p = 0;
+  for (auto _ : state) {
+    acc ^= EcmpHash(12, 97, ++p, 443, 17, 0x5eed, true);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EcmpHash);
+
+CcConfig MicroCcConfig(CcMode mode) {
+  CcConfig c;
+  c.mode = mode;
+  c.line_rate_gbps = 100.0;
+  c.base_rtt = Microseconds(12);
+  return c;
+}
+
+PacketPtr IntAck(std::uint64_t seq, Time ts, std::uint64_t tx, bool reversed) {
+  PacketPtr ack = MakePacket();
+  ack->type = PacketType::kAck;
+  ack->seq = seq;
+  ack->int_reversed = reversed;
+  ack->concurrent_flows = 2;
+  for (int h = 0; h < 3; ++h) {
+    ack->int_stack.push_back(IntEntry{100.0, ts, tx, 40'000});
+  }
+  return ack;
+}
+
+void BM_HpccAckProcessing(benchmark::State& state) {
+  HpccAlgorithm cc(MicroCcConfig(CcMode::kHpcc));
+  std::uint64_t seq = 1;
+  Time ts = 0;
+  std::uint64_t tx = 0;
+  for (auto _ : state) {
+    ts += Microseconds(1);
+    tx += 12'500;
+    seq += 1518;
+    cc.OnAck(*IntAck(seq, ts, tx, false), seq + 150'000);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HpccAckProcessing);
+
+void BM_FnccAckProcessing(benchmark::State& state) {
+  FnccAlgorithm cc(MicroCcConfig(CcMode::kFncc));
+  std::uint64_t seq = 1;
+  Time ts = 0;
+  std::uint64_t tx = 0;
+  for (auto _ : state) {
+    ts += Microseconds(1);
+    tx += 12'500;
+    seq += 1518;
+    cc.OnAck(*IntAck(seq, ts, tx, true), seq + 150'000);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FnccAckProcessing);
+
+void BM_DumbbellSimulation(benchmark::State& state) {
+  // End-to-end simulator throughput: events/second over a full scenario.
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    MicroRunConfig config;
+    config.scenario.mode = static_cast<CcMode>(state.range(0));
+    config.flows = {{0, 0}, {1, Microseconds(300)}};
+    config.duration = Microseconds(600);
+    const MicroRunResult r = RunDumbbell(config);
+    events += r.events_processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulated events");
+}
+BENCHMARK(BM_DumbbellSimulation)
+    ->Arg(static_cast<int>(CcMode::kFncc))
+    ->Arg(static_cast<int>(CcMode::kHpcc))
+    ->Arg(static_cast<int>(CcMode::kDcqcn))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fncc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Shared helpers for the figure-reproduction harnesses: consistent CSV
+// emission plus paper-vs-measured summary lines for EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "stats/timeseries.hpp"
+
+namespace fncc::bench {
+
+/// Environment override helper (FNCC_FLOWS, FNCC_SEED, ...).
+inline long EnvLong(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atol(v) : fallback;
+}
+
+/// Emits a time series as CSV rows: series,<label>,<t_us>,<value>.
+inline void PrintSeries(const char* figure, const std::string& label,
+                        const TimeSeries& ts, double scale = 1.0,
+                        Time from = 0, Time to = kTimeInfinity,
+                        Time stride = 0) {
+  Time next = from;
+  for (const auto& s : ts.samples()) {
+    if (s.t < from || s.t > to) continue;
+    if (stride > 0 && s.t < next) continue;
+    next = s.t + stride;
+    std::printf("series,%s,%s,%.1f,%.4f\n", figure, label.c_str(),
+                ToMicroseconds(s.t), s.value * scale);
+  }
+}
+
+inline void Banner(const char* title) {
+  std::printf("==== %s ====\n", title);
+}
+
+/// One EXPERIMENTS.md comparison row.
+inline void PaperVsMeasured(const char* figure, const char* metric,
+                            const char* paper, const std::string& measured) {
+  std::printf("compare,%s,%s,paper=%s,measured=%s\n", figure, metric, paper,
+              measured.c_str());
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+}  // namespace fncc::bench

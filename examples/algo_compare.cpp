@@ -1,0 +1,52 @@
+// Side-by-side comparison of every implemented CC scheme on the same
+// two-elephant scenario: reaction time, peak queue, converged utilization,
+// fairness — the paper's §5.1 narrative in one table.
+//
+//   ./algo_compare [link_gbps]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/dumbbell_runner.hpp"
+#include "stats/percentile.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fncc;
+  const double gbps = argc > 1 ? std::atof(argv[1]) : 100.0;
+
+  std::printf("two elephants on the Fig. 10 dumbbell at %.0f Gbps; flow1 "
+              "joins at 300 us\n\n",
+              gbps);
+  std::printf("%-14s %12s %12s %10s %8s %8s\n", "scheme", "react(us)",
+              "peakQ(KB)", "util", "Jain", "pauses");
+
+  for (CcMode mode :
+       {CcMode::kFncc, CcMode::kFnccNoLhcs, CcMode::kHpcc, CcMode::kDcqcn,
+        CcMode::kRocc, CcMode::kTimely, CcMode::kSwift}) {
+    MicroRunConfig config;
+    config.scenario.mode = mode;
+    config.scenario.link_gbps = gbps;
+    config.flows = {{0, 0}, {1, Microseconds(300)}};
+    config.duration = Microseconds(1000);
+    const MicroRunResult r = RunDumbbell(config);
+
+    const Time react = r.flows[0].pacing_gbps.FirstTimeBelow(
+        0.8 * gbps, Microseconds(300));
+    const double f0 = r.flows[0].goodput_gbps.MeanOver(Microseconds(700),
+                                                       Microseconds(1000));
+    const double f1 = r.flows[1].goodput_gbps.MeanOver(Microseconds(700),
+                                                       Microseconds(1000));
+    char react_str[32];
+    if (react == kTimeInfinity) {
+      std::snprintf(react_str, sizeof(react_str), "never");
+    } else {
+      std::snprintf(react_str, sizeof(react_str), "%.1f",
+                    ToMicroseconds(react));
+    }
+    std::printf("%-14s %12s %12.1f %10.2f %8.3f %8llu\n", CcModeName(mode),
+                react_str, r.queue_bytes.Max() / 1e3,
+                r.utilization.MeanOver(Microseconds(700), Microseconds(1000)),
+                JainFairnessIndex({f0, f1}),
+                static_cast<unsigned long long>(r.pause_frames));
+  }
+  return 0;
+}

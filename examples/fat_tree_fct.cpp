@@ -1,0 +1,45 @@
+// Data-center workload demo: a fat-tree running the Facebook-Hadoop flow
+// mix at 50% load, reporting FCT slowdown per flow-size bucket — a small
+// interactive version of the paper's §5.5 evaluation.
+//
+//   ./fat_tree_fct [FNCC|HPCC|DCQCN] [num_flows] [k]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/fat_tree_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace fncc;
+
+  FatTreeRunConfig config;
+  if (argc > 1) {
+    const std::string m = argv[1];
+    if (m == "HPCC") config.scenario.mode = CcMode::kHpcc;
+    if (m == "DCQCN") config.scenario.mode = CcMode::kDcqcn;
+  }
+  config.k = argc > 3 ? std::atoi(argv[3]) : 4;
+  config.cdf = SizeCdf::FbHadoop();
+  config.num_flows = argc > 2 ? std::atoi(argv[2]) : 500;
+  config.load = 0.5;
+
+  std::printf("fat-tree k=%d (%d hosts), %d Hadoop flows at %.0f%% load, %s\n",
+              config.k, config.k * config.k * config.k / 4, config.num_flows,
+              config.load * 100, CcModeName(config.scenario.mode));
+
+  const FatTreeRunResult r = RunFatTree(config);
+  std::printf("completed %zu/%zu flows, %llu pause frames, %llu drops\n\n",
+              r.flows_completed, r.flows_total,
+              static_cast<unsigned long long>(r.pause_frames),
+              static_cast<unsigned long long>(r.drops));
+
+  std::printf("%12s %8s %8s %8s %8s %8s\n", "size<=", "count", "avg", "p50",
+              "p95", "p99");
+  for (const BucketStats& b : r.fct.Bucketed(HadoopBucketEdges())) {
+    if (b.count == 0) continue;
+    std::printf("%12llu %8zu %8.2f %8.2f %8.2f %8.2f\n",
+                static_cast<unsigned long long>(b.max_size_bytes), b.count,
+                b.avg, b.p50, b.p95, b.p99);
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Incast + Last-Hop Congestion Speedup demo: N senders blast one receiver
+// (the classic last-hop congestion pattern, Observation 4). Shows how the
+// receiver-reported flow count N lets FNCC snap every sender straight to
+// B*RTT*beta/N, and compares against FNCC without LHCS and HPCC.
+//
+//   ./incast_lhcs [num_senders]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fncc.hpp"
+#include "harness/scenario.hpp"
+#include "net/topology.hpp"
+#include "stats/percentile.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace {
+
+struct IncastResult {
+  double peak_queue_kb = 0.0;
+  double makespan_us = 0.0;  // all flows done
+  double jain = 0.0;
+  std::uint64_t pauses = 0;
+  std::uint64_t lhcs = 0;
+};
+
+IncastResult RunIncast(fncc::CcMode mode, int num_senders) {
+  using namespace fncc;
+  ScenarioConfig sc;
+  sc.mode = mode;
+
+  Simulator sim;
+  Rng rng(sc.seed);
+  // Dumbbell with one switch: every sender's last (and only) hop is the
+  // receiver link.
+  auto topo = BuildDumbbell(&sim, MakeHostFactory(sc), MakeSwitchConfig(sc),
+                            &rng, num_senders, /*switches=*/1, sc.link());
+  topo.net.ComputeRoutes(sc.ecmp_salt, sc.symmetric_ecmp);
+
+  const auto flows = GenerateIncast(topo.senders, topo.receiver,
+                                    /*size=*/2'000'000, /*start=*/0);
+  std::vector<SenderQp*> qps;
+  for (const auto& f : flows) qps.push_back(LaunchFlow(topo.net, sc, f));
+
+  EgressPort& cport = topo.congestion_switch()->port(topo.congestion_port());
+  double peak = 0.0;
+  Time done = 0;
+  while (sim.events_pending() > 0 && sim.Now() < 100 * kMillisecond) {
+    sim.RunUntil(sim.Now() + Microseconds(1));
+    peak = std::max(peak, static_cast<double>(cport.qlen_bytes()));
+    bool all = true;
+    for (auto* qp : qps) all &= qp->complete();
+    if (all) {
+      done = sim.Now();
+      break;
+    }
+  }
+
+  IncastResult r;
+  r.peak_queue_kb = peak / 1e3;
+  r.makespan_us = ToMicroseconds(done);
+  std::vector<double> fcts;
+  for (auto* qp : qps) fcts.push_back(ToMicroseconds(qp->fct()));
+  r.jain = JainFairnessIndex(fcts);
+  r.pauses = topo.net.TotalPauseFrames();
+  for (auto* qp : qps) {
+    if (const auto* f = dynamic_cast<const FnccAlgorithm*>(&qp->cc())) {
+      r.lhcs += f->lhcs_triggers();
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fncc;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 8;
+  std::printf("%d-to-1 incast, 2 MB per sender, 100 Gbps\n\n", n);
+  std::printf("%-14s %14s %14s %8s %8s %8s\n", "scheme", "peak queue(KB)",
+              "makespan(us)", "Jain", "pauses", "LHCS");
+  for (CcMode mode : {CcMode::kFncc, CcMode::kFnccNoLhcs, CcMode::kHpcc,
+                      CcMode::kDcqcn}) {
+    const IncastResult r = RunIncast(mode, n);
+    std::printf("%-14s %14.1f %14.1f %8.3f %8llu %8llu\n", CcModeName(mode),
+                r.peak_queue_kb, r.makespan_us, r.jain,
+                static_cast<unsigned long long>(r.pauses),
+                static_cast<unsigned long long>(r.lhcs));
+  }
+  return 0;
+}

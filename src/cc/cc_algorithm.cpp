@@ -1,0 +1,25 @@
+#include "cc/cc_algorithm.hpp"
+
+namespace fncc {
+
+const char* CcModeName(CcMode mode) {
+  switch (mode) {
+    case CcMode::kFncc:
+      return "FNCC";
+    case CcMode::kFnccNoLhcs:
+      return "FNCC-noLHCS";
+    case CcMode::kHpcc:
+      return "HPCC";
+    case CcMode::kDcqcn:
+      return "DCQCN";
+    case CcMode::kRocc:
+      return "RoCC";
+    case CcMode::kTimely:
+      return "Timely";
+    case CcMode::kSwift:
+      return "Swift";
+  }
+  return "?";
+}
+
+}  // namespace fncc

@@ -1,0 +1,135 @@
+// Congestion-control strategy interface. A sender QP owns one instance; the
+// algorithm owns the pacing rate / window it computes and the QP consults
+// them before each transmission.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fncc {
+
+enum class CcMode {
+  kFncc,        // the paper's contribution (fast notification + LHCS)
+  kFnccNoLhcs,  // ablation: fast notification only (Fig. 13)
+  kHpcc,        // Li et al., SIGCOMM'19
+  kDcqcn,       // Zhu et al., SIGCOMM'15
+  kRocc,        // Taheri et al., CoNEXT'20 (switch PI fair rate)
+  kTimely,      // Mittal et al., SIGCOMM'15 (RTT gradient; extension)
+  kSwift,       // Kumar et al., SIGCOMM'20 (delay target; extension)
+};
+
+[[nodiscard]] const char* CcModeName(CcMode mode);
+
+struct DcqcnParams {
+  double g = 1.0 / 256.0;
+  Time alpha_timer = 55 * kMicrosecond;
+  Time increase_timer = 55 * kMicrosecond;
+  std::uint64_t byte_counter = 10'000'000;
+  int fast_recovery_stages = 5;
+  /// Additive/hyper increase steps. Scaled linearly with line rate from the
+  /// 40/400 Mbps the DCQCN paper recommends at 40 Gbps.
+  double rate_ai_fraction = 0.001;   // of line rate
+  double rate_hai_fraction = 0.01;   // of line rate
+  double min_rate_gbps = 0.1;
+};
+
+struct RoccSenderParams {
+  /// With no switch feedback for this long, probe upward additively.
+  Time feedback_hold = 100 * kMicrosecond;
+  double probe_fraction = 0.01;  // of line rate, per ACK while probing
+};
+
+struct TimelyParams {
+  /// 0 = auto-scale from the flow's base RTT (t_low 1.5x, t_high 5x).
+  Time t_low = 0;
+  Time t_high = 0;
+  Time min_rtt = 0;  // 0 = base RTT
+  double addstep_fraction = 0.01;  // of line rate
+  double beta = 0.8;
+  double alpha_ewma = 0.875;  // RTT-diff EWMA weight on history
+  int hai_threshold = 5;
+  double min_rate_gbps = 0.1;
+};
+
+/// Fully resolved per-flow configuration (the harness fills line rate and
+/// base RTT from the topology before starting each flow).
+struct CcConfig {
+  CcMode mode = CcMode::kFncc;
+  double line_rate_gbps = 100.0;
+  Time base_rtt = 0;  // T in Alg. 3; must be set
+  std::uint32_t mtu_bytes = kDefaultMtuBytes;
+
+  // HPCC / FNCC (Alg. 3).
+  double eta = 0.95;
+  int max_stage = 5;
+  /// Additive-increase step W_AI in bytes; 0 = auto (BDP * (1-eta) / 4).
+  double wai_bytes = 0;
+  double min_window_fraction_of_mtu = 0.05;
+
+  // FNCC last-hop congestion speedup (Alg. 2).
+  double lhcs_alpha = 1.05;
+  double lhcs_beta = 0.9;
+
+  DcqcnParams dcqcn;
+  RoccSenderParams rocc;
+  TimelyParams timely;
+
+  [[nodiscard]] double BdpBytesValue() const {
+    return BdpBytes(line_rate_gbps, base_rtt);
+  }
+};
+
+/// Base class for all schemes. Algorithms expose a pacing rate and an
+/// optional window; the QP enforces both.
+class CcAlgorithm {
+ public:
+  explicit CcAlgorithm(const CcConfig& config) : config_(config) {}
+  virtual ~CcAlgorithm() = default;
+  CcAlgorithm(const CcAlgorithm&) = delete;
+  CcAlgorithm& operator=(const CcAlgorithm&) = delete;
+
+  /// Called for every (cumulative) ACK. `snd_nxt` is the sender's next new
+  /// sequence number, used by HPCC's per-RTT reference-window bookkeeping.
+  virtual void OnAck(const Packet& ack, std::uint64_t snd_nxt) = 0;
+
+  /// DCQCN congestion notification packet.
+  virtual void OnCnp() {}
+
+  /// Bytes handed to the NIC (drives DCQCN's byte counter).
+  virtual void OnBytesSent(std::uint64_t /*bytes*/) {}
+
+  /// Flow finished: cancel any self-rescheduling timers.
+  virtual void Shutdown() {}
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Current pacing rate in Gbps. Always valid.
+  [[nodiscard]] double rate_gbps() const { return rate_gbps_; }
+
+  /// In-flight byte cap; only meaningful when uses_window() is true.
+  [[nodiscard]] double window_bytes() const { return window_bytes_; }
+  [[nodiscard]] virtual bool uses_window() const { return false; }
+
+  /// Set by the QP; algorithms invoke it after asynchronous (timer-driven)
+  /// rate increases so a pacing-blocked QP can re-arm earlier.
+  std::function<void()> on_update;
+
+  [[nodiscard]] const CcConfig& config() const { return config_; }
+
+ protected:
+  void NotifyUpdate() {
+    if (on_update) on_update();
+  }
+
+  CcConfig config_;
+  double rate_gbps_ = 0.0;
+  double window_bytes_ = 0.0;
+};
+
+}  // namespace fncc

@@ -1,0 +1,95 @@
+#include "cc/dcqcn.hpp"
+
+#include <algorithm>
+
+namespace fncc {
+
+DcqcnAlgorithm::DcqcnAlgorithm(const CcConfig& config, Simulator* sim)
+    : CcAlgorithm(config), sim_(sim) {
+  rate_gbps_ = config_.line_rate_gbps;
+  rt_gbps_ = config_.line_rate_gbps;
+  ArmAlphaTimer();
+  ArmIncreaseTimer();
+}
+
+DcqcnAlgorithm::~DcqcnAlgorithm() { Shutdown(); }
+
+void DcqcnAlgorithm::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  sim_->Cancel(alpha_event_);
+  sim_->Cancel(increase_event_);
+}
+
+void DcqcnAlgorithm::OnAck(const Packet&, std::uint64_t) {
+  // DCQCN reacts to CNPs and timers only.
+}
+
+void DcqcnAlgorithm::OnCnp() {
+  // Rate decrease (RP reaction to congestion notification).
+  rt_gbps_ = rate_gbps_;
+  rate_gbps_ = std::max(config_.dcqcn.min_rate_gbps,
+                        rate_gbps_ * (1.0 - alpha_ / 2.0));
+  alpha_ = (1.0 - config_.dcqcn.g) * alpha_ + config_.dcqcn.g;
+
+  // Restart the increase machinery from fast recovery.
+  t_stage_ = 0;
+  b_stage_ = 0;
+  bytes_acc_ = 0;
+  ArmAlphaTimer();
+  ArmIncreaseTimer();
+}
+
+void DcqcnAlgorithm::OnBytesSent(std::uint64_t bytes) {
+  if (shut_down_) return;
+  bytes_acc_ += bytes;
+  while (bytes_acc_ >= config_.dcqcn.byte_counter) {
+    bytes_acc_ -= config_.dcqcn.byte_counter;
+    ++b_stage_;
+    IncreaseEvent();
+  }
+}
+
+void DcqcnAlgorithm::ArmAlphaTimer() {
+  sim_->Cancel(alpha_event_);
+  alpha_event_ =
+      sim_->Schedule(config_.dcqcn.alpha_timer, [this] { OnAlphaTimer(); });
+}
+
+void DcqcnAlgorithm::ArmIncreaseTimer() {
+  sim_->Cancel(increase_event_);
+  increase_event_ = sim_->Schedule(config_.dcqcn.increase_timer,
+                                   [this] { OnIncreaseTimer(); });
+}
+
+void DcqcnAlgorithm::OnAlphaTimer() {
+  // No CNP for a full interval: decay the congestion estimate.
+  alpha_ = (1.0 - config_.dcqcn.g) * alpha_;
+  alpha_event_ = kInvalidEventId;
+  ArmAlphaTimer();
+}
+
+void DcqcnAlgorithm::OnIncreaseTimer() {
+  ++t_stage_;
+  increase_event_ = kInvalidEventId;
+  IncreaseEvent();
+  ArmIncreaseTimer();
+}
+
+void DcqcnAlgorithm::IncreaseEvent() {
+  const int f = config_.dcqcn.fast_recovery_stages;
+  const double line = config_.line_rate_gbps;
+  if (t_stage_ < f && b_stage_ < f) {
+    // Fast recovery: halve the gap to the target rate.
+  } else if (t_stage_ >= f && b_stage_ >= f) {
+    // Hyper increase.
+    rt_gbps_ = std::min(line, rt_gbps_ + line * config_.dcqcn.rate_hai_fraction);
+  } else {
+    // Additive increase.
+    rt_gbps_ = std::min(line, rt_gbps_ + line * config_.dcqcn.rate_ai_fraction);
+  }
+  rate_gbps_ = std::min(line, (rate_gbps_ + rt_gbps_) / 2.0);
+  NotifyUpdate();
+}
+
+}  // namespace fncc

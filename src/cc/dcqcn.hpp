@@ -1,0 +1,49 @@
+// DCQCN (Zhu et al., SIGCOMM'15): ECN-marking switches, per-flow CNPs from
+// the receiver, and the sender-side rate state machine implemented here
+// (rate decrease on CNP, alpha decay, fast recovery / additive / hyper
+// increase driven by a timer and a byte counter).
+#pragma once
+
+#include <cstdint>
+
+#include "cc/cc_algorithm.hpp"
+
+namespace fncc {
+
+class DcqcnAlgorithm : public CcAlgorithm {
+ public:
+  DcqcnAlgorithm(const CcConfig& config, Simulator* sim);
+  ~DcqcnAlgorithm() override;
+
+  void OnAck(const Packet& ack, std::uint64_t snd_nxt) override;
+  void OnCnp() override;
+  void OnBytesSent(std::uint64_t bytes) override;
+  [[nodiscard]] const char* name() const override { return "DCQCN"; }
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double target_rate_gbps() const { return rt_gbps_; }
+  [[nodiscard]] int timer_stage() const { return t_stage_; }
+  [[nodiscard]] int byte_stage() const { return b_stage_; }
+
+  /// Stops the periodic timers (flow finished).
+  void Shutdown() override;
+
+ private:
+  void ArmAlphaTimer();
+  void ArmIncreaseTimer();
+  void OnAlphaTimer();
+  void OnIncreaseTimer();
+  void IncreaseEvent();
+
+  Simulator* sim_;
+  double rt_gbps_;      // target rate R_T
+  double alpha_ = 1.0;  // congestion estimate
+  std::uint64_t bytes_acc_ = 0;
+  int t_stage_ = 0;
+  int b_stage_ = 0;
+  EventId alpha_event_ = kInvalidEventId;
+  EventId increase_event_ = kInvalidEventId;
+  bool shut_down_ = false;
+};
+
+}  // namespace fncc

@@ -1,0 +1,127 @@
+#include "cc/hpcc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fncc {
+
+HpccAlgorithm::HpccAlgorithm(const CcConfig& config) : CcAlgorithm(config) {
+  const double bdp = config_.BdpBytesValue();
+  max_window_bytes_ = bdp;
+  min_window_bytes_ =
+      config_.min_window_fraction_of_mtu * config_.mtu_bytes;
+  wai_bytes_ = config_.wai_bytes > 0
+                   ? config_.wai_bytes
+                   : bdp * (1.0 - config_.eta) / 4.0;
+  // W_init = B * T: start at line rate, as HPCC does.
+  window_bytes_ = bdp;
+  wc_bytes_ = bdp;
+  rate_gbps_ = config_.line_rate_gbps;
+}
+
+double HpccAlgorithm::MeasureInFlight(
+    const IntView& view, std::array<double, kMaxIntHops>& link_u) {
+  const double t_sec = ToSeconds(config_.base_rtt);
+  double u_max = 0.0;
+  Time tau = config_.base_rtt;
+
+  for (std::size_t i = 0; i < view.hops(); ++i) {
+    const IntEntry& cur = view.hop(i);
+    const IntEntry& prev = prev_l_[i];
+    const Time dt = cur.ts - prev.ts;
+    const double bps = BytesPerSecond(cur.bandwidth_gbps);
+    const double qterm =
+        static_cast<double>(dt > 0 ? std::min(cur.qlen_bytes, prev.qlen_bytes)
+                                   : cur.qlen_bytes) /
+        (bps * t_sec);
+    if (dt > 0) {
+      // Instantaneous per-link u' drives Alg. 3's global U (then EWMA'd).
+      const double tx_rate =
+          static_cast<double>(cur.tx_bytes - prev.tx_bytes) / ToSeconds(dt);
+      const double u = qterm + tx_rate / bps;
+      if (u > u_max) {
+        u_max = u;
+        tau = dt;
+      }
+      // The rate term over one-packet ACK windows flips between 0 and ~2x
+      // line rate; smooth it (same tau/T filter as the global U) so LHCS
+      // hop detection sees a stable signal. The queue term is already
+      // stable and must stay instantaneous for sub-RTT reaction.
+      const double fl = ToSeconds(std::min(dt, config_.base_rtt)) / t_sec;
+      link_rate_ewma_[i] =
+          (1.0 - fl) * link_rate_ewma_[i] + fl * (tx_rate / bps);
+    }
+    link_u[i] = qterm + link_rate_ewma_[i];
+  }
+
+  tau = std::min(tau, config_.base_rtt);
+  const double f = ToSeconds(tau) / t_sec;
+  u_ewma_ = (1.0 - f) * u_ewma_ + f * u_max;
+  return u_ewma_;
+}
+
+void HpccAlgorithm::ComputeWind(double u, bool update_wc, const Packet& ack,
+                                const IntView& view,
+                                const std::array<double, kMaxIntHops>& link_u) {
+  // FNCC LHCS hook; no-op in HPCC. A trigger pins the window to the fair
+  // share for this ACK, bypassing the multiplicative branch (which would
+  // divide the just-set fair share by the still-high U).
+  if (UpdateWc(ack, view, link_u, view.hops())) {
+    window_bytes_ = wc_bytes_;
+    if (update_wc) inc_stage_ = 0;
+    SetRateFromWindow();
+    return;
+  }
+
+  double w = 0.0;
+  if (u >= config_.eta || inc_stage_ >= config_.max_stage) {
+    // Multiplicative adjustment toward eta plus additive increase.
+    w = wc_bytes_ / (u / config_.eta) + wai_bytes_;
+    if (update_wc) {
+      inc_stage_ = 0;
+      wc_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
+    }
+  } else {
+    w = wc_bytes_ + wai_bytes_;
+    if (update_wc) {
+      ++inc_stage_;
+      wc_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
+    }
+  }
+  window_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
+  SetRateFromWindow();
+}
+
+void HpccAlgorithm::OnAck(const Packet& ack, std::uint64_t snd_nxt) {
+  const IntView view(ack);
+  if (view.empty()) return;  // no telemetry yet
+
+  if (!have_prev_ || prev_hops_ != view.hops()) {
+    // First sample (or path change): just record L.
+    for (std::size_t i = 0; i < view.hops(); ++i) prev_l_[i] = view.hop(i);
+    prev_hops_ = view.hops();
+    have_prev_ = true;
+    return;
+  }
+
+  std::array<double, kMaxIntHops> link_u{};
+  const double u = MeasureInFlight(view, link_u);
+
+  // Per-RTT vs per-ACK: only the first ACK covering data sent with the
+  // current W^c commits the reference window (Alg. 3 lines 41-46).
+  const bool update_wc = ack.seq > last_update_seq_;
+  ComputeWind(u, update_wc, ack, view, link_u);
+  if (update_wc) last_update_seq_ = snd_nxt;
+
+  for (std::size_t i = 0; i < view.hops(); ++i) prev_l_[i] = view.hop(i);
+  prev_hops_ = view.hops();
+}
+
+void HpccAlgorithm::SetRateFromWindow() {
+  // R = W / T (Alg. 3 line 47), capped at line rate.
+  rate_gbps_ = std::min(
+      config_.line_rate_gbps,
+      window_bytes_ * 8.0 / (ToSeconds(config_.base_rtt) * 1e9));
+}
+
+}  // namespace fncc

@@ -1,0 +1,77 @@
+// HPCC (Li et al., SIGCOMM'19) sender algorithm, following Alg. 3 of the
+// FNCC paper (which is HPCC's reaction point plus the FNCC hooks). FNCC
+// derives from this class and overrides the reference-window hook.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cc/cc_algorithm.hpp"
+#include "cc/int_view.hpp"
+
+namespace fncc {
+
+class HpccAlgorithm : public CcAlgorithm {
+ public:
+  explicit HpccAlgorithm(const CcConfig& config);
+
+  void OnAck(const Packet& ack, std::uint64_t snd_nxt) override;
+  [[nodiscard]] bool uses_window() const override { return true; }
+  [[nodiscard]] const char* name() const override { return "HPCC"; }
+
+  /// Normalized in-flight estimate U (EWMA), exposed for tests.
+  [[nodiscard]] double utilization_estimate() const { return u_ewma_; }
+  [[nodiscard]] double reference_window() const { return wc_bytes_; }
+
+ protected:
+  /// FNCC's LHCS hook (Alg. 3 line 30 calls UpdateWc before the window
+  /// computation). `view` is this ACK's INT in request-path order and
+  /// `link_u` holds per-hop U_j with an instantaneous queue term plus an
+  /// EWMA-filtered rate term (per-packet ACKs make the raw tx-rate term
+  /// 0-or-2x noisy). Returns
+  /// true when the reference window was snapped to the fair share — the
+  /// window then adopts it directly ("directly set to the final
+  /// convergence value", §3.2.2) instead of the MI/AI branches.
+  virtual bool UpdateWc(const Packet& /*ack*/, const IntView& /*view*/,
+                        const std::array<double, kMaxIntHops>& /*link_u*/,
+                        std::size_t /*hops*/) {
+    return false;
+  }
+
+  /// Alg. 3 MeasureInFlight. Returns the EWMA-filtered U and fills
+  /// `link_u` with this ACK's per-hop instantaneous values.
+  double MeasureInFlight(const IntView& view,
+                         std::array<double, kMaxIntHops>& link_u);
+
+  /// Alg. 3 ComputeWind; updates window_bytes_ (and wc on per-RTT ACKs).
+  void ComputeWind(double u, bool update_wc, const Packet& ack,
+                   const IntView& view,
+                   const std::array<double, kMaxIntHops>& link_u);
+
+  [[nodiscard]] double wai_bytes() const { return wai_bytes_; }
+  [[nodiscard]] double max_window() const { return max_window_bytes_; }
+  [[nodiscard]] double min_window() const { return min_window_bytes_; }
+
+  double wc_bytes_ = 0.0;  // reference window W^c
+
+ private:
+  void SetRateFromWindow();
+
+  double u_ewma_ = 0.0;
+  int inc_stage_ = 0;
+  std::uint64_t last_update_seq_ = 0;
+
+  double wai_bytes_ = 0.0;
+  double max_window_bytes_ = 0.0;
+  double min_window_bytes_ = 0.0;
+
+  // Previous INT per request-path hop (the L array of Alg. 3).
+  std::array<IntEntry, kMaxIntHops> prev_l_{};
+  // Per-link EWMA of the normalized tx rate (the rate half of Alg. 3's
+  // U[] array, noise-filtered; the queue half stays instantaneous).
+  std::array<double, kMaxIntHops> link_rate_ewma_{};
+  std::size_t prev_hops_ = 0;
+  bool have_prev_ = false;
+};
+
+}  // namespace fncc

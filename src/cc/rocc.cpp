@@ -1,0 +1,23 @@
+#include "cc/rocc.hpp"
+
+#include <algorithm>
+
+namespace fncc {
+
+void RoccAlgorithm::OnAck(const Packet& ack, std::uint64_t) {
+  const Time now = sim_->Now();
+  if (ack.rocc_rate_gbps > 0.0) {
+    rate_gbps_ = std::min(config_.line_rate_gbps, ack.rocc_rate_gbps);
+    last_feedback_ = now;
+    return;
+  }
+  if (now - last_feedback_ > config_.rocc.feedback_hold) {
+    // No congested switch on the path is advertising a rate: probe upward.
+    rate_gbps_ =
+        std::min(config_.line_rate_gbps,
+                 rate_gbps_ + config_.line_rate_gbps *
+                                  config_.rocc.probe_fraction);
+  }
+}
+
+}  // namespace fncc

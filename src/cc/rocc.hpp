@@ -1,0 +1,27 @@
+// RoCC sender (Taheri et al., CoNEXT'20). The heavy lifting happens in the
+// switch PI controller (SwitchConfig::rocc_enabled); the sender simply
+// adopts the minimum advertised fair rate and probes upward when feedback
+// goes quiet.
+#pragma once
+
+#include "cc/cc_algorithm.hpp"
+
+namespace fncc {
+
+class RoccAlgorithm : public CcAlgorithm {
+ public:
+  RoccAlgorithm(const CcConfig& config, Simulator* sim)
+      : CcAlgorithm(config), sim_(sim) {
+    rate_gbps_ = config_.line_rate_gbps;
+  }
+
+  void OnAck(const Packet& ack, std::uint64_t snd_nxt) override;
+  [[nodiscard]] const char* name() const override { return "RoCC"; }
+
+ private:
+  Simulator* sim_;
+  // "Long ago" but safe to subtract from Now() without overflow.
+  Time last_feedback_ = -kSecond;
+};
+
+}  // namespace fncc

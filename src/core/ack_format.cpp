@@ -1,0 +1,91 @@
+#include "core/ack_format.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace fncc {
+
+namespace {
+constexpr std::array<double, static_cast<std::size_t>(RateCode::kCount)>
+    kRateTable = {10, 25, 40, 50, 100, 200, 400, 800, 1600};
+
+/// Reconstructs a monotone counter from a short wrapped field given the
+/// previous full-width value.
+std::uint64_t Unwrap(std::uint64_t wrapped, std::uint64_t reference,
+                     std::uint64_t modulus) {
+  const std::uint64_t base = reference - (reference % modulus);
+  std::uint64_t candidate = base + wrapped;
+  if (candidate < reference) candidate += modulus;
+  return candidate;
+}
+}  // namespace
+
+std::optional<RateCode> EncodeRate(double gbps) {
+  for (std::size_t i = 0; i < kRateTable.size(); ++i) {
+    if (std::abs(kRateTable[i] - gbps) < 1e-6) {
+      return static_cast<RateCode>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+double DecodeRate(RateCode code) {
+  return kRateTable.at(static_cast<std::size_t>(code));
+}
+
+std::optional<std::uint64_t> EncodeIntEntry(const IntEntry& e) {
+  const auto rate = EncodeRate(e.bandwidth_gbps);
+  if (!rate) return std::nullopt;
+  const std::uint64_t b = static_cast<std::uint64_t>(*rate) & 0xF;
+  const std::uint64_t ts =
+      static_cast<std::uint64_t>(e.ts / kTsTickPs) & 0xFFFFFF;  // 24 bits
+  const std::uint64_t tx =
+      (e.tx_bytes / kTxBytesUnit) & 0xFFFFF;  // 20 bits
+  std::uint64_t q = e.qlen_bytes / kQlenUnit;
+  if (q > 0xFFFF) q = 0xFFFF;  // saturate (16 bits)
+  return (b << 60) | (ts << 36) | (tx << 16) | q;
+}
+
+IntEntry DecodeIntEntry(std::uint64_t wire, const IntEntry& reference) {
+  IntEntry e;
+  e.bandwidth_gbps =
+      DecodeRate(static_cast<RateCode>((wire >> 60) & 0xF));
+  const std::uint64_t ts_ticks = (wire >> 36) & 0xFFFFFF;
+  const std::uint64_t tx_units = (wire >> 16) & 0xFFFFF;
+  const std::uint64_t q_units = wire & 0xFFFF;
+
+  constexpr std::uint64_t kTsModulusTicks = 1ULL << 24;
+  constexpr std::uint64_t kTxModulusUnits = 1ULL << 20;
+  const std::uint64_t ref_ticks =
+      static_cast<std::uint64_t>(reference.ts / kTsTickPs);
+  e.ts = static_cast<Time>(
+             Unwrap(ts_ticks, ref_ticks, kTsModulusTicks)) *
+         kTsTickPs;
+  e.tx_bytes = Unwrap(tx_units, reference.tx_bytes / kTxBytesUnit,
+                      kTxModulusUnits) *
+               kTxBytesUnit;
+  e.qlen_bytes = q_units * kQlenUnit;
+  return e;
+}
+
+IntEntry QuantizeThroughWire(const IntEntry& e, const IntEntry& reference) {
+  const auto wire = EncodeIntEntry(e);
+  if (!wire) return e;  // non-standard rate: pass through unquantized
+  return DecodeIntEntry(*wire, reference);
+}
+
+std::uint32_t EncodeAckHeader(const AckHeader& h) {
+  return (static_cast<std::uint32_t>(h.n_hops & 0xF) << 28) |
+         (static_cast<std::uint32_t>(h.path_id & 0xFFF) << 16) |
+         static_cast<std::uint32_t>(h.concurrent);
+}
+
+AckHeader DecodeAckHeader(std::uint32_t wire) {
+  AckHeader h;
+  h.n_hops = static_cast<std::uint8_t>((wire >> 28) & 0xF);
+  h.path_id = static_cast<std::uint16_t>((wire >> 16) & 0xFFF);
+  h.concurrent = static_cast<std::uint16_t>(wire & 0xFFFF);
+  return h;
+}
+
+}  // namespace fncc

@@ -1,0 +1,68 @@
+// FNCC ACK wire format (Fig. 7): a 32-bit header {nHop:4, pathID:12, N:16}
+// followed by one 64-bit INT entry per hop {B:4, TS:24, txBytes:20, qLen:16}
+// (§4.3: 64-bit All_INT_Table entries).
+//
+// The simulator carries full-precision IntEntry values; this module encodes
+// and decodes the hardware representation so (a) the feasibility claim is
+// executable, and (b) SwitchConfig::quantize_int can push telemetry through
+// the real bit widths to measure how quantization affects control quality.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace fncc {
+
+/// 4-bit link-speed code (Fig. 7 allots 4 bits to B).
+enum class RateCode : std::uint8_t {
+  k10G = 0,
+  k25G,
+  k40G,
+  k50G,
+  k100G,
+  k200G,
+  k400G,
+  k800G,
+  k1600G,
+  kCount,
+};
+
+[[nodiscard]] std::optional<RateCode> EncodeRate(double gbps);
+[[nodiscard]] double DecodeRate(RateCode code);
+
+/// Field scalings chosen so the counters wrap/saturate no faster than the
+/// ACK clock at 400 Gbps: TS in 64 ns ticks (24 bits ~ 1.07 s of wrap),
+/// txBytes in 1 KB units (20 bits ~ 1 GB of wrap), qLen in 64 B units
+/// (16 bits ~ 4.2 MB, saturating).
+inline constexpr std::int64_t kTsTickPs = 64 * kNanosecond;
+inline constexpr std::uint64_t kTxBytesUnit = 1024;
+inline constexpr std::uint64_t kQlenUnit = 64;
+
+/// Packs an INT entry into the 64-bit Fig. 7 layout. Unencodable
+/// bandwidths (not in the RateCode table) return nullopt.
+[[nodiscard]] std::optional<std::uint64_t> EncodeIntEntry(const IntEntry& e);
+
+/// Unpacks a 64-bit entry. Wrapping fields (ts, txBytes) are resolved
+/// against `reference`, the previous decoded entry for the same hop, the
+/// same way HPCC NICs reconstruct monotone counters from short fields.
+[[nodiscard]] IntEntry DecodeIntEntry(std::uint64_t wire,
+                                      const IntEntry& reference);
+
+/// Round-trips an entry through the wire encoding using `reference` to
+/// resolve wraps — the helper the quantize_int switch option uses.
+[[nodiscard]] IntEntry QuantizeThroughWire(const IntEntry& e,
+                                           const IntEntry& reference);
+
+/// The 32-bit ACK header {nHop:4, pathID:12, N:16}.
+struct AckHeader {
+  std::uint8_t n_hops = 0;       // 4 bits
+  std::uint16_t path_id = 0;     // 12 bits: XOR of switch ids on the path
+  std::uint16_t concurrent = 0;  // 16 bits: N (<= 64k connections, §3.2.3)
+};
+
+[[nodiscard]] std::uint32_t EncodeAckHeader(const AckHeader& h);
+[[nodiscard]] AckHeader DecodeAckHeader(std::uint32_t wire);
+
+}  // namespace fncc

@@ -1,0 +1,68 @@
+#include "core/cc_factory.hpp"
+
+#include <cassert>
+
+#include "cc/dcqcn.hpp"
+#include "cc/hpcc.hpp"
+#include "cc/rocc.hpp"
+#include "cc/swift.hpp"
+#include "cc/timely.hpp"
+#include "core/fncc.hpp"
+
+namespace fncc {
+
+std::unique_ptr<CcAlgorithm> MakeCcAlgorithm(const CcConfig& config,
+                                             Simulator* sim) {
+  assert(config.base_rtt > 0 && "base_rtt must be resolved per flow");
+  switch (config.mode) {
+    case CcMode::kFncc:
+      return std::make_unique<FnccAlgorithm>(config, /*enable_lhcs=*/true);
+    case CcMode::kFnccNoLhcs:
+      return std::make_unique<FnccAlgorithm>(config, /*enable_lhcs=*/false);
+    case CcMode::kHpcc:
+      return std::make_unique<HpccAlgorithm>(config);
+    case CcMode::kDcqcn:
+      return std::make_unique<DcqcnAlgorithm>(config, sim);
+    case CcMode::kRocc:
+      return std::make_unique<RoccAlgorithm>(config, sim);
+    case CcMode::kTimely:
+      return std::make_unique<TimelyAlgorithm>(config, sim);
+    case CcMode::kSwift:
+      return std::make_unique<SwiftAlgorithm>(config, sim);
+  }
+  return nullptr;
+}
+
+void ApplySwitchFeatures(CcMode mode, double line_rate_gbps,
+                         SwitchConfig& config) {
+  config.stamp_data_int = false;
+  config.stamp_ack_int = false;
+  config.ecn_enabled = false;
+  config.rocc_enabled = false;
+  switch (mode) {
+    case CcMode::kFncc:
+    case CcMode::kFnccNoLhcs:
+      config.stamp_ack_int = true;
+      break;
+    case CcMode::kHpcc:
+      config.stamp_data_int = true;
+      break;
+    case CcMode::kDcqcn: {
+      config.ecn_enabled = true;
+      // K_min/K_max default to 100/400 KB at 100 Gbps; keep the marking
+      // latency constant across line rates by scaling with capacity.
+      const double scale = line_rate_gbps / 100.0;
+      config.ecn_kmin_bytes = static_cast<std::uint64_t>(100'000 * scale);
+      config.ecn_kmax_bytes = static_cast<std::uint64_t>(400'000 * scale);
+      break;
+    }
+    case CcMode::kRocc:
+      config.rocc_enabled = true;
+      break;
+    case CcMode::kTimely:
+    case CcMode::kSwift:
+      break;  // pure end-to-end delay: no switch support needed
+  }
+}
+
+}  // namespace fncc

@@ -1,0 +1,24 @@
+// Creates the sender-side algorithm for a CC mode, and derives the
+// switch-side feature flags each mode needs. This lives in core (not cc)
+// because FNCC — the paper's contribution — is constructed here.
+#pragma once
+
+#include <memory>
+
+#include "cc/cc_algorithm.hpp"
+#include "net/switch.hpp"
+
+namespace fncc {
+
+/// Instantiates the reaction-point algorithm for `config.mode`.
+std::unique_ptr<CcAlgorithm> MakeCcAlgorithm(const CcConfig& config,
+                                             Simulator* sim);
+
+/// Applies the switch-side features a CC mode relies on: INT stamping of
+/// data packets (HPCC), INT stamping of ACKs (FNCC, Alg. 1), ECN marking
+/// (DCQCN), or the PI fair-rate controller (RoCC). ECN thresholds scale
+/// linearly with the given line rate from their 100 Gbps defaults.
+void ApplySwitchFeatures(CcMode mode, double line_rate_gbps,
+                         SwitchConfig& config);
+
+}  // namespace fncc

@@ -1,0 +1,42 @@
+// FNCC reaction-point algorithm: HPCC's window control fed by return-path
+// INT, plus the Last-Hop Congestion Speedup of Alg. 2.
+//
+// The "fast notification" half of FNCC lives in the switch (Alg. 1 — see
+// Switch with SwitchConfig::stamp_ack_int): INT is inserted into ACKs on the
+// return path instead of into data packets, so this sender sees telemetry
+// that is fresher by up to one RTT. This class adds the sender-side half:
+// when the most congested hop is the last hop and U exceeds alpha, the
+// reference window jumps straight to the fair share B*RTT*beta/N using the
+// concurrent-flow count N the receiver writes into every ACK.
+#pragma once
+
+#include "cc/hpcc.hpp"
+
+namespace fncc {
+
+class FnccAlgorithm : public HpccAlgorithm {
+ public:
+  /// `enable_lhcs` = false gives the "FNCC without LHCS" ablation of
+  /// Fig. 13 (fast notification only).
+  explicit FnccAlgorithm(const CcConfig& config, bool enable_lhcs = true);
+
+  [[nodiscard]] const char* name() const override {
+    return lhcs_enabled_ ? "FNCC" : "FNCC-noLHCS";
+  }
+
+  [[nodiscard]] bool lhcs_enabled() const { return lhcs_enabled_; }
+  /// Number of times LHCS snapped the window to the fair share (tests).
+  [[nodiscard]] std::uint64_t lhcs_triggers() const { return lhcs_triggers_; }
+
+ protected:
+  /// Alg. 2: hop detection + fair-share jump.
+  bool UpdateWc(const Packet& ack, const IntView& view,
+                const std::array<double, kMaxIntHops>& link_u,
+                std::size_t hops) override;
+
+ private:
+  bool lhcs_enabled_;
+  std::uint64_t lhcs_triggers_ = 0;
+};
+
+}  // namespace fncc

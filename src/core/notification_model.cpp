@@ -1,0 +1,33 @@
+#include "core/notification_model.hpp"
+
+namespace fncc {
+
+NotificationDelays ComputeNotificationDelays(const NotificationChain& chain) {
+  const int n = chain.num_switches;
+  // Links are indexed 0..n: link 0 = sender->sw1, link i = sw_i->sw_{i+1},
+  // link n = sw_n->receiver; identical both directions.
+  const Time per_link_data =
+      chain.propagation_delay +
+      SerializationDelay(chain.data_bytes, chain.gbps);
+  const Time per_link_ack =
+      chain.propagation_delay + SerializationDelay(chain.ack_bytes, chain.gbps);
+
+  NotificationDelays out;
+  out.hpcc.resize(n);
+  out.fncc.resize(n);
+  out.gain.resize(n);
+  for (int j = 0; j < n; ++j) {
+    // HPCC: stamped data continues to the receiver over links j+1..n, then
+    // the ACK returns over all n+1 links.
+    const int data_links_remaining = n - j;  // links j+1 .. n
+    out.hpcc[j] = data_links_remaining * per_link_data +
+                  (n + 1) * per_link_ack;
+    // FNCC: the next ACK crossing sw_{j+1} carries the INT straight back
+    // over links j..0.
+    out.fncc[j] = (j + 1) * per_link_ack;
+    out.gain[j] = out.hpcc[j] - out.fncc[j];
+  }
+  return out;
+}
+
+}  // namespace fncc

@@ -1,0 +1,38 @@
+// Analytic model of congestion-notification latency (Fig. 12). For a chain
+// sender - sw1 - ... - swN - receiver it computes how long after congestion
+// onset at switch j the sender receives the first INT describing it, under
+// HPCC's data-path stamping and FNCC's return-path (ACK) stamping.
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fncc {
+
+struct NotificationChain {
+  int num_switches = 3;
+  double gbps = 100.0;
+  Time propagation_delay = Microseconds(1.5);
+  std::uint32_t data_bytes = kDefaultMtu();
+  std::uint32_t ack_bytes = 60;
+
+  static constexpr std::uint32_t kDefaultMtu() { return 1518; }
+};
+
+struct NotificationDelays {
+  /// hpcc[j] / fncc[j]: latency from congestion onset at switch j (0-based,
+  /// 0 = first hop) to the sender holding that hop's INT.
+  std::vector<Time> hpcc;
+  std::vector<Time> fncc;
+  /// gain[j] = hpcc[j] - fncc[j]; monotonically shrinking toward the last
+  /// hop — the regime LHCS exists for.
+  std::vector<Time> gain;
+};
+
+/// Evaluates the Fig. 12 timeline model. Assumes a data packet is crossing
+/// the congested switch when congestion starts (HPCC best case) and an ACK
+/// is crossing it for FNCC — i.e. steady-state traffic in both directions.
+NotificationDelays ComputeNotificationDelays(const NotificationChain& chain);
+
+}  // namespace fncc

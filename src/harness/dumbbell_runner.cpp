@@ -1,0 +1,129 @@
+#include "harness/dumbbell_runner.hpp"
+
+#include <memory>
+
+#include "core/fncc.hpp"
+
+namespace fncc {
+
+namespace {
+
+/// Everything common to the dumbbell and chain-merge runs once the
+/// topology exists: launch flows, attach monitors, run, reduce.
+MicroRunResult RunMicro(const MicroRunConfig& config, Network& net,
+                        Simulator& sim, Switch* congestion_switch,
+                        int congestion_port,
+                        const std::vector<NodeId>& sender_ids,
+                        NodeId receiver_id) {
+  const ScenarioConfig& sc = config.scenario;
+  MicroRunResult result;
+  result.flows.resize(config.flows.size());
+
+  // Auto flow budget: line rate for the entire duration, rounded up.
+  const std::uint64_t flow_bytes =
+      config.flow_bytes > 0
+          ? config.flow_bytes
+          : static_cast<std::uint64_t>(
+                BytesPerSecond(sc.link_gbps) * ToSeconds(config.duration)) +
+                10 * sc.mtu_bytes;
+
+  std::vector<SenderQp*> qps;
+  for (std::size_t i = 0; i < config.flows.size(); ++i) {
+    const LongFlow& lf = config.flows[i];
+    FlowSpec spec;
+    spec.id = static_cast<FlowId>(i + 1);
+    spec.src = sender_ids.at(lf.sender_index);
+    spec.dst = receiver_id;
+    spec.sport = static_cast<std::uint16_t>(10'000 + 2 * i);
+    spec.dport = static_cast<std::uint16_t>(10'001 + 2 * i);
+    spec.size_bytes = flow_bytes;
+    spec.start_time = lf.start;
+    SenderQp* qp = LaunchFlow(net, sc, spec);
+    qps.push_back(qp);
+    if (lf.stop < kTimeInfinity) {
+      sim.ScheduleAt(lf.stop, [qp] { qp->Abort(); });
+    }
+  }
+
+  // Monitors. Their lifetimes must cover sim.RunUntil below.
+  EgressPort& cport = congestion_switch->port(congestion_port);
+  PeriodicSampler queue_sampler(
+      &sim, config.queue_sample_interval,
+      [&cport] { return static_cast<double>(cport.qlen_bytes()); },
+      &result.queue_bytes);
+
+  auto util_meter = std::make_shared<RateMeter>();
+  PeriodicSampler util_sampler(
+      &sim, config.util_sample_interval,
+      [&cport, util_meter, &sim, &sc] {
+        return util_meter->SampleGbps(sim.Now(), cport.tx_bytes()) /
+               sc.link_gbps;
+      },
+      &result.utilization);
+
+  std::vector<std::unique_ptr<PeriodicSampler>> rate_samplers;
+  std::vector<std::shared_ptr<RateMeter>> goodput_meters;
+  for (std::size_t i = 0; i < qps.size(); ++i) {
+    SenderQp* qp = qps[i];
+    rate_samplers.push_back(std::make_unique<PeriodicSampler>(
+        &sim, config.rate_sample_interval,
+        [qp] { return qp->complete() ? 0.0 : qp->pacing_rate_gbps(); },
+        &result.flows[i].pacing_gbps));
+    auto meter = std::make_shared<RateMeter>();
+    goodput_meters.push_back(meter);
+    rate_samplers.push_back(std::make_unique<PeriodicSampler>(
+        &sim, config.rate_sample_interval,
+        [qp, meter, &sim] { return meter->SampleGbps(sim.Now(), qp->snd_una()); },
+        &result.flows[i].goodput_gbps));
+  }
+
+  sim.RunUntil(config.duration);
+
+  for (Switch* sw : net.switches()) {
+    result.pause_frames += sw->pause_frames_sent();
+    result.resume_frames += sw->resume_frames_sent();
+  }
+  result.drops = net.TotalDrops();
+  for (Endpoint* ep : net.hosts()) {
+    result.out_of_order += static_cast<Host*>(ep)->out_of_order_packets();
+  }
+  for (SenderQp* qp : qps) {
+    result.asymmetric_acks += qp->asymmetric_acks();
+    if (const auto* fncc = dynamic_cast<const FnccAlgorithm*>(&qp->cc())) {
+      result.lhcs_triggers += fncc->lhcs_triggers();
+    }
+  }
+  result.events_processed = sim.events_processed();
+  return result;
+}
+
+}  // namespace
+
+MicroRunResult RunDumbbell(const MicroRunConfig& config) {
+  Simulator sim;
+  Rng rng(config.scenario.seed);
+  DumbbellTopology topo = BuildDumbbell(
+      &sim, MakeHostFactory(config.scenario),
+      MakeSwitchConfig(config.scenario), &rng, config.num_senders,
+      config.num_switches, config.scenario.link());
+  topo.net.ComputeRoutes(config.scenario.ecmp_salt,
+                         config.scenario.symmetric_ecmp);
+  return RunMicro(config, topo.net, sim, topo.congestion_switch(),
+                  topo.congestion_port(), topo.senders, topo.receiver);
+}
+
+MicroRunResult RunChainMerge(const MicroRunConfig& config, int merge_switch) {
+  Simulator sim;
+  Rng rng(config.scenario.seed);
+  ChainMergeTopology topo = BuildChainMerge(
+      &sim, MakeHostFactory(config.scenario),
+      MakeSwitchConfig(config.scenario), &rng, config.num_switches,
+      merge_switch, config.scenario.link());
+  topo.net.ComputeRoutes(config.scenario.ecmp_salt,
+                         config.scenario.symmetric_ecmp);
+  const std::vector<NodeId> senders{topo.sender0, topo.sender1};
+  return RunMicro(config, topo.net, sim, topo.congestion_switch(),
+                  topo.congestion_port(), senders, topo.receiver);
+}
+
+}  // namespace fncc

@@ -1,0 +1,63 @@
+// Runners for the micro-benchmark topologies: the Fig. 10 dumbbell
+// (Figs. 1, 3, 9, 13e) and the Fig. 11 merge-at-hop chains (Fig. 13a-d).
+// Each run produces the time series the corresponding figure plots.
+#pragma once
+
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "stats/timeseries.hpp"
+
+namespace fncc {
+
+/// One long-lived flow in a micro-benchmark. `stop` < infinity aborts the
+/// flow at that time (fairness experiment); size is effectively unbounded.
+struct LongFlow {
+  int sender_index = 0;
+  Time start = 0;
+  Time stop = kTimeInfinity;
+};
+
+struct MicroRunConfig {
+  ScenarioConfig scenario;
+  int num_senders = 2;
+  int num_switches = 3;  // M in Fig. 10
+  std::vector<LongFlow> flows;
+  Time duration = Microseconds(1300);
+
+  Time queue_sample_interval = Microseconds(1);
+  Time rate_sample_interval = Microseconds(1);
+  Time util_sample_interval = Microseconds(5);
+
+  /// Per-flow byte budget; large enough to outlast `duration` at line rate.
+  std::uint64_t flow_bytes = 0;  // 0 = auto from duration
+};
+
+struct FlowSeries {
+  TimeSeries pacing_gbps;   // the CC algorithm's instantaneous rate
+  TimeSeries goodput_gbps;  // acknowledged bytes per sample interval
+};
+
+struct MicroRunResult {
+  TimeSeries queue_bytes;   // congestion-point egress queue
+  TimeSeries utilization;   // congestion-point link utilization, 0..1
+  std::vector<FlowSeries> flows;
+  std::uint64_t pause_frames = 0;
+  std::uint64_t resume_frames = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t out_of_order = 0;  // receiver-side sequence gaps
+  std::uint64_t asymmetric_acks = 0;  // Fig. 7 pathID mismatches
+  std::uint64_t lhcs_triggers = 0;  // summed over FNCC senders
+  std::uint64_t events_processed = 0;
+};
+
+/// Fig. 10 dumbbell: all senders attach to switch0; the monitored queue is
+/// switch0's uplink egress.
+MicroRunResult RunDumbbell(const MicroRunConfig& config);
+
+/// Fig. 11 chain: flow 0's sender enters at switch0, flow 1's sender at
+/// `merge_switch`; the monitored queue is the merge switch's downstream
+/// egress. flows[i].sender_index selects sender i in {0, 1}.
+MicroRunResult RunChainMerge(const MicroRunConfig& config, int merge_switch);
+
+}  // namespace fncc

@@ -1,0 +1,59 @@
+#include "harness/fat_tree_runner.hpp"
+
+#include "sim/log.hpp"
+
+namespace fncc {
+
+FatTreeRunResult RunFatTree(const FatTreeRunConfig& config) {
+  const ScenarioConfig& sc = config.scenario;
+  Simulator sim;
+  Rng rng(sc.seed);
+
+  FatTreeTopology topo =
+      BuildFatTree(&sim, MakeHostFactory(sc), MakeSwitchConfig(sc), &rng,
+                   config.k, sc.link());
+  topo.net.ComputeRoutes(sc.ecmp_salt, sc.symmetric_ecmp);
+  Network& net = topo.net;
+
+  FatTreeRunResult result;
+
+  PoissonTrafficConfig traffic;
+  traffic.load = config.load;
+  traffic.link_gbps = sc.link_gbps;
+  traffic.num_flows = config.num_flows;
+  std::vector<FlowSpec> flows =
+      GeneratePoisson(rng, config.cdf, topo.hosts, traffic);
+  result.flows_total = flows.size();
+
+  for (Endpoint* ep : net.hosts()) {
+    auto* host = static_cast<Host*>(ep);
+    host->on_flow_complete = [&result](const SenderQp& qp) {
+      result.fct.Record(qp.spec(), qp.fct());
+      ++result.flows_completed;
+      result.retransmits += qp.retransmit_events();
+      result.asymmetric_acks += qp.asymmetric_acks();
+    };
+  }
+
+  for (FlowSpec& spec : flows) LaunchFlow(net, sc, spec);
+
+  // Run in chunks until every flow finishes (or the wall is hit — only
+  // possible with a broken configuration, thanks to the RTO).
+  const Time chunk = 2 * kMillisecond;
+  while (result.flows_completed < result.flows_total &&
+         sim.Now() < config.max_sim_time) {
+    if (sim.events_pending() == 0) break;
+    sim.RunUntil(sim.Now() + chunk);
+  }
+  if (result.flows_completed < result.flows_total) {
+    Log(LogLevel::kWarn, sim.Now(), "fat-tree run incomplete: %zu/%zu flows",
+        result.flows_completed, result.flows_total);
+  }
+
+  result.pause_frames = net.TotalPauseFrames();
+  result.drops = net.TotalDrops();
+  result.events_processed = sim.events_processed();
+  return result;
+}
+
+}  // namespace fncc

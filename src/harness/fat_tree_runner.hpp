@@ -1,0 +1,35 @@
+// Large-scale workload runner (§5.5): fat-tree k=8, Poisson arrivals from a
+// flow-size CDF at a target load, FCT-slowdown collection (Figs. 14-15).
+#pragma once
+
+#include "harness/scenario.hpp"
+#include "stats/fct.hpp"
+#include "workload/cdf.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace fncc {
+
+struct FatTreeRunConfig {
+  ScenarioConfig scenario;
+  int k = 8;  // 128 hosts
+  SizeCdf cdf = SizeCdf::WebSearch();
+  double load = 0.5;
+  int num_flows = 2000;
+  /// Hard wall on simulated time (a stuck run still terminates).
+  Time max_sim_time = 2 * kSecond;
+};
+
+struct FatTreeRunResult {
+  FctRecorder fct;
+  std::size_t flows_completed = 0;
+  std::size_t flows_total = 0;
+  std::uint64_t pause_frames = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t asymmetric_acks = 0;  // Fig. 7 pathID mismatches
+  std::uint64_t events_processed = 0;
+};
+
+FatTreeRunResult RunFatTree(const FatTreeRunConfig& config);
+
+}  // namespace fncc

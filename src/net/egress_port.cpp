@@ -1,0 +1,80 @@
+#include "net/egress_port.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace fncc {
+
+void EgressPort::Connect(Peer peer, double bandwidth_gbps,
+                         Time propagation_delay) {
+  assert(!connected() && "port connected twice");
+  assert(peer.node != nullptr && bandwidth_gbps > 0.0);
+  peer_ = peer;
+  bandwidth_gbps_ = bandwidth_gbps;
+  prop_delay_ = propagation_delay;
+}
+
+void EgressPort::Enqueue(PacketPtr pkt) {
+  assert(connected());
+  qlen_bytes_ += pkt->size_bytes;
+  data_q_.push_back(std::move(pkt));
+  TryTransmit();
+}
+
+void EgressPort::EnqueueControl(PacketPtr pkt) {
+  assert(connected());
+  ctrl_q_.push_back(std::move(pkt));
+  TryTransmit();
+}
+
+void EgressPort::SetPaused(bool paused) {
+  if (paused && !paused_) {
+    paused_since_ = sim_->Now();
+  } else if (!paused && paused_) {
+    paused_total_ += sim_->Now() - paused_since_;
+  }
+  paused_ = paused;
+  if (!paused_) TryTransmit();
+}
+
+void EgressPort::TryTransmit() {
+  if (busy_) return;
+  PacketPtr pkt;
+  if (!ctrl_q_.empty()) {
+    pkt = std::move(ctrl_q_.front());
+    ctrl_q_.pop_front();
+  } else if (!paused_ && !data_q_.empty()) {
+    pkt = std::move(data_q_.front());
+    data_q_.pop_front();
+    qlen_bytes_ -= pkt->size_bytes;
+  } else {
+    return;
+  }
+
+  // The hook may grow the packet (INT insertion happens at the output
+  // engine, Alg. 1 line 9), so run it before computing serialization time.
+  if (on_transmit_start) on_transmit_start(*pkt);
+
+  busy_ = true;
+  tx_bytes_ += pkt->size_bytes;
+  const Time ser = SerializationDelay(pkt->size_bytes, bandwidth_gbps_);
+  sim_->Schedule(ser, [this, p = std::move(pkt)]() mutable {
+    FinishTransmit(std::move(p));
+  });
+}
+
+void EgressPort::FinishTransmit(PacketPtr pkt) {
+  busy_ = false;
+  // Hand the packet to the peer after propagation. The link itself cannot
+  // reorder: serialization completions are strictly ordered and the
+  // propagation delay is constant.
+  Node* peer_node = peer_.node;
+  const int peer_port = peer_.port;
+  sim_->Schedule(prop_delay_, [peer_node, peer_port,
+                               p = std::move(pkt)]() mutable {
+    peer_node->ReceivePacket(std::move(p), peer_port);
+  });
+  TryTransmit();
+}
+
+}  // namespace fncc

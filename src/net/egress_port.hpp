@@ -1,0 +1,88 @@
+// Output port model: FIFO data queue + strict-priority control queue,
+// serialization at line rate, propagation to the peer, PFC pause gate.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fncc {
+
+/// One direction of a full-duplex link: the transmit side attached to a
+/// node's port. Owns the egress queue and models serialization +
+/// propagation. PFC pause blocks data packets only; control frames (PFC
+/// XOFF/XON) use a strict-priority queue and always go through.
+class EgressPort {
+ public:
+  struct Peer {
+    Node* node = nullptr;
+    int port = -1;
+  };
+
+  explicit EgressPort(Simulator* sim) : sim_(sim) {}
+  EgressPort(EgressPort&&) = default;
+
+  /// Wires this port to its peer. Must be called exactly once before use.
+  void Connect(Peer peer, double bandwidth_gbps, Time propagation_delay);
+
+  [[nodiscard]] bool connected() const { return peer_.node != nullptr; }
+
+  /// Queues a data-plane packet (data/ACK/CNP) for transmission.
+  void Enqueue(PacketPtr pkt);
+
+  /// Queues a control frame; bypasses the data queue and ignores pause.
+  void EnqueueControl(PacketPtr pkt);
+
+  /// PFC gate, driven by the peer's XOFF/XON frames.
+  void SetPaused(bool paused);
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  /// Cumulative time this port has spent paused — the raw signal behind
+  /// PFC-storm diagnostics (§2.3): a port paused for a large fraction of
+  /// wall time is starving its upstream.
+  [[nodiscard]] Time total_paused_time() const {
+    return paused_ ? paused_total_ + (sim_->Now() - paused_since_)
+                   : paused_total_;
+  }
+
+  /// Called with each packet at the instant it begins serialization (after
+  /// it left the queue — qlen_bytes() already excludes it). Owners use it
+  /// for PFC buffer release and INT stamping; the hook may mutate the
+  /// packet, including growing size_bytes before serialization.
+  std::function<void(Packet&)> on_transmit_start;
+
+  // -- Telemetry (the live counters behind All_INT_Table) --
+  [[nodiscard]] std::uint64_t qlen_bytes() const { return qlen_bytes_; }
+  [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
+  [[nodiscard]] double bandwidth_gbps() const { return bandwidth_gbps_; }
+  [[nodiscard]] Time propagation_delay() const { return prop_delay_; }
+  [[nodiscard]] const Peer& peer() const { return peer_; }
+  [[nodiscard]] std::size_t packets_queued() const {
+    return data_q_.size() + ctrl_q_.size();
+  }
+
+ private:
+  void TryTransmit();
+  void FinishTransmit(PacketPtr pkt);
+
+  Simulator* sim_;
+  Peer peer_;
+  double bandwidth_gbps_ = 0.0;
+  Time prop_delay_ = 0;
+
+  std::deque<PacketPtr> data_q_;
+  std::deque<PacketPtr> ctrl_q_;
+  std::uint64_t qlen_bytes_ = 0;  // data queue only, as INT reports qLen
+  bool busy_ = false;
+  bool paused_ = false;
+  Time paused_since_ = 0;
+  Time paused_total_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+};
+
+}  // namespace fncc

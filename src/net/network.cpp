@@ -1,0 +1,249 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace fncc {
+
+NodeId Network::AddNode(std::unique_ptr<Node> node) {
+  assert(node->id() == next_id() && "node ids must be dense and in order");
+  const NodeId id = node->id();
+  if (node->IsSwitch()) {
+    switches_.push_back(static_cast<Switch*>(node.get()));
+  } else {
+    hosts_.push_back(static_cast<Endpoint*>(node.get()));
+  }
+  nodes_.push_back(std::move(node));
+  adj_.emplace_back();
+  next_port_.push_back(0);
+  return id;
+}
+
+Switch* Network::AddSwitch(const std::string& name,
+                           const SwitchConfig& config, Rng* rng) {
+  auto sw = std::make_unique<Switch>(sim_, next_id(), name, config, rng);
+  Switch* ptr = sw.get();
+  AddNode(std::move(sw));
+  return ptr;
+}
+
+Endpoint* Network::AddHost(const HostFactory& factory,
+                           const std::string& name) {
+  auto host = factory(sim_, next_id(), name);
+  Endpoint* ptr = host.get();
+  AddNode(std::move(host));
+  return ptr;
+}
+
+EgressPort& Network::PortOf(NodeId node_id, int port) {
+  Node* n = node(node_id);
+  if (n->IsSwitch()) return static_cast<Switch*>(n)->port(port);
+  assert(port == 0 && "endpoints have a single port");
+  return static_cast<Endpoint*>(n)->nic();
+}
+
+void Network::Connect(NodeId a, int port_a, NodeId b, int port_b, double gbps,
+                      Time propagation_delay) {
+  PortOf(a, port_a).Connect({node(b), port_b}, gbps, propagation_delay);
+  PortOf(b, port_b).Connect({node(a), port_a}, gbps, propagation_delay);
+  adj_[a].push_back({port_a, b, gbps, propagation_delay});
+  adj_[b].push_back({port_b, a, gbps, propagation_delay});
+}
+
+int Network::AllocPort(NodeId node_id) {
+  if (!node(node_id)->IsSwitch()) return 0;
+  const int p = next_port_[node_id]++;
+  assert(p < static_cast<Switch*>(node(node_id))->num_ports());
+  return p;
+}
+
+void Network::ConnectAuto(NodeId a, NodeId b, double gbps,
+                          Time propagation_delay) {
+  Connect(a, AllocPort(a), b, AllocPort(b), gbps, propagation_delay);
+}
+
+void Network::ComputeRoutes(std::uint32_t ecmp_salt, bool symmetric) {
+  const std::size_t n = nodes_.size();
+  for (Switch* sw : switches_) {
+    sw->routing().Resize(n);
+    sw->SetEcmp(ecmp_salt, symmetric);
+  }
+
+  constexpr int kUnreached = std::numeric_limits<int>::max();
+  std::vector<int> dist(n);
+  for (const Endpoint* dst : hosts_) {
+    std::fill(dist.begin(), dist.end(), kUnreached);
+    std::deque<NodeId> frontier{dst->id()};
+    dist[dst->id()] = 0;
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const Adjacency& e : adj_[cur]) {
+        // Hosts never forward transit traffic: only the destination itself
+        // and switches may appear as interior BFS nodes.
+        if (!node(e.peer)->IsSwitch() && e.peer != dst->id()) continue;
+        if (dist[e.peer] == kUnreached) {
+          dist[e.peer] = dist[cur] + 1;
+          if (node(e.peer)->IsSwitch()) frontier.push_back(e.peer);
+        }
+      }
+    }
+    for (Switch* sw : switches_) {
+      if (dist[sw->id()] == kUnreached) continue;
+      // Equal-cost next hops: neighbours one step closer to dst. Sorted by
+      // (peer id, port) so the selection order is consistent fabric-wide —
+      // a requirement for the symmetric-path property (Fig. 5).
+      std::vector<std::pair<NodeId, int>> hops;
+      for (const Adjacency& e : adj_[sw->id()]) {
+        if (dist[e.peer] == dist[sw->id()] - 1) {
+          hops.emplace_back(e.peer, e.local_port);
+        }
+      }
+      std::sort(hops.begin(), hops.end());
+      std::vector<int> ports;
+      ports.reserve(hops.size());
+      for (const auto& [peer, port] : hops) ports.push_back(port);
+      if (!ports.empty()) sw->routing().SetNextHops(dst->id(), ports);
+    }
+  }
+}
+
+void Network::ComputeSpanningTreeRoutes(int num_trees, std::uint32_t salt) {
+  assert(num_trees >= 1);
+  assert(!switches_.empty());
+  const std::size_t n = nodes_.size();
+  for (Switch* sw : switches_) {
+    sw->ConfigureSpanningTrees(num_trees, salt);
+    for (int t = 0; t < num_trees; ++t) sw->tree_routing(t).Resize(n);
+  }
+
+  constexpr int kUnreached = std::numeric_limits<int>::max();
+  for (int t = 0; t < num_trees; ++t) {
+    // Roots spread deterministically across the switch set so trees differ.
+    const NodeId root =
+        switches_[(static_cast<std::size_t>(t) * 7919) % switches_.size()]
+            ->id();
+
+    // BFS from the root over the whole fabric: parent[] defines the tree.
+    std::vector<NodeId> parent(n, kInvalidNode);
+    std::vector<bool> seen(n, false);
+    std::deque<NodeId> frontier{root};
+    seen[root] = true;
+    while (!frontier.empty()) {
+      const NodeId cur = frontier.front();
+      frontier.pop_front();
+      for (const Adjacency& e : adj_[cur]) {
+        if (seen[e.peer]) continue;
+        seen[e.peer] = true;
+        parent[e.peer] = cur;
+        // Hosts are always leaves: never expand through them.
+        if (node(e.peer)->IsSwitch()) frontier.push_back(e.peer);
+      }
+    }
+
+    // Tree adjacency: only parent edges survive.
+    const auto is_tree_edge = [&](NodeId a, NodeId b) {
+      return parent[a] == b || parent[b] == a;
+    };
+
+    // Per destination host: BFS from the host restricted to tree edges;
+    // every switch then has exactly one next hop toward it.
+    std::vector<int> dist(n);
+    for (const Endpoint* dst : hosts_) {
+      std::fill(dist.begin(), dist.end(), kUnreached);
+      std::deque<NodeId> bfs{dst->id()};
+      dist[dst->id()] = 0;
+      while (!bfs.empty()) {
+        const NodeId cur = bfs.front();
+        bfs.pop_front();
+        for (const Adjacency& e : adj_[cur]) {
+          if (!is_tree_edge(cur, e.peer)) continue;
+          if (!node(e.peer)->IsSwitch() && e.peer != dst->id()) continue;
+          if (dist[e.peer] == kUnreached) {
+            dist[e.peer] = dist[cur] + 1;
+            if (node(e.peer)->IsSwitch()) bfs.push_back(e.peer);
+          }
+        }
+      }
+      for (Switch* sw : switches_) {
+        if (dist[sw->id()] == kUnreached) continue;
+        for (const Adjacency& e : adj_[sw->id()]) {
+          if (is_tree_edge(sw->id(), e.peer) &&
+              dist[e.peer] == dist[sw->id()] - 1) {
+            sw->tree_routing(t).SetNextHops(dst->id(), {e.local_port});
+            break;  // unique in a tree
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<NodeId> Network::Path(NodeId src, NodeId dst, std::uint16_t sport,
+                                  std::uint16_t dport) const {
+  Packet probe;
+  probe.src = src;
+  probe.dst = dst;
+  probe.sport = sport;
+  probe.dport = dport;
+
+  std::vector<NodeId> path{src};
+  assert(!adj_[src].empty() && "source host not wired");
+  NodeId cur = adj_[src][0].peer;  // hosts have one link
+  while (cur != dst) {
+    path.push_back(cur);
+    assert(node(cur)->IsSwitch() && "path wandered into a non-dst host");
+    assert(path.size() < nodes_.size() && "routing loop");
+    const auto* sw = static_cast<const Switch*>(node(cur));
+    const int out = sw->RoutePacket(probe);
+    const auto it =
+        std::find_if(adj_[cur].begin(), adj_[cur].end(),
+                     [out](const Adjacency& e) { return e.local_port == out; });
+    assert(it != adj_[cur].end());
+    cur = it->peer;
+  }
+  path.push_back(dst);
+  return path;
+}
+
+const Network::Adjacency& Network::Edge(NodeId node_id, NodeId peer) const {
+  const auto it =
+      std::find_if(adj_[node_id].begin(), adj_[node_id].end(),
+                   [peer](const Adjacency& e) { return e.peer == peer; });
+  assert(it != adj_[node_id].end());
+  return *it;
+}
+
+Time Network::BaseRtt(NodeId src, NodeId dst, std::uint16_t sport,
+                      std::uint16_t dport, std::uint32_t data_bytes,
+                      std::uint32_t ack_bytes) const {
+  const auto accumulate = [this](const std::vector<NodeId>& path,
+                                 std::uint32_t bytes) {
+    Time total = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const Adjacency& e = Edge(path[i], path[i + 1]);
+      total += e.prop + SerializationDelay(bytes, e.gbps);
+    }
+    return total;
+  };
+  // The ACK follows the reverse five-tuple; with symmetric ECMP this is the
+  // reversed data path, but we honour whatever the tables actually select.
+  return accumulate(Path(src, dst, sport, dport), data_bytes) +
+         accumulate(Path(dst, src, dport, sport), ack_bytes);
+}
+
+std::uint64_t Network::TotalPauseFrames() const {
+  std::uint64_t total = 0;
+  for (const Switch* sw : switches_) total += sw->pause_frames_sent();
+  return total;
+}
+
+std::uint64_t Network::TotalDrops() const {
+  std::uint64_t total = 0;
+  for (const Switch* sw : switches_) total += sw->drops();
+  return total;
+}
+
+}  // namespace fncc

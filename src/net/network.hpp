@@ -1,0 +1,118 @@
+// Owns every node in a simulated fabric, wires links, computes equal-cost
+// routes, and answers path/RTT queries.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/switch.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace fncc {
+
+/// Creates an end host for a topology builder. The net layer knows only the
+/// Endpoint interface; the transport layer supplies concrete hosts.
+using HostFactory = std::function<std::unique_ptr<Endpoint>(
+    Simulator* sim, NodeId id, const std::string& name)>;
+
+class Network {
+ public:
+  explicit Network(Simulator* sim) : sim_(sim) {}
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  [[nodiscard]] Simulator* sim() const { return sim_; }
+
+  [[nodiscard]] NodeId next_id() const {
+    return static_cast<NodeId>(nodes_.size());
+  }
+
+  /// Adds a node whose id must equal next_id(). Returns the id.
+  NodeId AddNode(std::unique_ptr<Node> node);
+
+  /// Convenience: constructs and adds a switch.
+  Switch* AddSwitch(const std::string& name, const SwitchConfig& config,
+                    Rng* rng);
+
+  /// Convenience: constructs a host through the factory and adds it.
+  Endpoint* AddHost(const HostFactory& factory, const std::string& name);
+
+  /// Wires a full-duplex link between (a, port_a) and (b, port_b) with the
+  /// same rate/delay in both directions. Endpoint ports must be 0.
+  void Connect(NodeId a, int port_a, NodeId b, int port_b, double gbps,
+               Time propagation_delay);
+
+  /// Allocates the next unused port index on a switch (0 for endpoints).
+  int AllocPort(NodeId node);
+
+  /// Ports already allocated on a node by ConnectAuto/AllocPort.
+  [[nodiscard]] int AllocatedPorts(NodeId node) const {
+    return next_port_.at(node);
+  }
+
+  /// Connects with automatic port allocation on both sides.
+  void ConnectAuto(NodeId a, NodeId b, double gbps, Time propagation_delay);
+
+  /// Builds destination-based equal-cost routing tables on every switch
+  /// (BFS per host) and configures every switch's ECMP hash.
+  void ComputeRoutes(std::uint32_t ecmp_salt = 0, bool symmetric = true);
+
+  /// Observation 2 method 2 (TCP-Bolt style): builds `num_trees` spanning
+  /// trees rooted at spread-out switches and routes every flow on the tree
+  /// its symmetric five-tuple hash selects. Within a tree the path between
+  /// any two hosts is unique, so data and ACK paths coincide by
+  /// construction — no per-hop hash symmetry needed. Takes precedence over
+  /// ComputeRoutes' ECMP tables.
+  void ComputeSpanningTreeRoutes(int num_trees, std::uint32_t salt = 0);
+
+  /// Node ids a packet with this header would visit, src and dst inclusive.
+  [[nodiscard]] std::vector<NodeId> Path(NodeId src, NodeId dst,
+                                         std::uint16_t sport,
+                                         std::uint16_t dport) const;
+
+  /// Unloaded round-trip time for a data packet of `data_bytes` from src to
+  /// dst plus its `ack_bytes` ACK back, following the flow's ECMP paths:
+  /// per-hop serialization + propagation in both directions.
+  [[nodiscard]] Time BaseRtt(NodeId src, NodeId dst, std::uint16_t sport,
+                             std::uint16_t dport,
+                             std::uint32_t data_bytes = kDefaultMtuBytes,
+                             std::uint32_t ack_bytes = kAckBytes) const;
+
+  [[nodiscard]] Node* node(NodeId id) const { return nodes_.at(id).get(); }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<Switch*>& switches() const {
+    return switches_;
+  }
+  [[nodiscard]] const std::vector<Endpoint*>& hosts() const { return hosts_; }
+
+  /// Sum of PFC pause frames sent by all switches.
+  [[nodiscard]] std::uint64_t TotalPauseFrames() const;
+  /// Sum of packet drops at all switches (0 in a healthy lossless run).
+  [[nodiscard]] std::uint64_t TotalDrops() const;
+
+ private:
+  struct Adjacency {
+    int local_port;
+    NodeId peer;
+    double gbps;
+    Time prop;
+  };
+
+  [[nodiscard]] EgressPort& PortOf(NodeId node, int port);
+  /// One-directional egress info from `node` toward `peer` (asserts found).
+  [[nodiscard]] const Adjacency& Edge(NodeId node, NodeId peer) const;
+
+  Simulator* sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Switch*> switches_;
+  std::vector<Endpoint*> hosts_;
+  std::vector<std::vector<Adjacency>> adj_;
+  std::vector<int> next_port_;
+};
+
+}  // namespace fncc

@@ -1,0 +1,49 @@
+// Base classes for network entities: switches and end hosts.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace fncc {
+
+class EgressPort;
+
+/// A network entity that can receive packets on numbered ports.
+class Node {
+ public:
+  Node(Simulator* sim, NodeId id, std::string name)
+      : sim_(sim), id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Delivers a packet that finished propagation on the link into `in_port`.
+  virtual void ReceivePacket(PacketPtr pkt, int in_port) = 0;
+
+  [[nodiscard]] virtual bool IsSwitch() const = 0;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Simulator* sim() const { return sim_; }
+
+ private:
+  Simulator* sim_;
+  NodeId id_;
+  std::string name_;
+};
+
+/// A single-NIC end host. The transport layer lives in the concrete
+/// implementation (transport::Host); the net layer only needs the NIC port
+/// for wiring and PFC.
+class Endpoint : public Node {
+ public:
+  using Node::Node;
+  [[nodiscard]] bool IsSwitch() const override { return false; }
+
+  /// The host's single egress port (NIC), port number 0.
+  virtual EgressPort& nic() = 0;
+};
+
+}  // namespace fncc

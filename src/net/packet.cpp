@@ -1,0 +1,23 @@
+#include "net/packet.hpp"
+
+#include <atomic>
+
+namespace fncc {
+
+namespace {
+std::atomic<std::uint64_t> g_next_uid{1};
+}
+
+PacketPtr MakePacket() {
+  auto p = std::make_unique<Packet>();
+  p->uid = g_next_uid.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+PacketPtr ClonePacket(const Packet& src) {
+  auto p = std::make_unique<Packet>(src);
+  p->uid = g_next_uid.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+}  // namespace fncc

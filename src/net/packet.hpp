@@ -1,0 +1,113 @@
+// Packet model. One struct covers data, ACK, CNP (DCQCN) and PFC control
+// frames; the INT stack follows the FNCC ACK format of Fig. 7 in the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sim/static_vector.hpp"
+#include "sim/time.hpp"
+
+namespace fncc {
+
+using NodeId = std::uint16_t;
+using FlowId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFF;
+
+/// Maximum switch hops a packet can record INT for. A 3-level fat-tree path
+/// crosses 5 switches; 12 leaves room for experimental topologies.
+inline constexpr int kMaxIntHops = 12;
+
+/// Default wire sizes (bytes). The paper uses MTU 1518 and ~dozens-of-bytes
+/// ACKs; INT adds kIntBytesPerHop per recorded hop (Fig. 7: 64-bit entries).
+inline constexpr std::uint32_t kDefaultMtuBytes = 1518;
+inline constexpr std::uint32_t kAckBytes = 60;
+inline constexpr std::uint32_t kCnpBytes = 60;
+inline constexpr std::uint32_t kPfcFrameBytes = 64;
+inline constexpr std::uint32_t kIntBytesPerHop = 8;
+
+enum class PacketType : std::uint8_t {
+  kData,       // RoCE application payload
+  kAck,        // cumulative ACK, may carry INT (FNCC/HPCC) and N (FNCC)
+  kCnp,        // DCQCN congestion notification packet
+  kPfcPause,   // 802.1Qbb XOFF, link-local
+  kPfcResume,  // 802.1Qbb XON, link-local
+};
+
+/// One hop's telemetry, as defined by HPCC and reused by FNCC (Fig. 7:
+/// {B, TS, txBytes, qLen}).
+struct IntEntry {
+  double bandwidth_gbps = 0.0;  // egress link capacity B
+  Time ts = 0;                  // timestamp at stamping
+  std::uint64_t tx_bytes = 0;   // cumulative bytes transmitted on the port
+  std::uint64_t qlen_bytes = 0;  // egress queue length at stamping
+
+  friend bool operator==(const IntEntry&, const IntEntry&) = default;
+};
+
+struct Packet {
+  std::uint64_t uid = 0;  // unique per simulation, for tracing
+  FlowId flow = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint16_t sport = 0;  // ECMP five-tuple ports
+  std::uint16_t dport = 0;
+
+  PacketType type = PacketType::kData;
+  std::uint32_t size_bytes = 0;  // wire size; grows when INT is inserted
+
+  // Data: first byte offset of the segment. ACK: cumulative bytes received.
+  std::uint64_t seq = 0;
+  std::uint32_t payload_bytes = 0;  // data only
+  bool last_of_flow = false;
+
+  bool ecn_ce = false;  // ECN congestion-experienced mark (DCQCN)
+
+  /// FNCC: number of concurrent inbound flows N, written by the receiver
+  /// into every ACK (16-bit field in Fig. 7).
+  std::uint16_t concurrent_flows = 0;
+
+  /// RoCC: minimum fair rate stamped by congested switches on the return
+  /// path; <= 0 means "no feedback".
+  double rocc_rate_gbps = 0.0;
+
+  /// INT stack. HPCC: stamped on DATA along the request path and copied
+  /// into the ACK by the receiver (L[0] = first hop from the sender).
+  /// FNCC: stamped on the ACK along the return path (Alg. 1), so entries
+  /// appear last-request-hop first; int_reversed marks that ordering.
+  StaticVector<IntEntry, kMaxIntHops> int_stack;
+  bool int_reversed = false;
+
+  Time t_sent = 0;  // sender timestamp of the data packet, echoed in ACKs
+
+  /// Fig. 7 pathID: XOR of the (12-bit) ids of every switch this packet
+  /// crossed, maintained by the data plane for data packets and ACKs alike.
+  std::uint16_t path_id = 0;
+
+  /// ACK only: the request path's pathID as observed by the receiver on
+  /// the data packets. A sender running FNCC compares this against the
+  /// ACK's own accumulated path_id — a mismatch means routing is not
+  /// symmetric and the return-path INT does not describe the request path
+  /// (Observation 2's precondition is violated).
+  std::uint16_t req_path_id = 0;
+
+  /// Switch-local metadata: the port this packet entered the current switch
+  /// on. For an ACK this equals the request path's output port at that
+  /// switch (Observation 3), which is what Alg. 1 indexes All_INT_Table by.
+  std::uint16_t ingress_port = 0;
+
+  [[nodiscard]] bool IsControl() const {
+    return type == PacketType::kPfcPause || type == PacketType::kPfcResume;
+  }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Allocates a packet with a fresh uid.
+PacketPtr MakePacket();
+
+/// Clones every field except uid (fresh) — used by tests and mirroring.
+PacketPtr ClonePacket(const Packet& p);
+
+}  // namespace fncc

@@ -1,0 +1,51 @@
+// Destination-based routing with ECMP. The hash can be symmetric (sorted
+// five-tuple, Fig. 5) so a data packet and its ACK pick mirror paths — the
+// property FNCC's return-path INT relies on — or plain (asymmetric) for the
+// ablation study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace fncc {
+
+/// ECMP hash over the five-tuple. With `symmetric` the (src,dst) and
+/// (sport,dport) pairs are order-normalized first, so a flow and its
+/// reverse flow hash identically at every switch (given equal salt).
+std::uint32_t EcmpHash(NodeId src, NodeId dst, std::uint16_t sport,
+                       std::uint16_t dport, std::uint8_t proto,
+                       std::uint32_t salt, bool symmetric);
+
+/// Per-switch routing table: destination node -> set of equal-cost output
+/// ports, ordered consistently (ascending peer node id) across the fabric so
+/// symmetric hashing yields symmetric paths.
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+  explicit RoutingTable(std::size_t num_nodes) : next_hops_(num_nodes) {}
+
+  void Resize(std::size_t num_nodes) { next_hops_.resize(num_nodes); }
+
+  void SetNextHops(NodeId dst, std::vector<int> ports) {
+    next_hops_.at(dst) = std::move(ports);
+  }
+
+  [[nodiscard]] const std::vector<int>& NextHops(NodeId dst) const {
+    return next_hops_.at(dst);
+  }
+
+  [[nodiscard]] bool HasRoute(NodeId dst) const {
+    return dst < next_hops_.size() && !next_hops_[dst].empty();
+  }
+
+  /// Picks the output port for `pkt` using ECMP among the equal-cost set.
+  [[nodiscard]] int Select(const Packet& pkt, std::uint32_t salt,
+                           bool symmetric) const;
+
+ private:
+  std::vector<std::vector<int>> next_hops_;  // indexed by destination NodeId
+};
+
+}  // namespace fncc

@@ -1,0 +1,167 @@
+#include "net/topology.hpp"
+
+#include <cassert>
+
+namespace fncc {
+
+namespace {
+SwitchConfig WithPorts(SwitchConfig config, int ports) {
+  config.num_ports = ports;
+  return config;
+}
+}  // namespace
+
+DumbbellTopology BuildDumbbell(Simulator* sim, const HostFactory& hosts,
+                               const SwitchConfig& sw_config, Rng* rng,
+                               int num_senders, int num_switches,
+                               const LinkParams& link) {
+  assert(num_senders >= 1 && num_switches >= 1);
+  DumbbellTopology topo{Network(sim), {}, kInvalidNode, {}};
+  Network& net = topo.net;
+
+  for (int i = 0; i < num_senders; ++i) {
+    topo.senders.push_back(
+        net.AddHost(hosts, "sender" + std::to_string(i))->id());
+  }
+  topo.receiver = net.AddHost(hosts, "receiver0")->id();
+
+  // switch0 needs a port per sender + one uplink; interior switches need 2.
+  for (int m = 0; m < num_switches; ++m) {
+    const int ports = (m == 0) ? num_senders + 1 : 2;
+    topo.switches.push_back(
+        net.AddSwitch("switch" + std::to_string(m),
+                      WithPorts(sw_config, ports), rng)
+            ->id());
+  }
+
+  for (int i = 0; i < num_senders; ++i) {
+    net.ConnectAuto(topo.senders[i], topo.switches[0], link.gbps,
+                    link.propagation_delay);
+  }
+  // The sender-facing ports were allocated first, so switch0's uplink —
+  // the congestion point of Figs. 1/9 — is the next port.
+  topo.congestion_port_ = num_senders;
+  for (int m = 0; m + 1 < num_switches; ++m) {
+    net.ConnectAuto(topo.switches[m], topo.switches[m + 1], link.gbps,
+                    link.propagation_delay);
+  }
+  net.ConnectAuto(topo.switches.back(), topo.receiver, link.gbps,
+                  link.propagation_delay);
+  if (num_switches == 1) topo.congestion_port_ = num_senders;
+
+  net.ComputeRoutes();
+  return topo;
+}
+
+ChainMergeTopology BuildChainMerge(Simulator* sim, const HostFactory& hosts,
+                                   const SwitchConfig& sw_config, Rng* rng,
+                                   int num_switches, int merge_switch,
+                                   const LinkParams& link) {
+  assert(num_switches >= 1);
+  assert(merge_switch >= 0 && merge_switch < num_switches);
+  ChainMergeTopology topo{Network(sim), kInvalidNode, kInvalidNode, kInvalidNode, {}, 0, -1};
+  Network& net = topo.net;
+  topo.merge_switch = merge_switch;
+
+  topo.sender0 = net.AddHost(hosts, "sender0")->id();
+  topo.sender1 = net.AddHost(hosts, "sender1")->id();
+  topo.receiver = net.AddHost(hosts, "receiver0")->id();
+
+  for (int m = 0; m < num_switches; ++m) {
+    // Ports: downstream + upstream + possibly two sender attachments.
+    topo.switches.push_back(
+        net.AddSwitch("switch" + std::to_string(m), WithPorts(sw_config, 4),
+                      rng)
+            ->id());
+  }
+
+  net.ConnectAuto(topo.sender0, topo.switches[0], link.gbps,
+                  link.propagation_delay);
+  net.ConnectAuto(topo.sender1, topo.switches[merge_switch], link.gbps,
+                  link.propagation_delay);
+
+  for (int m = 0; m + 1 < num_switches; ++m) {
+    if (m == merge_switch) {
+      topo.congestion_port_ = net.AllocatedPorts(topo.switches[m]);
+    }
+    net.ConnectAuto(topo.switches[m], topo.switches[m + 1], link.gbps,
+                    link.propagation_delay);
+  }
+  if (merge_switch == num_switches - 1) {
+    // Last-hop congestion: the contended egress is toward the receiver.
+    topo.congestion_port_ = net.AllocatedPorts(topo.switches.back());
+  }
+  net.ConnectAuto(topo.switches.back(), topo.receiver, link.gbps,
+                  link.propagation_delay);
+
+  net.ComputeRoutes();
+  return topo;
+}
+
+FatTreeTopology BuildFatTree(Simulator* sim, const HostFactory& hosts,
+                             const SwitchConfig& sw_config, Rng* rng, int k,
+                             const LinkParams& link) {
+  assert(k >= 2 && k % 2 == 0);
+  const int half = k / 2;
+  const int num_hosts = k * half * half;
+
+  FatTreeTopology topo{Network(sim), 0, {}, {}, {}, {}};
+  topo.k = k;
+  Network& net = topo.net;
+
+  for (int h = 0; h < num_hosts; ++h) {
+    topo.hosts.push_back(net.AddHost(hosts, "h" + std::to_string(h))->id());
+  }
+  for (int p = 0; p < k; ++p) {
+    for (int e = 0; e < half; ++e) {
+      topo.edges.push_back(net.AddSwitch(
+          "edge_p" + std::to_string(p) + "_" + std::to_string(e),
+          WithPorts(sw_config, k), rng)->id());
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    for (int a = 0; a < half; ++a) {
+      topo.aggs.push_back(net.AddSwitch(
+          "agg_p" + std::to_string(p) + "_" + std::to_string(a),
+          WithPorts(sw_config, k), rng)->id());
+    }
+  }
+  for (int c = 0; c < half * half; ++c) {
+    topo.cores.push_back(net.AddSwitch("core" + std::to_string(c),
+                                       WithPorts(sw_config, k), rng)->id());
+  }
+
+  // Hosts to edges: host index within pod p, edge e, slot s.
+  for (int p = 0; p < k; ++p) {
+    for (int e = 0; e < half; ++e) {
+      for (int s = 0; s < half; ++s) {
+        const int h = p * half * half + e * half + s;
+        net.ConnectAuto(topo.hosts[h], topo.edges[p * half + e], link.gbps,
+                        link.propagation_delay);
+      }
+    }
+  }
+  // Edges to aggs: full bipartite within each pod.
+  for (int p = 0; p < k; ++p) {
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        net.ConnectAuto(topo.edges[p * half + e], topo.aggs[p * half + a],
+                        link.gbps, link.propagation_delay);
+      }
+    }
+  }
+  // Aggs to cores: agg #x of every pod attaches to cores x*half..x*half+half-1.
+  for (int p = 0; p < k; ++p) {
+    for (int x = 0; x < half; ++x) {
+      for (int y = 0; y < half; ++y) {
+        net.ConnectAuto(topo.aggs[p * half + x], topo.cores[x * half + y],
+                        link.gbps, link.propagation_delay);
+      }
+    }
+  }
+
+  net.ComputeRoutes();
+  return topo;
+}
+
+}  // namespace fncc

@@ -1,0 +1,87 @@
+// Topology builders for the paper's experiments: the dumbbell of Fig. 10,
+// the merge-at-hop chains of Fig. 11, and the 3-level fat-tree of §5.5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace fncc {
+
+/// Parameters shared by all builders.
+struct LinkParams {
+  double gbps = 100.0;
+  Time propagation_delay = Microseconds(1.5);  // §5: 1.5 us on every link
+};
+
+/// Fig. 10: N senders into switch0, a chain of M switches, one receiver off
+/// the last switch. The congestion point is switch0's egress toward switch1.
+struct DumbbellTopology {
+  Network net;
+  std::vector<NodeId> senders;
+  NodeId receiver = kInvalidNode;
+  std::vector<NodeId> switches;
+
+  /// The congested egress: switch0's port toward switch1 (or toward the
+  /// receiver when M == 1).
+  [[nodiscard]] Switch* congestion_switch() const {
+    return static_cast<Switch*>(net.node(switches.front()));
+  }
+  [[nodiscard]] int congestion_port() const { return congestion_port_; }
+  int congestion_port_ = -1;
+};
+
+DumbbellTopology BuildDumbbell(Simulator* sim, const HostFactory& hosts,
+                               const SwitchConfig& sw_config, Rng* rng,
+                               int num_senders, int num_switches,
+                               const LinkParams& link);
+
+/// Fig. 11: a chain of switches sw0..swM-1 with receiver0 after swM-1.
+/// flow0's sender hangs off sw0; flow1's sender joins at `merge_switch`
+/// (0 = first hop congestion, M-1 = last hop congestion). The congested
+/// egress is merge_switch's port toward the next hop.
+struct ChainMergeTopology {
+  Network net;
+  NodeId sender0 = kInvalidNode;
+  NodeId sender1 = kInvalidNode;
+  NodeId receiver = kInvalidNode;
+  std::vector<NodeId> switches;
+  int merge_switch = 0;
+  int congestion_port_ = -1;
+
+  [[nodiscard]] Switch* congestion_switch() const {
+    return static_cast<Switch*>(net.node(switches[merge_switch]));
+  }
+  [[nodiscard]] int congestion_port() const { return congestion_port_; }
+};
+
+ChainMergeTopology BuildChainMerge(Simulator* sim, const HostFactory& hosts,
+                                   const SwitchConfig& sw_config, Rng* rng,
+                                   int num_switches, int merge_switch,
+                                   const LinkParams& link);
+
+/// §5.5: 3-level fat-tree with parameter k (k even): k pods of k/2 edge and
+/// k/2 agg switches, (k/2)^2 cores, k^3/4 hosts, 1:1 oversubscription.
+/// Wiring follows the canonical pattern (core_{x,y} attaches to agg #x of
+/// every pod), which together with symmetric ECMP makes every ACK path the
+/// exact reverse of its data path.
+struct FatTreeTopology {
+  Network net;
+  int k = 0;
+  std::vector<NodeId> hosts;
+  std::vector<NodeId> edges;  // pod-major: pod p edge e = edges[p*k/2+e]
+  std::vector<NodeId> aggs;   // pod-major
+  std::vector<NodeId> cores;  // core_{x,y} = cores[x*k/2+y]
+
+  [[nodiscard]] int pod_of_host(int host_index) const {
+    return host_index / ((k / 2) * (k / 2));
+  }
+};
+
+FatTreeTopology BuildFatTree(Simulator* sim, const HostFactory& hosts,
+                             const SwitchConfig& sw_config, Rng* rng, int k,
+                             const LinkParams& link);
+
+}  // namespace fncc

@@ -1,0 +1,76 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace fncc {
+
+EventId EventQueue::Schedule(Time t, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{t, id, std::move(cb)});
+  SiftUp(heap_.size() - 1);
+  pending_.insert(id);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  --live_;
+  return true;
+}
+
+Time EventQueue::NextTime() {
+  if (live_ == 0) return kTimeInfinity;
+  DropCancelledTop();
+  return heap_[0].t;
+}
+
+EventQueue::Callback EventQueue::PopNext(Time* t) {
+  DropCancelledTop();
+  assert(!heap_.empty() && "PopNext on empty queue");
+  Entry top = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+  pending_.erase(top.id);
+  --live_;
+  *t = top.t;
+  DropCancelledTop();  // keep top clean so NextTime() stays O(1)
+  return std::move(top.cb);
+}
+
+void EventQueue::DropCancelledTop() {
+  while (!heap_.empty() && cancelled_.contains(heap_[0].id)) {
+    cancelled_.erase(heap_[0].id);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
+}
+
+void EventQueue::SiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && Later(heap_[smallest], heap_[l])) smallest = l;
+    if (r < n && Later(heap_[smallest], heap_[r])) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace fncc

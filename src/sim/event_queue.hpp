@@ -1,0 +1,67 @@
+// Binary-heap event queue with stable FIFO ordering for simultaneous events
+// and O(1) amortized lazy cancellation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "sim/unique_function.hpp"
+
+namespace fncc {
+
+/// Identifier of a scheduled event, usable for cancellation. Id 0 is never
+/// issued and acts as "no event".
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Min-heap of timed callbacks. Events with equal timestamps run in
+/// scheduling order (stable), which the packet pipeline relies on.
+class EventQueue {
+ public:
+  using Callback = UniqueFunction<void()>;
+
+  /// Schedules `cb` at absolute time `t`. Returns an id for cancellation.
+  EventId Schedule(Time t, Callback cb);
+
+  /// Cancels a pending event. Returns false if the event already ran, was
+  /// already cancelled, or never existed. O(1); memory reclaimed lazily.
+  bool Cancel(EventId id);
+
+  /// True when no runnable (non-cancelled) event remains.
+  [[nodiscard]] bool Empty() const { return live_ == 0; }
+
+  /// Time of the earliest runnable event; kTimeInfinity when empty.
+  [[nodiscard]] Time NextTime();
+
+  /// Extracts and returns the earliest runnable event's callback, setting
+  /// `t` to its timestamp. Precondition: !Empty().
+  Callback PopNext(Time* t);
+
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+ private:
+  struct Entry {
+    Time t;
+    EventId id;
+    Callback cb;
+  };
+
+  // Heap order: earliest time first; FIFO among equal times via id.
+  static bool Later(const Entry& a, const Entry& b) {
+    return a.t != b.t ? a.t > b.t : a.id > b.id;
+  }
+
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  void DropCancelledTop();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled, not yet run/cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled, still in heap_
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace fncc

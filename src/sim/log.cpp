@@ -1,0 +1,38 @@
+#include "sim/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace fncc {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace detail {
+void LogLine(LogLevel level, Time now, std::string_view msg) {
+  std::fprintf(stderr, "[%8.3fus] %-5s %.*s\n", ToMicroseconds(now),
+               LevelName(level), static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace detail
+
+}  // namespace fncc

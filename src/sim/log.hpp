@@ -1,0 +1,32 @@
+// Minimal leveled logging. Scenario runs are large; logging defaults to
+// warnings only and is globally switchable (no per-call allocation when the
+// level is filtered out).
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace fncc {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log threshold. Messages above this level are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace detail {
+void LogLine(LogLevel level, Time now, std::string_view msg);
+}
+
+/// Logs a printf-formatted message at `level`, tagged with simulation time.
+template <typename... Args>
+void Log(LogLevel level, Time now, const char* fmt, Args... args) {
+  if (level > GetLogLevel()) return;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  detail::LogLine(level, now, buf);
+}
+
+}  // namespace fncc

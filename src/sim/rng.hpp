@@ -1,0 +1,42 @@
+// Deterministic random number generation for reproducible experiments.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace fncc {
+
+/// Thin wrapper around a seeded Mersenne Twister with the distributions the
+/// simulator needs. Every scenario owns one Rng so runs are reproducible from
+/// a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponentially distributed double with the given mean.
+  double Exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace fncc

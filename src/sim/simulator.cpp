@@ -1,0 +1,32 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+
+namespace fncc {
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.Empty()) {
+    Time t = 0;
+    auto cb = queue_.PopNext(&t);
+    assert(t >= now_ && "time went backwards");
+    now_ = t;
+    ++events_processed_;
+    cb();
+  }
+}
+
+void Simulator::RunUntil(Time t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.Empty() && queue_.NextTime() <= t) {
+    Time et = 0;
+    auto cb = queue_.PopNext(&et);
+    assert(et >= now_ && "time went backwards");
+    now_ = et;
+    ++events_processed_;
+    cb();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace fncc

@@ -1,0 +1,59 @@
+// The discrete-event simulation kernel: a clock plus an event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace fncc {
+
+/// Single-threaded discrete-event simulator. All model components hold a
+/// non-owning pointer to the Simulator that drives them; the Simulator is
+/// created first and outlives the model (typically stack-owned by a
+/// scenario runner).
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] Time Now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` from now. Negative delays clamp to now.
+  EventId Schedule(Time delay, EventQueue::Callback cb) {
+    return queue_.Schedule(now_ + (delay > 0 ? delay : 0), std::move(cb));
+  }
+
+  /// Schedules `cb` at absolute time `t` (clamped to now).
+  EventId ScheduleAt(Time t, EventQueue::Callback cb) {
+    return queue_.Schedule(t > now_ ? t : now_, std::move(cb));
+  }
+
+  /// Cancels a pending event; returns false if it already ran.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  /// Runs until the event queue drains or Stop() is called.
+  void Run();
+
+  /// Runs events with timestamp <= t, then sets the clock to exactly t.
+  void RunUntil(Time t);
+
+  /// Stops Run()/RunUntil() after the current event returns.
+  void Stop() { stopped_ = true; }
+
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+  [[nodiscard]] std::size_t events_pending() { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace fncc

@@ -1,0 +1,58 @@
+#include "stats/csv.hpp"
+
+#include <cstdio>
+#include <memory>
+
+namespace fncc {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool WriteTimeSeriesCsv(
+    const std::string& path,
+    const std::vector<std::pair<std::string, const TimeSeries*>>& series) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(), "label,time_us,value\n");
+  for (const auto& [label, ts] : series) {
+    for (const auto& s : ts->samples()) {
+      std::fprintf(f.get(), "%s,%.3f,%.6f\n", label.c_str(),
+                   ToMicroseconds(s.t), s.value);
+    }
+  }
+  return true;
+}
+
+bool WriteFctCsv(const std::string& path, const FctRecorder& recorder) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(),
+               "flow,src,dst,size_bytes,start_us,fct_us,ideal_us,slowdown\n");
+  for (const FlowResult& r : recorder.results()) {
+    std::fprintf(f.get(), "%u,%u,%u,%llu,%.3f,%.3f,%.3f,%.4f\n", r.spec.id,
+                 r.spec.src, r.spec.dst,
+                 static_cast<unsigned long long>(r.spec.size_bytes),
+                 ToMicroseconds(r.spec.start_time), ToMicroseconds(r.fct),
+                 ToMicroseconds(r.spec.ideal_fct), r.slowdown);
+  }
+  return true;
+}
+
+bool WriteBucketCsv(const std::string& path,
+                    const std::vector<BucketStats>& buckets) {
+  FilePtr f(std::fopen(path.c_str(), "w"));
+  if (!f) return false;
+  std::fprintf(f.get(), "size_max,count,avg,p50,p95,p99\n");
+  for (const BucketStats& b : buckets) {
+    std::fprintf(f.get(), "%llu,%zu,%.4f,%.4f,%.4f,%.4f\n",
+                 static_cast<unsigned long long>(b.max_size_bytes), b.count,
+                 b.avg, b.p50, b.p95, b.p99);
+  }
+  return true;
+}
+
+}  // namespace fncc

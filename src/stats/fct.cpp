@@ -1,0 +1,68 @@
+#include "stats/fct.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/percentile.hpp"
+
+namespace fncc {
+
+void FctRecorder::Record(const FlowSpec& spec, Time fct) {
+  assert(spec.ideal_fct > 0 && "ideal FCT must be resolved");
+  FlowResult r;
+  r.spec = spec;
+  r.fct = fct;
+  r.slowdown = static_cast<double>(fct) / static_cast<double>(spec.ideal_fct);
+  results_.push_back(r);
+}
+
+namespace {
+BucketStats Reduce(std::uint64_t edge, std::vector<double> slowdowns) {
+  BucketStats b;
+  b.max_size_bytes = edge;
+  b.count = slowdowns.size();
+  b.avg = Mean(slowdowns);
+  b.p50 = Percentile(slowdowns, 50);
+  b.p95 = Percentile(slowdowns, 95);
+  b.p99 = Percentile(slowdowns, 99);
+  return b;
+}
+}  // namespace
+
+std::vector<BucketStats> FctRecorder::Bucketed(
+    const std::vector<std::uint64_t>& edges) const {
+  std::vector<std::vector<double>> buckets(edges.size());
+  for (const FlowResult& r : results_) {
+    std::size_t i = 0;
+    while (i + 1 < edges.size() && r.spec.size_bytes > edges[i]) ++i;
+    buckets[i].push_back(r.slowdown);
+  }
+  std::vector<BucketStats> out;
+  out.reserve(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    out.push_back(Reduce(edges[i], std::move(buckets[i])));
+  }
+  return out;
+}
+
+BucketStats FctRecorder::OverRange(std::uint64_t lo, std::uint64_t hi) const {
+  std::vector<double> slowdowns;
+  for (const FlowResult& r : results_) {
+    if (r.spec.size_bytes > lo && r.spec.size_bytes <= hi) {
+      slowdowns.push_back(r.slowdown);
+    }
+  }
+  return Reduce(hi, std::move(slowdowns));
+}
+
+std::vector<std::uint64_t> WebSearchBucketEdges() {
+  return {10'000,    20'000,    30'000,    50'000,     80'000,    200'000,
+          1'000'000, 2'000'000, 5'000'000, 10'000'000, 30'000'000};
+}
+
+std::vector<std::uint64_t> HadoopBucketEdges() {
+  return {75,     250,    350,    1'000,  2'000,   6'000,    10'000,
+          15'000, 23'000, 24'000, 25'000, 100'000, 1'000'000};
+}
+
+}  // namespace fncc

@@ -1,0 +1,56 @@
+// Flow-completion-time collection and the per-size-bucket slowdown
+// statistics of Figs. 14-15 ("FCT slowdown" = actual FCT / standalone FCT).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "transport/flow.hpp"
+
+namespace fncc {
+
+struct FlowResult {
+  FlowSpec spec;
+  Time fct = 0;
+  double slowdown = 0.0;
+};
+
+struct BucketStats {
+  std::uint64_t max_size_bytes = 0;  // inclusive upper edge of the bucket
+  std::size_t count = 0;
+  double avg = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+class FctRecorder {
+ public:
+  void Record(const FlowSpec& spec, Time fct);
+
+  [[nodiscard]] const std::vector<FlowResult>& results() const {
+    return results_;
+  }
+  [[nodiscard]] std::size_t count() const { return results_.size(); }
+
+  /// Buckets flows by size (size <= edge, edges ascending; the paper's
+  /// x-axis ticks) and reduces slowdowns per bucket. Flows larger than the
+  /// last edge land in the last bucket.
+  [[nodiscard]] std::vector<BucketStats> Bucketed(
+      const std::vector<std::uint64_t>& edges) const;
+
+  /// Slowdown reduction over all flows with size in (lo, hi].
+  [[nodiscard]] BucketStats OverRange(std::uint64_t lo,
+                                      std::uint64_t hi) const;
+
+ private:
+  std::vector<FlowResult> results_;
+};
+
+/// The x-axis flow-size ticks of Fig. 14 (WebSearch) and Fig. 15 (Hadoop).
+std::vector<std::uint64_t> WebSearchBucketEdges();
+std::vector<std::uint64_t> HadoopBucketEdges();
+
+}  // namespace fncc

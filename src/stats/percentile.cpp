@@ -1,0 +1,40 @@
+#include "stats/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fncc {
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 *
+      static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double JainFairnessIndex(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sq += v * v;
+  }
+  if (sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sq);
+}
+
+}  // namespace fncc

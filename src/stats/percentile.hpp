@@ -1,0 +1,17 @@
+// Percentile / fairness reductions used by the FCT and fairness analyses.
+#pragma once
+
+#include <vector>
+
+namespace fncc {
+
+/// p in [0, 100], linear interpolation between order statistics.
+/// Returns 0.0 for an empty input.
+double Percentile(std::vector<double> values, double p);
+
+double Mean(const std::vector<double>& values);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = perfectly fair.
+double JainFairnessIndex(const std::vector<double>& values);
+
+}  // namespace fncc

@@ -1,0 +1,140 @@
+#include "transport/host.hpp"
+
+#include <cassert>
+
+#include "sim/log.hpp"
+
+namespace fncc {
+
+Host::Host(Simulator* sim, NodeId id, std::string name, HostConfig config)
+    : Endpoint(sim, id, std::move(name)), config_(config), nic_(sim) {}
+
+SenderQp* Host::StartFlow(const FlowSpec& spec, const CcConfig& cc_config) {
+  assert(spec.src == this->id() && "flow must originate here");
+  auto qp = std::make_unique<SenderQp>(this, spec, cc_config);
+  SenderQp* ptr = qp.get();
+  const auto [it, inserted] = qps_.emplace(spec.id, std::move(qp));
+  assert(inserted && "duplicate flow id on host");
+  (void)it;
+  qp_list_.push_back(ptr);
+  sim()->ScheduleAt(spec.start_time, [ptr] { ptr->Start(); });
+  return ptr;
+}
+
+SenderQp* Host::qp(FlowId flow) const {
+  const auto it = qps_.find(flow);
+  return it == qps_.end() ? nullptr : it->second.get();
+}
+
+void Host::TransmitFromQp(PacketPtr pkt) { nic_.Enqueue(std::move(pkt)); }
+
+void Host::ReceivePacket(PacketPtr pkt, int /*in_port*/) {
+  switch (pkt->type) {
+    case PacketType::kPfcPause:
+      nic_.SetPaused(true);
+      return;
+    case PacketType::kPfcResume:
+      nic_.SetPaused(false);
+      return;
+    case PacketType::kData:
+      HandleData(std::move(pkt));
+      return;
+    case PacketType::kAck: {
+      if (SenderQp* q = qp(pkt->flow)) q->HandleAck(*pkt);
+      return;
+    }
+    case PacketType::kCnp: {
+      if (SenderQp* q = qp(pkt->flow)) q->HandleCnp();
+      return;
+    }
+  }
+}
+
+void Host::HandleData(PacketPtr pkt) {
+  auto [it, inserted] = recv_.try_emplace(pkt->flow);
+  RecvCtx& ctx = it->second;
+  if (inserted) ++active_inbound_;  // a new inbound QP connection
+
+  if (pkt->seq == ctx.rcv_nxt) {
+    ctx.rcv_nxt += pkt->payload_bytes;
+    if (pkt->last_of_flow) ctx.total_bytes = pkt->seq + pkt->payload_bytes;
+  } else if (pkt->seq > ctx.rcv_nxt) {
+    ++out_of_order_;
+    // A gap: something was dropped upstream (only possible in mis-tuned
+    // lossy scenarios). Discard; the sender's RTO will go-back-N. Re-ACK
+    // so the sender learns the receive point quickly.
+    Log(LogLevel::kWarn, sim()->Now(), "%s: flow %u gap: got %llu want %llu",
+        name().c_str(), pkt->flow,
+        static_cast<unsigned long long>(pkt->seq),
+        static_cast<unsigned long long>(ctx.rcv_nxt));
+  }
+  // (seq < rcv_nxt: duplicate from go-back-N; just re-ACK.)
+
+  if (config_.attach_int_to_ack) {
+    ctx.last_int = pkt->int_stack;
+  }
+  ctx.last_path_id = pkt->path_id;
+
+  MaybeSendCnp(*pkt, ctx);
+
+  const bool flow_finished =
+      !ctx.done && ctx.total_bytes > 0 && ctx.rcv_nxt >= ctx.total_bytes;
+  ++ctx.pkts_since_ack;
+  const bool force_ack = flow_finished || pkt->last_of_flow ||
+                         pkt->seq != ctx.rcv_nxt - pkt->payload_bytes;
+  if (ctx.pkts_since_ack >= config_.ack_every || force_ack) {
+    SendAck(*pkt, ctx);
+  }
+  if (flow_finished) {
+    ctx.done = true;
+    --active_inbound_;  // QP connection torn down
+  }
+}
+
+void Host::SendAck(const Packet& data, RecvCtx& ctx) {
+  ctx.pkts_since_ack = 0;
+  PacketPtr ack = MakePacket();
+  ack->type = PacketType::kAck;
+  ack->flow = data.flow;
+  ack->src = id();
+  ack->dst = data.src;
+  ack->sport = data.dport;  // reverse five-tuple: symmetric ECMP pairs it
+  ack->dport = data.sport;  // with the data path
+  ack->size_bytes = kAckBytes;
+  ack->seq = ctx.rcv_nxt;
+  ack->req_path_id = ctx.last_path_id;  // Fig. 7: request path's XOR id
+  if (config_.echo_timestamp) ack->t_sent = data.t_sent;
+  if (config_.report_concurrent_flows) {
+    ack->concurrent_flows =
+        static_cast<std::uint16_t>(std::min(active_inbound_, 0xFFFF));
+  }
+  if (config_.attach_int_to_ack) {
+    // HPCC: the receiver echoes the request path's INT (request order).
+    ack->int_stack = ctx.last_int;
+    ack->int_reversed = false;
+    ack->size_bytes += static_cast<std::uint32_t>(ctx.last_int.size()) *
+                       kIntBytesPerHop;
+  }
+  nic_.Enqueue(std::move(ack));
+}
+
+void Host::MaybeSendCnp(const Packet& data, RecvCtx& ctx) {
+  if (!data.ecn_ce) return;
+  if (sim()->Now() - ctx.last_cnp < config_.cnp_interval) return;
+  ctx.last_cnp = sim()->Now();
+  PacketPtr cnp = MakePacket();
+  cnp->type = PacketType::kCnp;
+  cnp->flow = data.flow;
+  cnp->src = id();
+  cnp->dst = data.src;
+  cnp->sport = data.dport;
+  cnp->dport = data.sport;
+  cnp->size_bytes = kCnpBytes;
+  nic_.Enqueue(std::move(cnp));
+}
+
+void Host::NotifyFlowComplete(SenderQp* qp) {
+  if (on_flow_complete) on_flow_complete(*qp);
+}
+
+}  // namespace fncc

@@ -1,0 +1,104 @@
+// End host: one NIC, sender QPs, and the receiver logic that generates
+// (cumulative) ACKs — including FNCC's concurrent-flow count N and HPCC's
+// INT echo — plus DCQCN CNPs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/egress_port.hpp"
+#include "net/node.hpp"
+#include "transport/flow.hpp"
+#include "transport/sender_qp.hpp"
+
+namespace fncc {
+
+struct HostConfig {
+  std::uint32_t mtu_bytes = kDefaultMtuBytes;
+
+  /// Cumulative ACK coalescing: one ACK per m data packets (§3.2.3 supports
+  /// m >= 1; the paper's evaluation uses per-packet ACKs).
+  int ack_every = 1;
+
+  /// HPCC mode: the receiver copies the data packet's INT stack into the
+  /// ACK. FNCC leaves this off — switches stamp the ACK on the way back.
+  bool attach_int_to_ack = false;
+
+  /// FNCC: write the number of active inbound flows N into every ACK.
+  bool report_concurrent_flows = true;
+
+  /// Echo the data packet's send timestamp in ACKs (Timely needs it).
+  bool echo_timestamp = true;
+
+  /// DCQCN: minimum spacing of congestion notification packets per flow.
+  Time cnp_interval = 50 * kMicrosecond;
+
+  /// Go-back-N safety retransmit timeout; 0 disables. PFC makes the fabric
+  /// lossless, so this only fires in deliberately mis-tuned scenarios.
+  Time rto = 5 * kMillisecond;
+};
+
+class Host final : public Endpoint {
+ public:
+  Host(Simulator* sim, NodeId id, std::string name, HostConfig config);
+
+  [[nodiscard]] EgressPort& nic() override { return nic_; }
+  void ReceivePacket(PacketPtr pkt, int in_port) override;
+
+  /// Registers a flow and schedules its start. The CcConfig must be fully
+  /// resolved (line rate, base RTT). Returns the QP (owned by the host).
+  SenderQp* StartFlow(const FlowSpec& spec, const CcConfig& cc_config);
+
+  /// Invoked when a flow's last byte is acknowledged.
+  std::function<void(const SenderQp&)> on_flow_complete;
+
+  /// Active inbound flows — the N of Observation 4 (§3.2.3), sourced from
+  /// the receiver's QP connection count.
+  [[nodiscard]] int active_inbound_flows() const { return active_inbound_; }
+
+  [[nodiscard]] const HostConfig& config() const { return config_; }
+
+  /// Data packets that arrived ahead of the expected sequence (0 in a
+  /// healthy lossless run: single-path FIFO forwarding cannot reorder).
+  [[nodiscard]] std::uint64_t out_of_order_packets() const {
+    return out_of_order_;
+  }
+  [[nodiscard]] SenderQp* qp(FlowId flow) const;
+  [[nodiscard]] const std::vector<SenderQp*>& qps() const { return qp_list_; }
+
+  // Internal (called by SenderQp).
+  void NotifyFlowComplete(SenderQp* qp);
+  void TransmitFromQp(PacketPtr pkt);
+
+ private:
+  struct RecvCtx {
+    std::uint64_t rcv_nxt = 0;
+    std::uint64_t total_bytes = 0;  // learned from the last_of_flow packet
+    int pkts_since_ack = 0;
+    // "Long ago" but safe to subtract from Now() (never -kTimeInfinity:
+    // Now() - last_cnp must not overflow).
+    Time last_cnp = -kSecond;
+    bool done = false;
+    // HPCC: latest INT stack observed on this flow's data packets.
+    StaticVector<IntEntry, kMaxIntHops> last_int;
+    // Fig. 7 pathID of the request path, echoed into ACKs so the sender
+    // can verify path symmetry.
+    std::uint16_t last_path_id = 0;
+  };
+
+  void HandleData(PacketPtr pkt);
+  void SendAck(const Packet& data, RecvCtx& ctx);
+  void MaybeSendCnp(const Packet& data, RecvCtx& ctx);
+
+  HostConfig config_;
+  EgressPort nic_;
+  std::unordered_map<FlowId, std::unique_ptr<SenderQp>> qps_;
+  std::vector<SenderQp*> qp_list_;
+  std::unordered_map<FlowId, RecvCtx> recv_;
+  int active_inbound_ = 0;
+  std::uint64_t out_of_order_ = 0;
+};
+
+}  // namespace fncc

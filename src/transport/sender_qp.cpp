@@ -1,0 +1,175 @@
+#include "transport/sender_qp.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/cc_factory.hpp"
+#include "sim/log.hpp"
+#include "transport/host.hpp"
+
+namespace fncc {
+
+SenderQp::SenderQp(Host* host, const FlowSpec& spec,
+                   const CcConfig& cc_config)
+    : host_(host), spec_(spec) {
+  cc_ = MakeCcAlgorithm(cc_config, host_->sim());
+  cc_->on_update = [this] {
+    if (started_ && !complete_) TrySend();
+  };
+}
+
+void SenderQp::Start() {
+  assert(!started_);
+  started_ = true;
+  next_send_time_ = host_->sim()->Now();
+  ArmRto();
+  TrySend();
+}
+
+bool SenderQp::WindowBlocked() const {
+  return cc_->uses_window() &&
+         static_cast<double>(inflight_bytes()) >= cc_->window_bytes();
+}
+
+void SenderQp::TrySend() {
+  if (in_try_send_) return;  // re-entrant via CC on_update callbacks
+  in_try_send_ = true;
+  Simulator* sim = host_->sim();
+  while (!complete_ && snd_nxt_ < spec_.size_bytes && !WindowBlocked()) {
+    const Time now = sim->Now();
+    if (now < next_send_time_) {
+      if (send_event_ == kInvalidEventId) {
+        send_event_ = sim->ScheduleAt(next_send_time_, [this] {
+          send_event_ = kInvalidEventId;
+          TrySend();
+        });
+      }
+      break;
+    }
+    SendOnePacket();
+  }
+  in_try_send_ = false;
+}
+
+void SenderQp::SendOnePacket() {
+  Simulator* sim = host_->sim();
+  const std::uint32_t mtu = cc_->config().mtu_bytes;
+  const std::uint32_t bytes = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(mtu, spec_.size_bytes - snd_nxt_));
+
+  PacketPtr pkt = MakePacket();
+  pkt->type = PacketType::kData;
+  pkt->flow = spec_.id;
+  pkt->src = spec_.src;
+  pkt->dst = spec_.dst;
+  pkt->sport = spec_.sport;
+  pkt->dport = spec_.dport;
+  pkt->seq = snd_nxt_;
+  pkt->payload_bytes = bytes;
+  pkt->size_bytes = bytes;  // wire == payload (see DESIGN.md simplification)
+  pkt->last_of_flow = (snd_nxt_ + bytes == spec_.size_bytes);
+  pkt->t_sent = sim->Now();
+
+  snd_nxt_ += bytes;
+
+  // Hand the packet to the NIC before notifying the CC algorithm:
+  // OnBytesSent can fire on_update -> TrySend re-entrantly (e.g. DCQCN's
+  // byte counter), and the next packet must not overtake this one.
+  host_->TransmitFromQp(std::move(pkt));
+
+  // Pace at the CC rate: the next packet may leave once this one has
+  // serialized at rate R (token-bucket with one-packet depth).
+  const double rate = std::max(cc_->rate_gbps(), 1e-3);
+  next_send_time_ =
+      std::max(sim->Now(), next_send_time_) + SerializationDelay(bytes, rate);
+
+  cc_->OnBytesSent(bytes);
+}
+
+void SenderQp::HandleAck(const Packet& ack) {
+  if (complete_) return;
+  // Fig. 7 pathID check: the ACK's accumulated XOR of switch ids must
+  // equal the request path's (echoed by the receiver). A mismatch flags
+  // asymmetric routing — return-path INT would not describe the request
+  // path. Only meaningful once the ACK crossed at least one switch.
+  if (ack.path_id != ack.req_path_id) ++asymmetric_acks_;
+  if (ack.seq > snd_una_) {
+    snd_una_ = std::min<std::uint64_t>(ack.seq, snd_nxt_);
+    ArmRto();
+  }
+  cc_->OnAck(ack, snd_nxt_);
+  if (snd_una_ >= spec_.size_bytes) {
+    Complete();
+    return;
+  }
+  TrySend();
+}
+
+void SenderQp::HandleCnp() {
+  if (complete_) return;
+  cc_->OnCnp();
+}
+
+void SenderQp::ArmRto() {
+  const Time rto = host_->config().rto;
+  if (rto <= 0) return;
+  // Called on ACK progress: reset the exponential backoff.
+  rto_backoff_ = 1;
+  Simulator* sim = host_->sim();
+  sim->Cancel(rto_event_);
+  rto_event_ = sim->Schedule(rto, [this] {
+    rto_event_ = kInvalidEventId;
+    OnRto();
+  });
+}
+
+void SenderQp::OnRto() {
+  if (complete_ || snd_nxt_ == snd_una_) {
+    // Nothing outstanding (flow may simply not have started moving yet).
+    if (!complete_ && snd_nxt_ < spec_.size_bytes) ArmRto();
+    return;
+  }
+  // Go-back-N: rewind and resend everything unacknowledged. Exponential
+  // backoff: long PFC pause chains can stall a flow well beyond one RTO
+  // without any loss — re-blasting on a fixed period would only add load.
+  ++rto_count_;
+  Log(LogLevel::kWarn, host_->sim()->Now(),
+      "flow %u: RTO, go-back-N from %llu", spec_.id,
+      static_cast<unsigned long long>(snd_una_));
+  snd_nxt_ = snd_una_;
+  next_send_time_ = host_->sim()->Now();
+  Simulator* sim = host_->sim();
+  if (rto_backoff_ < 64) rto_backoff_ *= 2;
+  sim->Cancel(rto_event_);
+  rto_event_ = sim->Schedule(host_->config().rto * rto_backoff_, [this] {
+    rto_event_ = kInvalidEventId;
+    OnRto();
+  });
+  TrySend();
+}
+
+void SenderQp::Abort() {
+  if (complete_) return;
+  complete_ = true;
+  completion_time_ = host_->sim()->Now();
+  host_->sim()->Cancel(send_event_);
+  host_->sim()->Cancel(rto_event_);
+  send_event_ = kInvalidEventId;
+  rto_event_ = kInvalidEventId;
+  cc_->Shutdown();
+}
+
+void SenderQp::Complete() {
+  complete_ = true;
+  completion_time_ = host_->sim()->Now();
+  Simulator* sim = host_->sim();
+  sim->Cancel(send_event_);
+  sim->Cancel(rto_event_);
+  send_event_ = kInvalidEventId;
+  rto_event_ = kInvalidEventId;
+  // DCQCN keeps periodic timers; stop them so drained scenarios terminate.
+  cc_->Shutdown();
+  host_->NotifyFlowComplete(this);
+}
+
+}  // namespace fncc

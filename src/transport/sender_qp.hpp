@@ -1,0 +1,87 @@
+// Sender-side queue pair: segments a flow into MTU packets, enforces the
+// CC algorithm's window and pacing rate, and tracks completion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cc/cc_algorithm.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "transport/flow.hpp"
+
+namespace fncc {
+
+class Host;
+
+class SenderQp {
+ public:
+  SenderQp(Host* host, const FlowSpec& spec, const CcConfig& cc_config);
+  SenderQp(const SenderQp&) = delete;
+  SenderQp& operator=(const SenderQp&) = delete;
+
+  /// Begins transmission (scheduled by Host at spec.start_time).
+  void Start();
+
+  void HandleAck(const Packet& ack);
+  void HandleCnp();
+
+  /// Stops the flow immediately (used by staggered long-lived flows, e.g.
+  /// the Fig. 13e fairness experiment). Does not fire on_flow_complete.
+  void Abort();
+
+  [[nodiscard]] const FlowSpec& spec() const { return spec_; }
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] Time completion_time() const { return completion_time_; }
+  [[nodiscard]] Time fct() const { return completion_time_ - spec_.start_time; }
+
+  [[nodiscard]] std::uint64_t snd_nxt() const { return snd_nxt_; }
+  [[nodiscard]] std::uint64_t snd_una() const { return snd_una_; }
+  [[nodiscard]] std::uint64_t inflight_bytes() const {
+    return snd_nxt_ - snd_una_;
+  }
+
+  /// Current pacing rate — the signal Fig. 9/13 plot per sender.
+  [[nodiscard]] double pacing_rate_gbps() const { return cc_->rate_gbps(); }
+  [[nodiscard]] CcAlgorithm& cc() { return *cc_; }
+  [[nodiscard]] const CcAlgorithm& cc() const { return *cc_; }
+
+  /// Go-back-N retransmissions triggered (0 in a healthy lossless run).
+  [[nodiscard]] std::uint64_t retransmit_events() const { return rto_count_; }
+
+  /// ACKs whose return path crossed a different switch set than the
+  /// request path (Fig. 7 pathID comparison). Non-zero means routing is
+  /// asymmetric and FNCC's return-path INT is not trustworthy.
+  [[nodiscard]] std::uint64_t asymmetric_acks() const {
+    return asymmetric_acks_;
+  }
+
+ private:
+  void TrySend();
+  void SendOnePacket();
+  [[nodiscard]] bool WindowBlocked() const;
+  void ArmRto();
+  void OnRto();
+  void Complete();
+
+  Host* host_;
+  FlowSpec spec_;
+  std::unique_ptr<CcAlgorithm> cc_;
+
+  std::uint64_t snd_nxt_ = 0;
+  std::uint64_t snd_una_ = 0;
+  Time next_send_time_ = 0;
+  EventId send_event_ = kInvalidEventId;
+  EventId rto_event_ = kInvalidEventId;
+  std::uint64_t rto_count_ = 0;
+  int rto_backoff_ = 1;  // doubles on each RTO without progress
+  std::uint64_t asymmetric_acks_ = 0;
+
+  bool started_ = false;
+  bool complete_ = false;
+  bool in_try_send_ = false;  // re-entrancy guard (CC on_update callbacks)
+  Time completion_time_ = 0;
+};
+
+}  // namespace fncc

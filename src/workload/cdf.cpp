@@ -1,0 +1,85 @@
+#include "workload/cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fncc {
+
+SizeCdf::SizeCdf(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  assert(points_.size() >= 2);
+  assert(std::abs(points_.back().second - 1.0) < 1e-9 &&
+         "CDF must end at probability 1");
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].first > points_[i - 1].first);
+    assert(points_[i].second >= points_[i - 1].second);
+  }
+  // Mean of the piecewise-linear CDF: each segment contributes
+  // (p_i - p_{i-1}) * midpoint(size_{i-1}, size_i).
+  double mean = points_[0].first * points_[0].second;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double dp = points_[i].second - points_[i - 1].second;
+    mean += dp * 0.5 * (points_[i].first + points_[i - 1].first);
+  }
+  mean_bytes_ = mean;
+}
+
+std::uint64_t SizeCdf::Sample(Rng& rng) const {
+  const double u = rng.Uniform();
+  // Find the first point with cumulative probability >= u.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), u,
+      [](const std::pair<double, double>& pt, double v) {
+        return pt.second < v;
+      });
+  if (it == points_.begin()) {
+    return static_cast<std::uint64_t>(std::max(1.0, it->first));
+  }
+  if (it == points_.end()) {
+    return static_cast<std::uint64_t>(points_.back().first);
+  }
+  const auto& [s1, p1] = *it;
+  const auto& [s0, p0] = *(it - 1);
+  const double frac = p1 > p0 ? (u - p0) / (p1 - p0) : 1.0;
+  const double size = s0 + frac * (s1 - s0);
+  return static_cast<std::uint64_t>(std::max(1.0, size));
+}
+
+SizeCdf SizeCdf::WebSearch() {
+  // DCTCP web-search distribution, the variant shipped with the HPCC
+  // artifact; x-ticks match Fig. 14 (10 KB ... 30 MB).
+  return SizeCdf({{1, 0.0},
+                  {10'000, 0.15},
+                  {20'000, 0.20},
+                  {30'000, 0.30},
+                  {50'000, 0.40},
+                  {80'000, 0.53},
+                  {200'000, 0.60},
+                  {1'000'000, 0.70},
+                  {2'000'000, 0.80},
+                  {5'000'000, 0.90},
+                  {10'000'000, 0.97},
+                  {30'000'000, 1.00}});
+}
+
+SizeCdf SizeCdf::FbHadoop() {
+  // Facebook Hadoop distribution (Roy et al.); dominated by sub-MTU
+  // messages with a thin tail to ~1 MB. X-ticks match Fig. 15.
+  return SizeCdf({{1, 0.0},
+                  {75, 0.08},
+                  {250, 0.25},
+                  {350, 0.36},
+                  {1'000, 0.52},
+                  {2'000, 0.63},
+                  {6'000, 0.77},
+                  {10'000, 0.82},
+                  {15'000, 0.86},
+                  {23'000, 0.90},
+                  {24'000, 0.905},
+                  {25'000, 0.91},
+                  {100'000, 0.97},
+                  {1'000'000, 1.00}});
+}
+
+}  // namespace fncc

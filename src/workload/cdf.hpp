@@ -1,0 +1,42 @@
+// Flow-size distributions. WebSearch (DCTCP/web-search cluster) and
+// FB_Hadoop (Facebook Hadoop cluster, Roy et al. SIGCOMM'15) are the two
+// public distributions the paper's large-scale evaluation draws from (§5.5).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace fncc {
+
+/// Piecewise-linear CDF over flow sizes in bytes. Sampling inverts the CDF
+/// with linear interpolation between the given points.
+class SizeCdf {
+ public:
+  /// Points must be (size_bytes, cumulative_probability), strictly
+  /// increasing in both coordinates, ending at probability 1.
+  explicit SizeCdf(std::vector<std::pair<double, double>> points);
+
+  /// Draws a flow size (>= 1 byte).
+  [[nodiscard]] std::uint64_t Sample(Rng& rng) const;
+
+  /// Analytic mean of the piecewise-linear distribution.
+  [[nodiscard]] double mean_bytes() const { return mean_bytes_; }
+
+  [[nodiscard]] const std::vector<std::pair<double, double>>& points() const {
+    return points_;
+  }
+
+  /// Web-search workload (throughput-sensitive large flows; Fig. 14 sizes).
+  static SizeCdf WebSearch();
+  /// Facebook Hadoop workload (latency-sensitive small flows; Fig. 15).
+  static SizeCdf FbHadoop();
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+  double mean_bytes_ = 0.0;
+};
+
+}  // namespace fncc

@@ -1,0 +1,106 @@
+#include "workload/traffic_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace fncc {
+
+std::vector<FlowSpec> GeneratePoisson(Rng& rng, const SizeCdf& cdf,
+                                      const std::vector<NodeId>& hosts,
+                                      const PoissonTrafficConfig& config) {
+  assert(hosts.size() >= 2);
+  assert(config.load > 0.0 && config.load <= 1.0);
+
+  // Aggregate arrival rate lambda (flows/s) such that the expected offered
+  // bytes fill `load` of every host's access link on average:
+  //   lambda * E[size] * 8 = load * link_gbps * 1e9 * num_hosts.
+  const double lambda = config.load * config.link_gbps * 1e9 *
+                        static_cast<double>(hosts.size()) /
+                        (cdf.mean_bytes() * 8.0);
+  const double mean_gap_sec = 1.0 / lambda;
+
+  std::vector<FlowSpec> flows;
+  flows.reserve(config.num_flows);
+  Time t = config.start_time;
+  for (int i = 0; i < config.num_flows; ++i) {
+    t += Seconds(rng.Exponential(mean_gap_sec));
+    FlowSpec f;
+    f.id = config.first_flow_id + static_cast<FlowId>(i);
+    const std::size_t s =
+        static_cast<std::size_t>(rng.UniformInt(0, hosts.size() - 1));
+    std::size_t d =
+        static_cast<std::size_t>(rng.UniformInt(0, hosts.size() - 2));
+    if (d >= s) ++d;
+    f.src = hosts[s];
+    f.dst = hosts[d];
+    f.sport = static_cast<std::uint16_t>(
+        config.port_base + rng.UniformInt(0, 40'000));
+    f.dport = static_cast<std::uint16_t>(
+        config.port_base + rng.UniformInt(0, 40'000));
+    f.size_bytes = cdf.Sample(rng);
+    f.start_time = t;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> GenerateIncast(const std::vector<NodeId>& senders,
+                                     NodeId dst, std::uint64_t size_bytes,
+                                     Time start_time, Time stagger,
+                                     FlowId first_flow_id,
+                                     std::uint16_t port_base) {
+  std::vector<FlowSpec> flows;
+  flows.reserve(senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    FlowSpec f;
+    f.id = first_flow_id + static_cast<FlowId>(i);
+    f.src = senders[i];
+    f.dst = dst;
+    f.sport = static_cast<std::uint16_t>(port_base + 2 * i);
+    f.dport = static_cast<std::uint16_t>(port_base + 2 * i + 1);
+    f.size_bytes = size_bytes;
+    f.start_time = start_time + static_cast<Time>(i) * stagger;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> GeneratePermutation(Rng& rng,
+                                          const std::vector<NodeId>& hosts,
+                                          std::uint64_t size_bytes,
+                                          Time start_time,
+                                          FlowId first_flow_id,
+                                          std::uint16_t port_base) {
+  assert(hosts.size() >= 2);
+  // Random derangement-ish permutation: shuffle until no fixed point.
+  std::vector<std::size_t> perm(hosts.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  bool ok = false;
+  while (!ok) {
+    std::shuffle(perm.begin(), perm.end(), rng.engine());
+    ok = true;
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+      if (perm[i] == i) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  std::vector<FlowSpec> flows;
+  flows.reserve(hosts.size());
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    FlowSpec f;
+    f.id = first_flow_id + static_cast<FlowId>(i);
+    f.src = hosts[i];
+    f.dst = hosts[perm[i]];
+    f.sport = static_cast<std::uint16_t>(port_base + 2 * i);
+    f.dport = static_cast<std::uint16_t>(port_base + 2 * i + 1);
+    f.size_bytes = size_bytes;
+    f.start_time = start_time;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace fncc

@@ -1,0 +1,50 @@
+// Open-loop traffic generation: Poisson arrivals at a target load over a
+// flow-size CDF (the §5.5 methodology), plus incast and permutation
+// patterns for the micro-benchmarks and examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "transport/flow.hpp"
+#include "workload/cdf.hpp"
+
+namespace fncc {
+
+struct PoissonTrafficConfig {
+  /// Average load on each host's access link, 0..1 (§5.5 uses 0.5).
+  double load = 0.5;
+  double link_gbps = 100.0;
+  Time start_time = 0;
+  int num_flows = 1000;
+  FlowId first_flow_id = 1;
+  /// Ephemeral port range for ECMP entropy.
+  std::uint16_t port_base = 10'000;
+};
+
+/// Draws `num_flows` flows: exponential inter-arrivals at the aggregate
+/// rate matching `load`, uniform source, uniform distinct destination, and
+/// sizes from `cdf`. ideal_fct is left 0 (the harness resolves it against
+/// the topology).
+std::vector<FlowSpec> GeneratePoisson(Rng& rng, const SizeCdf& cdf,
+                                      const std::vector<NodeId>& hosts,
+                                      const PoissonTrafficConfig& config);
+
+/// N-to-1 incast: every listed sender starts a `size_bytes` flow to `dst`
+/// at `start_time` (plus `stagger` per sender).
+std::vector<FlowSpec> GenerateIncast(const std::vector<NodeId>& senders,
+                                     NodeId dst, std::uint64_t size_bytes,
+                                     Time start_time, Time stagger = 0,
+                                     FlowId first_flow_id = 1,
+                                     std::uint16_t port_base = 10'000);
+
+/// Random permutation: each host sends one flow to a distinct peer.
+std::vector<FlowSpec> GeneratePermutation(Rng& rng,
+                                          const std::vector<NodeId>& hosts,
+                                          std::uint64_t size_bytes,
+                                          Time start_time,
+                                          FlowId first_flow_id = 1,
+                                          std::uint16_t port_base = 10'000);
+
+}  // namespace fncc

@@ -1,0 +1,118 @@
+#include "core/ack_format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fncc {
+namespace {
+
+TEST(AckFormatTest, RateCodeRoundTrip) {
+  for (double gbps : {10.0, 25.0, 40.0, 50.0, 100.0, 200.0, 400.0, 800.0,
+                      1600.0}) {
+    const auto code = EncodeRate(gbps);
+    ASSERT_TRUE(code.has_value()) << gbps;
+    EXPECT_DOUBLE_EQ(DecodeRate(*code), gbps);
+  }
+}
+
+TEST(AckFormatTest, NonStandardRateUnencodable) {
+  EXPECT_FALSE(EncodeRate(123.0).has_value());
+  EXPECT_FALSE(EncodeRate(0.0).has_value());
+}
+
+TEST(AckFormatTest, EntryRoundTripWithinQuantization) {
+  IntEntry e;
+  e.bandwidth_gbps = 100.0;
+  e.ts = Microseconds(250);
+  e.tx_bytes = 5'000'000;
+  e.qlen_bytes = 123'456;
+
+  IntEntry ref;  // previous entry: slightly older
+  ref.ts = Microseconds(200);
+  ref.tx_bytes = 4'000'000;
+
+  const auto wire = EncodeIntEntry(e);
+  ASSERT_TRUE(wire.has_value());
+  const IntEntry d = DecodeIntEntry(*wire, ref);
+  EXPECT_DOUBLE_EQ(d.bandwidth_gbps, 100.0);
+  EXPECT_NEAR(static_cast<double>(d.ts), static_cast<double>(e.ts),
+              static_cast<double>(kTsTickPs));
+  EXPECT_NEAR(static_cast<double>(d.tx_bytes),
+              static_cast<double>(e.tx_bytes),
+              static_cast<double>(kTxBytesUnit));
+  EXPECT_NEAR(static_cast<double>(d.qlen_bytes),
+              static_cast<double>(e.qlen_bytes),
+              static_cast<double>(kQlenUnit));
+}
+
+TEST(AckFormatTest, TxBytesUnwrapAcrossModulus) {
+  constexpr std::uint64_t kModBytes = (1ULL << 20) * kTxBytesUnit;  // 1 GB
+  IntEntry e;
+  e.bandwidth_gbps = 100.0;
+  e.ts = Microseconds(10);
+  e.tx_bytes = kModBytes + 700'000;  // wrapped once
+  IntEntry ref;
+  ref.tx_bytes = kModBytes - 500'000;  // close below the wrap point
+  const auto wire = EncodeIntEntry(e);
+  ASSERT_TRUE(wire.has_value());
+  const IntEntry d = DecodeIntEntry(*wire, ref);
+  EXPECT_NEAR(static_cast<double>(d.tx_bytes),
+              static_cast<double>(e.tx_bytes),
+              static_cast<double>(kTxBytesUnit));
+}
+
+TEST(AckFormatTest, TimestampUnwrap) {
+  constexpr Time kTsMod = (1LL << 24) * kTsTickPs;  // ~1.07 s
+  IntEntry e;
+  e.bandwidth_gbps = 100.0;
+  e.ts = kTsMod + Microseconds(3);
+  IntEntry ref;
+  ref.ts = kTsMod - Microseconds(5);
+  const auto wire = EncodeIntEntry(e);
+  ASSERT_TRUE(wire.has_value());
+  const IntEntry d = DecodeIntEntry(*wire, ref);
+  EXPECT_NEAR(static_cast<double>(d.ts), static_cast<double>(e.ts),
+              static_cast<double>(kTsTickPs));
+}
+
+TEST(AckFormatTest, QueueLengthSaturates) {
+  IntEntry e;
+  e.bandwidth_gbps = 100.0;
+  e.qlen_bytes = 100'000'000;  // far beyond 16-bit * 64 B
+  const auto wire = EncodeIntEntry(e);
+  ASSERT_TRUE(wire.has_value());
+  const IntEntry d = DecodeIntEntry(*wire, IntEntry{});
+  EXPECT_EQ(d.qlen_bytes, 0xFFFFull * kQlenUnit);
+}
+
+TEST(AckFormatTest, QuantizePassesThroughUnencodableRates) {
+  IntEntry e;
+  e.bandwidth_gbps = 123.0;  // not in the 4-bit table
+  e.qlen_bytes = 777;
+  const IntEntry q = QuantizeThroughWire(e, IntEntry{});
+  EXPECT_EQ(q.qlen_bytes, 777u);  // untouched
+}
+
+TEST(AckFormatTest, HeaderRoundTrip) {
+  AckHeader h;
+  h.n_hops = 5;
+  h.path_id = 0xABC;
+  h.concurrent = 4096;
+  const AckHeader d = DecodeAckHeader(EncodeAckHeader(h));
+  EXPECT_EQ(d.n_hops, 5);
+  EXPECT_EQ(d.path_id, 0xABC);
+  EXPECT_EQ(d.concurrent, 4096);
+}
+
+TEST(AckFormatTest, HeaderFieldsMasked) {
+  AckHeader h;
+  h.n_hops = 0x1F;     // 5 bits: must truncate to 4
+  h.path_id = 0xFFFF;  // 16 bits: must truncate to 12
+  h.concurrent = 0xFFFF;
+  const AckHeader d = DecodeAckHeader(EncodeAckHeader(h));
+  EXPECT_EQ(d.n_hops, 0xF);
+  EXPECT_EQ(d.path_id, 0xFFF);
+  EXPECT_EQ(d.concurrent, 0xFFFF);
+}
+
+}  // namespace
+}  // namespace fncc

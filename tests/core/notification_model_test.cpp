@@ -1,0 +1,79 @@
+#include "core/notification_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace fncc {
+namespace {
+
+TEST(NotificationModelTest, FnccAlwaysFasterThanHpcc) {
+  NotificationChain chain;
+  chain.num_switches = 3;
+  const auto d = ComputeNotificationDelays(chain);
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_LT(d.fncc[j], d.hpcc[j]) << "hop " << j;
+    EXPECT_GT(d.gain[j], 0) << "hop " << j;
+  }
+}
+
+TEST(NotificationModelTest, GainShrinksTowardLastHop) {
+  // Fig. 12: first-hop congestion gains the most, last-hop the least —
+  // exactly why LHCS exists.
+  NotificationChain chain;
+  chain.num_switches = 5;
+  const auto d = ComputeNotificationDelays(chain);
+  for (int j = 1; j < 5; ++j) {
+    EXPECT_LT(d.gain[j], d.gain[j - 1]) << "hop " << j;
+  }
+}
+
+TEST(NotificationModelTest, FnccSubRttEverywhere) {
+  NotificationChain chain;
+  chain.num_switches = 3;
+  const auto d = ComputeNotificationDelays(chain);
+  // One full RTT in this model: data over 4 links + ACK over 4 links.
+  const Time per_link_data =
+      chain.propagation_delay + SerializationDelay(chain.data_bytes, 100.0);
+  const Time per_link_ack =
+      chain.propagation_delay + SerializationDelay(chain.ack_bytes, 100.0);
+  const Time rtt = 4 * per_link_data + 4 * per_link_ack;
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_LT(d.fncc[j], rtt) << "hop " << j;  // sub-RTT notification
+  }
+  // HPCC's first-hop notification takes ~a full RTT (short only by the
+  // first data link the packet already crossed).
+  EXPECT_GT(d.hpcc[0], rtt * 8 / 10);
+}
+
+TEST(NotificationModelTest, HandComputedThreeSwitchChain) {
+  NotificationChain chain;
+  chain.num_switches = 3;
+  chain.gbps = 100.0;
+  chain.propagation_delay = Microseconds(1.5);
+  chain.data_bytes = 1518;
+  chain.ack_bytes = 60;
+  const auto d = ComputeNotificationDelays(chain);
+  const Time link_data = 1'500'000 + 121'440;
+  const Time link_ack = 1'500'000 + 4'800;
+  // Congestion at switch 0 (first hop): data crosses 3 remaining links,
+  // ACK returns over all 4.
+  EXPECT_EQ(d.hpcc[0], 3 * link_data + 4 * link_ack);
+  EXPECT_EQ(d.fncc[0], 1 * link_ack);
+  // Last hop: HPCC still needs 1 data link + 4 ACK links; FNCC 3 ACK links.
+  EXPECT_EQ(d.hpcc[2], 1 * link_data + 4 * link_ack);
+  EXPECT_EQ(d.fncc[2], 3 * link_ack);
+}
+
+TEST(NotificationModelTest, FasterLinksShrinkAbsoluteGain) {
+  NotificationChain slow;
+  slow.gbps = 100.0;
+  NotificationChain fast = slow;
+  fast.gbps = 400.0;
+  const auto ds = ComputeNotificationDelays(slow);
+  const auto df = ComputeNotificationDelays(fast);
+  // Propagation dominates, but serialization-driven part of the gain
+  // shrinks with line rate.
+  EXPECT_LE(df.gain[0], ds.gain[0]);
+}
+
+}  // namespace
+}  // namespace fncc

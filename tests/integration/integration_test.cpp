@@ -1,0 +1,185 @@
+// End-to-end behaviour on the paper's scenarios, scaled for CI speed.
+#include <gtest/gtest.h>
+
+#include "harness/dumbbell_runner.hpp"
+#include "harness/fat_tree_runner.hpp"
+#include "stats/percentile.hpp"
+
+namespace fncc {
+namespace {
+
+MicroRunConfig TwoElephants(CcMode mode, double gbps = 100.0) {
+  MicroRunConfig config;
+  config.scenario.mode = mode;
+  config.scenario.link_gbps = gbps;
+  config.flows = {{0, 0}, {1, Microseconds(300)}};
+  config.duration = Microseconds(800);
+  return config;
+}
+
+TEST(DumbbellIntegrationTest, FnccConvergesToFairShare) {
+  const auto r = RunDumbbell(TwoElephants(CcMode::kFncc));
+  // Between 600 and 800 us both elephants hold ~ eta/2 of the line.
+  const double f0 = r.flows[0].pacing_gbps.MeanOver(Microseconds(600),
+                                                    Microseconds(800));
+  const double f1 = r.flows[1].pacing_gbps.MeanOver(Microseconds(600),
+                                                    Microseconds(800));
+  EXPECT_NEAR(f0, 47.5, 6.0);
+  EXPECT_NEAR(f1, 47.5, 6.0);
+  EXPECT_NEAR(JainFairnessIndex({f0, f1}), 1.0, 0.01);
+  EXPECT_EQ(r.drops, 0u);
+}
+
+TEST(DumbbellIntegrationTest, FnccKeepsShallowerQueueThanHpcc) {
+  const auto fncc = RunDumbbell(TwoElephants(CcMode::kFncc));
+  const auto hpcc = RunDumbbell(TwoElephants(CcMode::kHpcc));
+  EXPECT_LT(fncc.queue_bytes.Max(), hpcc.queue_bytes.Max());
+}
+
+TEST(DumbbellIntegrationTest, HpccKeepsShallowerQueueThanDcqcn) {
+  const auto hpcc = RunDumbbell(TwoElephants(CcMode::kHpcc));
+  const auto dcqcn = RunDumbbell(TwoElephants(CcMode::kDcqcn));
+  EXPECT_LT(hpcc.queue_bytes.Max(), dcqcn.queue_bytes.Max());
+}
+
+TEST(DumbbellIntegrationTest, FnccReactsBeforeHpcc) {
+  // Reaction time: first instant after flow1 joins (300 us) where flow0's
+  // pacing rate dips below 80 Gbps.
+  const auto fncc = RunDumbbell(TwoElephants(CcMode::kFncc));
+  const auto hpcc = RunDumbbell(TwoElephants(CcMode::kHpcc));
+  const Time t_fncc =
+      fncc.flows[0].pacing_gbps.FirstTimeBelow(80.0, Microseconds(300));
+  const Time t_hpcc =
+      hpcc.flows[0].pacing_gbps.FirstTimeBelow(80.0, Microseconds(300));
+  ASSERT_LT(t_fncc, kTimeInfinity);
+  ASSERT_LT(t_hpcc, kTimeInfinity);
+  EXPECT_LT(t_fncc, t_hpcc);
+}
+
+TEST(DumbbellIntegrationTest, PauseFrameOrderingMatchesFig3) {
+  for (double gbps : {200.0, 400.0}) {
+    const auto fncc = RunDumbbell(TwoElephants(CcMode::kFncc, gbps));
+    const auto hpcc = RunDumbbell(TwoElephants(CcMode::kHpcc, gbps));
+    const auto dcqcn = RunDumbbell(TwoElephants(CcMode::kDcqcn, gbps));
+    EXPECT_LE(fncc.pause_frames, hpcc.pause_frames) << gbps;
+    EXPECT_LE(hpcc.pause_frames, dcqcn.pause_frames) << gbps;
+    EXPECT_GT(dcqcn.pause_frames, 0u) << gbps;
+  }
+}
+
+TEST(DumbbellIntegrationTest, UtilizationStaysHighForFncc) {
+  const auto r = RunDumbbell(TwoElephants(CcMode::kFncc));
+  // After convergence the bottleneck should run near eta.
+  EXPECT_GT(r.utilization.MeanOver(Microseconds(500), Microseconds(800)),
+            0.85);
+}
+
+TEST(DumbbellIntegrationTest, LosslessForWindowBasedSchemes) {
+  for (CcMode mode : {CcMode::kFncc, CcMode::kHpcc, CcMode::kFnccNoLhcs}) {
+    const auto r = RunDumbbell(TwoElephants(mode));
+    EXPECT_EQ(r.drops, 0u);
+    EXPECT_EQ(r.pause_frames, 0u) << CcModeName(mode);
+  }
+}
+
+TEST(ChainMergeIntegrationTest, LhcsTriggersOnlyOnLastHop) {
+  MicroRunConfig config;
+  config.scenario.mode = CcMode::kFncc;
+  config.num_switches = 3;
+  config.flows = {{0, 0}, {1, Microseconds(300)}};
+  config.duration = Microseconds(800);
+
+  const auto first = RunChainMerge(config, /*merge_switch=*/0);
+  const auto last = RunChainMerge(config, /*merge_switch=*/2);
+  EXPECT_EQ(first.lhcs_triggers, 0u);
+  EXPECT_GT(last.lhcs_triggers, 0u);
+}
+
+TEST(ChainMergeIntegrationTest, LhcsCutsLastHopQueue) {
+  MicroRunConfig config;
+  config.num_switches = 3;
+  config.flows = {{0, 0}, {1, Microseconds(300)}};
+  config.duration = Microseconds(800);
+
+  config.scenario.mode = CcMode::kFncc;
+  const auto with = RunChainMerge(config, 2);
+  config.scenario.mode = CcMode::kFnccNoLhcs;
+  const auto without = RunChainMerge(config, 2);
+  EXPECT_LT(with.queue_bytes.Max(), without.queue_bytes.Max());
+}
+
+TEST(ChainMergeIntegrationTest, LhcsSnapsToFairRateTimesBeta) {
+  MicroRunConfig config;
+  config.scenario.mode = CcMode::kFncc;
+  config.num_switches = 3;
+  config.flows = {{0, 0}, {1, Microseconds(300)}};
+  config.duration = Microseconds(800);
+  const auto r = RunChainMerge(config, 2);
+  // Shortly after the join, both flows sit near fair * beta = 45 Gbps
+  // (Fig. 13d) — clearly below the eta-governed 47.5 steady state.
+  const double f0 = r.flows[0].pacing_gbps.MeanOver(Microseconds(330),
+                                                    Microseconds(420));
+  EXPECT_NEAR(f0, 45.0, 5.0);
+}
+
+TEST(FairnessIntegrationTest, StaggeredFlowsShareFairly) {
+  // Scaled version of Fig. 13e: 4 flows join every 200 us and exit in
+  // reverse order; while k flows are active each should get ~eta*B/k.
+  MicroRunConfig config;
+  config.scenario.mode = CcMode::kFncc;
+  config.num_senders = 4;
+  config.flows = {{0, 0, Microseconds(4000)},
+                  {1, Microseconds(500), Microseconds(3500)},
+                  {2, Microseconds(1000), Microseconds(3000)},
+                  {3, Microseconds(1500), Microseconds(2500)}};
+  config.duration = Microseconds(4200);
+  const auto r = RunDumbbell(config);
+
+  // Four active flows in [1.8ms, 2.5ms]: fair share ~ 23.75 Gbps.
+  std::vector<double> shares;
+  for (int i = 0; i < 4; ++i) {
+    shares.push_back(r.flows[i].goodput_gbps.MeanOver(Microseconds(1800),
+                                                      Microseconds(2500)));
+  }
+  EXPECT_GT(JainFairnessIndex(shares), 0.95);
+  // After the others exit, flow0 ramps back up.
+  EXPECT_GT(r.flows[0].pacing_gbps.MeanOver(Microseconds(3800),
+                                            Microseconds(4000)),
+            60.0);
+}
+
+TEST(FatTreeIntegrationTest, SmallFatTreeWorkloadCompletes) {
+  FatTreeRunConfig config;
+  config.k = 4;
+  config.scenario.mode = CcMode::kFncc;
+  config.cdf = SizeCdf::FbHadoop();
+  config.num_flows = 300;
+  const auto r = RunFatTree(config);
+  EXPECT_EQ(r.flows_completed, r.flows_total);
+  EXPECT_EQ(r.drops, 0u);
+  EXPECT_EQ(r.retransmits, 0u);
+  for (const auto& flow : r.fct.results()) {
+    EXPECT_GE(flow.slowdown, 0.99) << "flow size " << flow.spec.size_bytes;
+  }
+}
+
+TEST(FatTreeIntegrationTest, FnccBeatsDcqcnOnSmallFlowTail) {
+  FatTreeRunConfig config;
+  config.k = 4;
+  config.cdf = SizeCdf::FbHadoop();
+  config.num_flows = 400;
+  config.load = 0.6;
+
+  config.scenario.mode = CcMode::kFncc;
+  const auto fncc = RunFatTree(config);
+  config.scenario.mode = CcMode::kDcqcn;
+  const auto dcqcn = RunFatTree(config);
+
+  const auto fncc_small = fncc.fct.OverRange(0, 100'000);
+  const auto dcqcn_small = dcqcn.fct.OverRange(0, 100'000);
+  ASSERT_GT(fncc_small.count, 50u);
+  EXPECT_LT(fncc_small.p95, dcqcn_small.p95);
+}
+
+}  // namespace
+}  // namespace fncc

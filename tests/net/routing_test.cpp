@@ -1,0 +1,110 @@
+#include "net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fncc {
+namespace {
+
+TEST(EcmpHashTest, DeterministicForSameInputs) {
+  EXPECT_EQ(EcmpHash(1, 2, 100, 200, 17, 0, true),
+            EcmpHash(1, 2, 100, 200, 17, 0, true));
+}
+
+TEST(EcmpHashTest, SymmetricModeMatchesReverseFlow) {
+  // A flow and its reverse (ACK direction) must hash identically.
+  for (std::uint32_t salt : {0u, 1u, 0xdeadbeefu}) {
+    EXPECT_EQ(EcmpHash(3, 9, 1234, 5678, 17, salt, true),
+              EcmpHash(9, 3, 5678, 1234, 17, salt, true));
+  }
+}
+
+TEST(EcmpHashTest, AsymmetricModeGenerallyDiffersOnReverse) {
+  int differing = 0;
+  for (NodeId a = 1; a <= 20; ++a) {
+    const NodeId b = a + 13;
+    if (EcmpHash(a, b, 1000, 2000, 17, 7, false) !=
+        EcmpHash(b, a, 2000, 1000, 17, 7, false)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 10);  // overwhelmingly asymmetric
+}
+
+TEST(EcmpHashTest, SaltChangesSelection) {
+  int differing = 0;
+  for (std::uint16_t p = 0; p < 50; ++p) {
+    if (EcmpHash(1, 2, p, 999, 17, 1, true) !=
+        EcmpHash(1, 2, p, 999, 17, 2, true)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 40);
+}
+
+TEST(EcmpHashTest, SpreadsAcrossBuckets) {
+  std::set<std::uint32_t> buckets;
+  for (std::uint16_t p = 0; p < 256; ++p) {
+    buckets.insert(EcmpHash(1, 2, p, 999, 17, 0, true) % 4);
+  }
+  EXPECT_EQ(buckets.size(), 4u);  // all 4 next hops used
+}
+
+TEST(RoutingTableTest, SingleNextHopNeedsNoHash) {
+  RoutingTable rt(4);
+  rt.SetNextHops(2, {5});
+  Packet p;
+  p.src = 0;
+  p.dst = 2;
+  EXPECT_EQ(rt.Select(p, 0, true), 5);
+  EXPECT_TRUE(rt.HasRoute(2));
+  EXPECT_FALSE(rt.HasRoute(3));
+}
+
+TEST(RoutingTableTest, SelectsFromEqualCostSetOnly) {
+  RoutingTable rt(4);
+  rt.SetNextHops(1, {2, 4, 6});
+  for (std::uint16_t sport = 0; sport < 64; ++sport) {
+    Packet p;
+    p.src = 0;
+    p.dst = 1;
+    p.sport = sport;
+    const int out = rt.Select(p, 0, true);
+    EXPECT_TRUE(out == 2 || out == 4 || out == 6);
+  }
+}
+
+TEST(RoutingTableTest, FlowStickiness) {
+  RoutingTable rt(4);
+  rt.SetNextHops(1, {0, 1, 2, 3});
+  Packet p;
+  p.src = 0;
+  p.dst = 1;
+  p.sport = 777;
+  p.dport = 888;
+  const int first = rt.Select(p, 42, true);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rt.Select(p, 42, true), first);
+}
+
+TEST(RoutingTableTest, DataAndAckPickMirrorPorts) {
+  // Same table, same salt: the reverse five-tuple must select the same
+  // index into the (consistently ordered) next-hop list.
+  RoutingTable rt(16);
+  rt.SetNextHops(7, {1, 2, 3, 4});
+  rt.SetNextHops(9, {1, 2, 3, 4});
+  Packet data;
+  data.src = 9;
+  data.dst = 7;
+  data.sport = 5555;
+  data.dport = 6666;
+  Packet ack;
+  ack.src = 7;
+  ack.dst = 9;
+  ack.sport = 6666;
+  ack.dport = 5555;
+  EXPECT_EQ(rt.Select(data, 3, true), rt.Select(ack, 3, true));
+}
+
+}  // namespace
+}  // namespace fncc

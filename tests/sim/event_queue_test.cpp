@@ -1,0 +1,146 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fncc {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.NextTime(), kTimeInfinity);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(30, [&] { order.push_back(3); });
+  q.Schedule(10, [&] { order.push_back(1); });
+  q.Schedule(20, [&] { order.push_back(2); });
+  while (!q.Empty()) {
+    Time t = 0;
+    q.PopNext(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SimultaneousEventsRunFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.Empty()) {
+    Time t = 0;
+    q.PopNext(&t)();
+  }
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, ReportsPopTime) {
+  EventQueue q;
+  q.Schedule(42, [] {});
+  EXPECT_EQ(q.NextTime(), 42);
+  Time t = 0;
+  q.PopNext(&t);
+  EXPECT_EQ(t, 42);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.Schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelAfterRunFails) {
+  EventQueue q;
+  const EventId id = q.Schedule(10, [] {});
+  Time t = 0;
+  q.PopNext(&t)();
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+  EXPECT_FALSE(q.Cancel(9999));
+}
+
+TEST(EventQueueTest, CancelledTopSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId early = q.Schedule(1, [&] { order.push_back(1); });
+  q.Schedule(2, [&] { order.push_back(2); });
+  q.Cancel(early);
+  EXPECT_EQ(q.NextTime(), 2);
+  EXPECT_EQ(q.size(), 1u);
+  Time t = 0;
+  q.PopNext(&t)();
+  EXPECT_EQ(order, std::vector<int>{2});
+}
+
+TEST(EventQueueTest, CancelMiddleOfMany) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.Schedule(i, [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 100; i += 2) q.Cancel(ids[i]);
+  while (!q.Empty()) {
+    Time t = 0;
+    q.PopNext(&t)();
+  }
+  ASSERT_EQ(order.size(), 50u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(2 * i));
+  }
+}
+
+TEST(EventQueueTest, MoveOnlyCallbacksSupported) {
+  EventQueue q;
+  auto payload = std::make_unique<int>(7);
+  int got = 0;
+  q.Schedule(1, [p = std::move(payload), &got] { got = *p; });
+  Time t = 0;
+  q.PopNext(&t)();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(EventQueueTest, StressInterleavedScheduleCancelPop) {
+  EventQueue q;
+  int executed = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> ids;
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(q.Schedule(round * 100 + i, [&] { ++executed; }));
+    }
+    q.Cancel(ids[3]);
+    q.Cancel(ids[7]);
+    for (int i = 0; i < 10; ++i) {
+      Time t = 0;
+      q.PopNext(&t)();
+    }
+  }
+  while (!q.Empty()) {
+    Time t = 0;
+    q.PopNext(&t)();
+  }
+  EXPECT_EQ(executed, 50 * 18);
+}
+
+}  // namespace
+}  // namespace fncc

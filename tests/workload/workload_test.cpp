@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/cdf.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace fncc {
+namespace {
+
+TEST(SizeCdfTest, SamplesWithinSupport) {
+  const SizeCdf cdf = SizeCdf::WebSearch();
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto s = cdf.Sample(rng);
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 30'000'000u);
+  }
+}
+
+TEST(SizeCdfTest, EmpiricalMeanMatchesAnalytic) {
+  for (const SizeCdf& cdf : {SizeCdf::WebSearch(), SizeCdf::FbHadoop()}) {
+    Rng rng(7);
+    double sum = 0;
+    constexpr int kN = 200'000;
+    for (int i = 0; i < kN; ++i) sum += static_cast<double>(cdf.Sample(rng));
+    EXPECT_NEAR(sum / kN / cdf.mean_bytes(), 1.0, 0.05);
+  }
+}
+
+TEST(SizeCdfTest, EmpiricalQuantilesFollowCdf) {
+  const SizeCdf cdf = SizeCdf::WebSearch();
+  Rng rng(3);
+  int under_200k = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    if (cdf.Sample(rng) <= 200'000) ++under_200k;
+  }
+  // CDF says P(size <= 200 KB) = 0.60.
+  EXPECT_NEAR(under_200k / static_cast<double>(kN), 0.60, 0.02);
+}
+
+TEST(SizeCdfTest, HadoopIsMostlySmall) {
+  const SizeCdf cdf = SizeCdf::FbHadoop();
+  Rng rng(5);
+  int small = 0;
+  constexpr int kN = 50'000;
+  for (int i = 0; i < kN; ++i) {
+    if (cdf.Sample(rng) < kDefaultMtuBytes) ++small;
+  }
+  // Most Hadoop messages fit in one MTU (paper §2.4: "most flows are
+  // short").
+  EXPECT_GT(small, kN / 2);
+}
+
+TEST(PoissonTrafficTest, LoadMatchesTarget) {
+  const SizeCdf cdf = SizeCdf::WebSearch();
+  Rng rng(11);
+  const std::vector<NodeId> hosts{0, 1, 2, 3, 4, 5, 6, 7};
+  PoissonTrafficConfig config;
+  config.load = 0.5;
+  config.link_gbps = 100.0;
+  config.num_flows = 20'000;
+  const auto flows = GeneratePoisson(rng, cdf, hosts, config);
+  ASSERT_EQ(flows.size(), 20'000u);
+  double total_bytes = 0;
+  for (const auto& f : flows) total_bytes += static_cast<double>(f.size_bytes);
+  const double span_sec = ToSeconds(flows.back().start_time);
+  const double offered_gbps = total_bytes * 8.0 / span_sec / 1e9;
+  // Aggregate offered rate = load * link * num_hosts = 400 Gbps.
+  EXPECT_NEAR(offered_gbps / 400.0, 1.0, 0.1);
+}
+
+TEST(PoissonTrafficTest, ArrivalsMonotoneAndSrcNeverDst) {
+  const SizeCdf cdf = SizeCdf::FbHadoop();
+  Rng rng(13);
+  const std::vector<NodeId> hosts{3, 5, 9, 11};
+  PoissonTrafficConfig config;
+  config.num_flows = 5'000;
+  const auto flows = GeneratePoisson(rng, cdf, hosts, config);
+  Time prev = -1;
+  for (const auto& f : flows) {
+    EXPECT_GE(f.start_time, prev);
+    prev = f.start_time;
+    EXPECT_NE(f.src, f.dst);
+  }
+}
+
+TEST(PoissonTrafficTest, FlowIdsDense) {
+  const SizeCdf cdf = SizeCdf::FbHadoop();
+  Rng rng(17);
+  PoissonTrafficConfig config;
+  config.num_flows = 100;
+  config.first_flow_id = 42;
+  const auto flows = GeneratePoisson(rng, cdf, {0, 1, 2}, config);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(flows[i].id, 42u + i);
+  }
+}
+
+TEST(IncastTest, AllSendersTargetDst) {
+  const auto flows =
+      GenerateIncast({1, 2, 3, 4}, 9, 64'000, Microseconds(10));
+  ASSERT_EQ(flows.size(), 4u);
+  std::set<std::uint16_t> sports;
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.dst, 9);
+    EXPECT_EQ(f.size_bytes, 64'000u);
+    EXPECT_EQ(f.start_time, Microseconds(10));
+    sports.insert(f.sport);
+  }
+  EXPECT_EQ(sports.size(), 4u);  // distinct ports for ECMP entropy
+}
+
+TEST(IncastTest, StaggerSpacesStarts) {
+  const auto flows =
+      GenerateIncast({1, 2, 3}, 9, 1000, 0, Microseconds(5));
+  EXPECT_EQ(flows[0].start_time, 0);
+  EXPECT_EQ(flows[1].start_time, Microseconds(5));
+  EXPECT_EQ(flows[2].start_time, Microseconds(10));
+}
+
+TEST(PermutationTest, NoSelfFlowsAndAllDistinct) {
+  Rng rng(23);
+  const std::vector<NodeId> hosts{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto flows = GeneratePermutation(rng, hosts, 1'000'000, 0);
+  ASSERT_EQ(flows.size(), hosts.size());
+  std::set<NodeId> dsts;
+  for (const auto& f : flows) {
+    EXPECT_NE(f.src, f.dst);
+    dsts.insert(f.dst);
+  }
+  EXPECT_EQ(dsts.size(), hosts.size());  // a permutation
+}
+
+}  // namespace
+}  // namespace fncc
