@@ -1,0 +1,154 @@
+// Verbatim copy of the pre-refactor event machinery, kept ONLY as the
+// baseline for bench_micro's A/B comparison (BM_LegacyEventQueue* vs
+// BM_EventQueue*). Two deliberate differences from src/sim:
+//   - LegacyUniqueFunction is the old heap-allocating type-erased callable
+//     (one make_unique per scheduled event, no inline storage).
+//   - LegacyEventQueue is the old binary heap with unordered_set pending_/
+//     cancelled_ bookkeeping and lazy cancellation.
+// Do not use outside bench/.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fncc::bench {
+
+template <typename Signature>
+class LegacyUniqueFunction;
+
+template <typename R, typename... Args>
+class LegacyUniqueFunction<R(Args...)> {
+ public:
+  LegacyUniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, LegacyUniqueFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  LegacyUniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  LegacyUniqueFunction(LegacyUniqueFunction&&) noexcept = default;
+  LegacyUniqueFunction& operator=(LegacyUniqueFunction&&) noexcept = default;
+
+  R operator()(Args... args) {
+    return impl_->Invoke(std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual R Invoke(Args&&... args) = 0;
+  };
+
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F&& f) : fn(std::move(f)) {}
+    explicit Impl(const F& f) : fn(f) {}
+    R Invoke(Args&&... args) override {
+      return fn(std::forward<Args>(args)...);
+    }
+    F fn;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+using LegacyEventId = std::uint64_t;
+
+class LegacyEventQueue {
+ public:
+  using Callback = LegacyUniqueFunction<void()>;
+
+  LegacyEventId Schedule(Time t, Callback cb) {
+    const LegacyEventId id = next_id_++;
+    heap_.push_back(Entry{t, id, std::move(cb)});
+    SiftUp(heap_.size() - 1);
+    pending_.insert(id);
+    ++live_;
+    return id;
+  }
+
+  bool Cancel(LegacyEventId id) {
+    if (pending_.erase(id) == 0) return false;
+    cancelled_.insert(id);
+    --live_;
+    return true;
+  }
+
+  [[nodiscard]] bool Empty() const { return live_ == 0; }
+
+  Callback PopNext(Time* t) {
+    DropCancelledTop();
+    assert(!heap_.empty() && "PopNext on empty queue");
+    Entry top = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    pending_.erase(top.id);
+    --live_;
+    *t = top.t;
+    DropCancelledTop();
+    return std::move(top.cb);
+  }
+
+ private:
+  struct Entry {
+    Time t;
+    LegacyEventId id;
+    Callback cb;
+  };
+
+  static bool Later(const Entry& a, const Entry& b) {
+    return a.t != b.t ? a.t > b.t : a.id > b.id;
+  }
+
+  void DropCancelledTop() {
+    while (!heap_.empty() && cancelled_.contains(heap_[0].id)) {
+      cancelled_.erase(heap_[0].id);
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      if (!heap_.empty()) SiftDown(0);
+    }
+  }
+
+  void SiftUp(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!Later(heap_[parent], heap_[i])) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      std::size_t smallest = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && Later(heap_[smallest], heap_[l])) smallest = l;
+      if (r < n && Later(heap_[smallest], heap_[r])) smallest = r;
+      if (smallest == i) break;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_set<LegacyEventId> pending_;
+  std::unordered_set<LegacyEventId> cancelled_;
+  LegacyEventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace fncc::bench

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Runs bench_micro and writes BENCH_micro.json so successive PRs can track
+# the hot-path trajectory (events/sec, packets/sec, steady-state allocation
+# counters). Usage:
+#   bench/run_benches.sh [build-dir] [output-json]
+# Defaults: build-dir = ./build, output = ./BENCH_micro.json
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_micro.json}"
+BENCH="$BUILD_DIR/bench_micro"
+
+if [ ! -x "$BENCH" ]; then
+  echo "error: $BENCH not found - build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+"$BENCH" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo ""
+echo "wrote $OUT"
+
+# Headline numbers: new-vs-legacy event-queue speedup and the steady-state
+# packet allocation counter (must be 0). Python is optional sugar; the JSON
+# is the artifact.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+by_name = {b["name"]: b for b in data["benchmarks"]}
+
+def ips(name):
+    b = by_name.get(name)
+    return b["items_per_second"] if b else None
+
+print("== event queue: new vs legacy (events/sec) ==")
+for arg in (64, 1024, 16384):
+    new = ips(f"BM_EventQueueScheduleRun/{arg}")
+    old = ips(f"BM_LegacyEventQueueScheduleRun/{arg}")
+    if new and old:
+        print(f"  schedule+run batch={arg:<6} {new/1e6:8.1f}M vs "
+              f"{old/1e6:8.1f}M  -> {new/old:.2f}x")
+for arg in (64, 1024):
+    new = ips(f"BM_EventQueueCancelReschedule/{arg}")
+    old = ips(f"BM_LegacyEventQueueCancelReschedule/{arg}")
+    if new and old:
+        print(f"  cancel+rearm timers={arg:<5} {new/1e6:8.1f}M vs "
+              f"{old/1e6:8.1f}M  -> {new/old:.2f}x")
+
+print("== packet pool ==")
+pool = by_name.get("BM_PacketPoolAcquireRelease")
+heap = ips("BM_MakeUniquePacket")
+if pool:
+    print(f"  pool acquire+release   {pool['items_per_second']/1e6:8.1f}M pkts/s"
+          f"  steady_heap_allocs={pool.get('steady_heap_allocs', '?')}")
+if heap:
+    print(f"  make_unique baseline   {heap/1e6:8.1f}M pkts/s")
+EOF
+fi

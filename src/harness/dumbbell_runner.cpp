@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "core/fncc.hpp"
+#include "net/packet_pool.hpp"
 
 namespace fncc {
 
@@ -94,6 +95,8 @@ MicroRunResult RunMicro(const MicroRunConfig& config, Network& net,
     }
   }
   result.events_processed = sim.events_processed();
+  result.pool_packets_created = sim.packet_pool().total_created();
+  result.pool_packets_acquired = sim.packet_pool().acquires();
   return result;
 }
 

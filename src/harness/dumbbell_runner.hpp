@@ -49,6 +49,13 @@ struct MicroRunResult {
   std::uint64_t asymmetric_acks = 0;  // Fig. 7 pathID mismatches
   std::uint64_t lhcs_triggers = 0;  // summed over FNCC senders
   std::uint64_t events_processed = 0;
+
+  // Packet-pool telemetry: packets heap-allocated vs. served. `created` is
+  // the pool's high-water mark of simultaneously live packets (warm-up
+  // cost); once warm, every further acquire is a recycle, so
+  // acquired - created is the number of allocation-free packet services.
+  std::uint64_t pool_packets_created = 0;
+  std::uint64_t pool_packets_acquired = 0;
 };
 
 /// Fig. 10 dumbbell: all senders attach to switch0; the monitored queue is

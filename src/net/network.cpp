@@ -4,8 +4,44 @@
 #include <cassert>
 #include <deque>
 #include <limits>
+#include <utility>
 
 namespace fncc {
+
+// Explicit moves (rather than = default) so the source is left detectably
+// empty: a defaulted move would keep sim_ pointing at the simulator while
+// every container is hollow — a state that passes nullptr checks but fails
+// on first use. See the class comment for the full contract.
+Network::Network(Network&& other) noexcept
+    : sim_(std::exchange(other.sim_, nullptr)),
+      nodes_(std::move(other.nodes_)),
+      switches_(std::move(other.switches_)),
+      hosts_(std::move(other.hosts_)),
+      adj_(std::move(other.adj_)),
+      next_port_(std::move(other.next_port_)) {
+  other.nodes_.clear();
+  other.switches_.clear();
+  other.hosts_.clear();
+  other.adj_.clear();
+  other.next_port_.clear();
+}
+
+Network& Network::operator=(Network&& other) noexcept {
+  if (this != &other) {
+    sim_ = std::exchange(other.sim_, nullptr);
+    nodes_ = std::move(other.nodes_);
+    switches_ = std::move(other.switches_);
+    hosts_ = std::move(other.hosts_);
+    adj_ = std::move(other.adj_);
+    next_port_ = std::move(other.next_port_);
+    other.nodes_.clear();
+    other.switches_.clear();
+    other.hosts_.clear();
+    other.adj_.clear();
+    other.next_port_.clear();
+  }
+  return *this;
+}
 
 NodeId Network::AddNode(std::unique_ptr<Node> node) {
   assert(node->id() == next_id() && "node ids must be dense and in order");

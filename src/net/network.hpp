@@ -2,6 +2,7 @@
 // routes, and answers path/RTT queries.
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <memory>
 #include <string>
@@ -20,15 +21,29 @@ namespace fncc {
 using HostFactory = std::function<std::unique_ptr<Endpoint>(
     Simulator* sim, NodeId id, const std::string& name)>;
 
+/// Ownership contract: Network owns its nodes (nodes_) and caches raw
+/// pointers to them (switches_, hosts_, and the EgressPort peer wiring).
+/// Those caches stay valid across a move because node storage is
+/// individually heap-owned — moving the Network moves the unique_ptrs, not
+/// the nodes. The Simulator is never owned; it must outlive the Network.
+///
+/// Moves exist solely so topology builders can return {Network, ids}
+/// structs by value. A moved-from Network is empty (sim() == nullptr,
+/// num_nodes() == 0) and must not be used again except to destroy or
+/// assign into — enforced by assertions on the accessors below.
 class Network {
  public:
   explicit Network(Simulator* sim) : sim_(sim) {}
-  Network(Network&&) = default;
-  Network& operator=(Network&&) = default;
+  Network(Network&& other) noexcept;
+  Network& operator=(Network&& other) noexcept;
 
-  [[nodiscard]] Simulator* sim() const { return sim_; }
+  [[nodiscard]] Simulator* sim() const {
+    assert(sim_ != nullptr && "use of moved-from Network");
+    return sim_;
+  }
 
   [[nodiscard]] NodeId next_id() const {
+    assert(sim_ != nullptr && "use of moved-from Network");
     return static_cast<NodeId>(nodes_.size());
   }
 

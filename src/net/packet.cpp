@@ -2,22 +2,30 @@
 
 #include <atomic>
 
+#include "net/packet_pool.hpp"
+
 namespace fncc {
 
 namespace {
 std::atomic<std::uint64_t> g_next_uid{1};
 }
 
-PacketPtr MakePacket() {
-  auto p = std::make_unique<Packet>();
-  p->uid = g_next_uid.fetch_add(1, std::memory_order_relaxed);
-  return p;
+std::uint64_t NextPacketUid() {
+  return g_next_uid.fetch_add(1, std::memory_order_relaxed);
 }
 
+void PacketReclaimer::operator()(Packet* p) const noexcept {
+  if (pool != nullptr) {
+    pool->Release(p);
+  } else {
+    delete p;
+  }
+}
+
+PacketPtr MakePacket() { return DefaultPacketPool().Acquire(); }
+
 PacketPtr ClonePacket(const Packet& src) {
-  auto p = std::make_unique<Packet>(src);
-  p->uid = g_next_uid.fetch_add(1, std::memory_order_relaxed);
-  return p;
+  return DefaultPacketPool().Clone(src);
 }
 
 }  // namespace fncc

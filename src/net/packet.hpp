@@ -100,14 +100,62 @@ struct Packet {
   [[nodiscard]] bool IsControl() const {
     return type == PacketType::kPfcPause || type == PacketType::kPfcResume;
   }
+
+  /// Restores every field to its default without touching the INT stack's
+  /// backing storage (clear() only resets its size) — the cheap reset the
+  /// PacketPool hot path relies on. When adding a field to Packet, reset it
+  /// here; tests/net/packet_pool_test.cpp checks recycled packets are
+  /// indistinguishable from fresh ones.
+  void Reset() {
+    uid = 0;
+    flow = 0;
+    src = kInvalidNode;
+    dst = kInvalidNode;
+    sport = 0;
+    dport = 0;
+    type = PacketType::kData;
+    size_bytes = 0;
+    seq = 0;
+    payload_bytes = 0;
+    last_of_flow = false;
+    ecn_ce = false;
+    concurrent_flows = 0;
+    rocc_rate_gbps = 0.0;
+    int_stack.clear();
+    int_reversed = false;
+    t_sent = 0;
+    path_id = 0;
+    req_path_id = 0;
+    ingress_port = 0;
+  }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+class PacketPool;
 
-/// Allocates a packet with a fresh uid.
+/// Deleter for pooled packets: hands the packet back to its owning pool's
+/// free list instead of freeing it. A default-constructed reclaimer (null
+/// pool) deletes, so a PacketPtr can also own a plain heap packet.
+struct PacketReclaimer {
+  PacketPool* pool = nullptr;
+  void operator()(Packet* p) const noexcept;
+};
+
+/// Owning handle to a packet. RAII: destroying the handle returns the packet
+/// to its pool for reuse. The pool must outlive every handle it issued (see
+/// PacketPool's class comment for the ownership contract).
+using PacketPtr = std::unique_ptr<Packet, PacketReclaimer>;
+
+/// Next value of the process-wide packet uid counter. Shared by every pool
+/// so uids stay unique per simulation even with multiple pools alive.
+std::uint64_t NextPacketUid();
+
+/// Allocates a packet with a fresh uid from the thread-default PacketPool —
+/// the convenience path tests and tools use; simulation components allocate
+/// from their Simulator's pool instead.
 PacketPtr MakePacket();
 
 /// Clones every field except uid (fresh) — used by tests and mirroring.
+/// Also served from the thread-default pool.
 PacketPtr ClonePacket(const Packet& p);
 
 }  // namespace fncc

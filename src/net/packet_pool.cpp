@@ -1,0 +1,43 @@
+#include "net/packet_pool.hpp"
+
+#include <cassert>
+
+namespace fncc {
+
+PacketPool::~PacketPool() {
+  // Every loaned packet must have been returned: a PacketPtr destroyed after
+  // its pool would write through a dangling pool pointer. Simulator's member
+  // order (pool before event queue) guarantees this for model code.
+  assert(free_.size() == arena_.size() &&
+         "PacketPool destroyed with packets still outstanding");
+}
+
+PacketPtr PacketPool::Acquire() {
+  Packet* p;
+  if (free_.empty()) {
+    arena_.push_back(std::make_unique<Packet>());
+    p = arena_.back().get();
+  } else {
+    p = free_.back();
+    free_.pop_back();
+    p->Reset();  // INT stack, marks, path ids — everything back to defaults
+  }
+  p->uid = NextPacketUid();
+  ++acquires_;
+  return PacketPtr(p, PacketReclaimer{this});
+}
+
+PacketPtr PacketPool::Clone(const Packet& src) {
+  PacketPtr p = Acquire();
+  const std::uint64_t uid = p->uid;
+  *p = src;
+  p->uid = uid;
+  return p;
+}
+
+PacketPool& DefaultPacketPool() {
+  thread_local PacketPool pool;
+  return pool;
+}
+
+}  // namespace fncc

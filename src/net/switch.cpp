@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/packet_pool.hpp"
 #include "sim/log.hpp"
 
 namespace fncc {
@@ -223,7 +224,7 @@ void Switch::ReleaseIngress(const Packet& pkt) {
 void Switch::SendPfc(int ingress_port, bool pause) {
   EgressPort& out = ports_[ingress_port];
   if (!out.connected()) return;
-  PacketPtr frame = MakePacket();
+  PacketPtr frame = sim()->packet_pool().Acquire();
   frame->type = pause ? PacketType::kPfcPause : PacketType::kPfcResume;
   frame->size_bytes = kPfcFrameBytes;
   if (pause) {

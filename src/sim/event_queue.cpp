@@ -1,76 +1,140 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
 #include <utility>
 
 namespace fncc {
 
+namespace {
+
+constexpr EventId MakeEventId(std::uint32_t slot, std::uint32_t generation) {
+  // slot + 1 in the low half keeps 0 reserved for kInvalidEventId.
+  return (static_cast<EventId>(generation) << 32) |
+         (static_cast<EventId>(slot) + 1);
+}
+
+}  // namespace
+
 EventId EventQueue::Schedule(Time t, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{t, id, std::move(cb)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_meta_.size());
+    slot_meta_.emplace_back();
+    slot_cbs_.emplace_back();
+  }
+  slot_cbs_[slot] = std::move(cb);
+  SlotMeta& meta = slot_meta_[slot];
+
+  heap_.push_back(HeapEntry{t, next_seq_++, slot});
+  meta.heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
   SiftUp(heap_.size() - 1);
-  pending_.insert(id);
-  ++live_;
-  return id;
+  return MakeEventId(slot, meta.generation);
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (pending_.erase(id) == 0) return false;
-  cancelled_.insert(id);
-  --live_;
+  const std::uint64_t low = id & 0xFFFF'FFFFu;
+  if (low == 0 || low > slot_meta_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(low - 1);
+  SlotMeta& meta = slot_meta_[slot];
+  if (meta.heap_pos == kNoPos ||
+      meta.generation != static_cast<std::uint32_t>(id >> 32)) {
+    return false;  // already ran, already cancelled, or slot was reused
+  }
+  RemoveAt(meta.heap_pos);
+  ReleaseSlot(slot);
   return true;
 }
 
-Time EventQueue::NextTime() {
-  if (live_ == 0) return kTimeInfinity;
-  DropCancelledTop();
-  return heap_[0].t;
-}
-
 EventQueue::Callback EventQueue::PopNext(Time* t) {
-  DropCancelledTop();
   assert(!heap_.empty() && "PopNext on empty queue");
-  Entry top = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) SiftDown(0);
-  pending_.erase(top.id);
-  --live_;
+  const HeapEntry top = heap_.front();
   *t = top.t;
-  DropCancelledTop();  // keep top clean so NextTime() stays O(1)
-  return std::move(top.cb);
+  Callback cb = std::move(slot_cbs_[top.slot]);
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDownFromRoot(last);
+  ReleaseSlot(top.slot);
+  return cb;
 }
 
-void EventQueue::DropCancelledTop() {
-  while (!heap_.empty() && cancelled_.contains(heap_[0].id)) {
-    cancelled_.erase(heap_[0].id);
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) SiftDown(0);
+void EventQueue::RemoveAt(std::size_t pos) {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the trailing entry
+  Place(pos, last);
+  if (pos > 0 && Later(heap_[(pos - 1) / 2], heap_[pos])) {
+    SiftUp(pos);
+  } else {
+    SiftDown(pos);
   }
+}
+
+void EventQueue::ReleaseSlot(std::uint32_t slot) {
+  slot_cbs_[slot] = Callback();  // drop captured resources eagerly
+  SlotMeta& meta = slot_meta_[slot];
+  ++meta.generation;
+  meta.heap_pos = kNoPos;
+  free_slots_.push_back(slot);
 }
 
 void EventQueue::SiftUp(std::size_t i) {
+  const HeapEntry e = heap_[i];
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!Later(heap_[parent], heap_[i])) break;
-    std::swap(heap_[parent], heap_[i]);
+    if (!Later(heap_[parent], e)) break;
+    Place(i, heap_[parent]);
     i = parent;
   }
+  Place(i, e);
+}
+
+void EventQueue::SiftDownFromRoot(const HeapEntry& e) {
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  // Descend along the min-child path all the way to a leaf.
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    if (l >= n) break;
+    const std::size_t r = l + 1;
+    const std::size_t c = (r < n && Later(heap_[l], heap_[r])) ? r : l;
+    Place(i, heap_[c]);
+    i = c;
+  }
+  // Bubble e back up from the leaf hole to its resting place.
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!Later(heap_[parent], e)) break;
+    Place(i, heap_[parent]);
+    i = parent;
+  }
+  Place(i, e);
 }
 
 void EventQueue::SiftDown(std::size_t i) {
+  const HeapEntry e = heap_[i];
   const std::size_t n = heap_.size();
   while (true) {
     std::size_t smallest = i;
     const std::size_t l = 2 * i + 1;
     const std::size_t r = 2 * i + 2;
-    if (l < n && Later(heap_[smallest], heap_[l])) smallest = l;
-    if (r < n && Later(heap_[smallest], heap_[r])) smallest = r;
+    // Compare children against the element being sunk, tracking which of
+    // the three belongs at position i.
+    const HeapEntry* best = &e;
+    if (l < n && Later(*best, heap_[l])) {
+      smallest = l;
+      best = &heap_[l];
+    }
+    if (r < n && Later(*best, heap_[r])) {
+      smallest = r;
+      best = &heap_[r];
+    }
     if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
+    Place(i, heap_[smallest]);
     i = smallest;
   }
+  Place(i, e);
 }
 
 }  // namespace fncc

@@ -2,7 +2,16 @@
 
 #include <cassert>
 
+// The sim kernel is otherwise below the net layer; the packet arena is the
+// one deliberate exception so every component of a run shares one pool with
+// run lifetime (see README.md, "Layer map").
+#include "net/packet_pool.hpp"
+
 namespace fncc {
+
+Simulator::Simulator() : pool_(std::make_unique<PacketPool>()) {}
+
+Simulator::~Simulator() = default;
 
 void Simulator::Run() {
   stopped_ = false;

@@ -1,13 +1,17 @@
-// The discrete-event simulation kernel: a clock plus an event queue.
+// The discrete-event simulation kernel: a clock, an event queue, and the
+// per-run packet arena.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace fncc {
+
+class PacketPool;  // net/packet_pool.hpp; owned here as an opaque arena
 
 /// Single-threaded discrete-event simulator. All model components hold a
 /// non-owning pointer to the Simulator that drives them; the Simulator is
@@ -15,9 +19,17 @@ namespace fncc {
 /// scenario runner).
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// The per-run packet arena. Every packet a model component allocates
+  /// comes from here so steady-state traffic is heap-allocation-free and
+  /// all packet storage dies with the run. Declared before (destroyed
+  /// after) the event queue: callbacks still holding PacketPtrs at teardown
+  /// return them to a live pool.
+  [[nodiscard]] PacketPool& packet_pool() { return *pool_; }
 
   /// Current simulation time.
   [[nodiscard]] Time Now() const { return now_; }
@@ -50,6 +62,9 @@ class Simulator {
   [[nodiscard]] std::size_t events_pending() { return queue_.size(); }
 
  private:
+  // Destruction runs bottom-up: queue_ (and the packets its callbacks hold)
+  // goes before pool_. Keep pool_ first.
+  std::unique_ptr<PacketPool> pool_;
   EventQueue queue_;
   Time now_ = 0;
   bool stopped_ = false;

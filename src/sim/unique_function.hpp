@@ -1,8 +1,17 @@
 // Move-only type-erased callable (std::move_only_function is C++23; this
 // project targets C++20). Needed so events can own packets via unique_ptr.
+//
+// Unlike std::function, this implementation has a small-buffer optimization
+// sized for the simulator's hot-path closures (a `this` pointer, a PacketPtr,
+// a port index): callables up to kInlineBytes that are nothrow-movable live
+// inside the object and never touch the heap. Scheduling an event is
+// therefore allocation-free, which together with the pool-allocated packet
+// path makes the steady-state packet loop malloc-free.
 #pragma once
 
-#include <memory>
+#include <cstddef>
+#include <cstring>
+#include <new>
 #include <type_traits>
 #include <utility>
 
@@ -11,48 +20,121 @@ namespace fncc {
 template <typename Signature>
 class UniqueFunction;
 
-/// Minimal move-only std::function replacement. Supports invocation,
-/// move, and bool conversion — all the event queue requires.
+/// Minimal move-only std::function replacement with inline storage.
+/// Supports invocation, move, and bool conversion — all the event queue
+/// requires.
 template <typename R, typename... Args>
 class UniqueFunction<R(Args...)> {
  public:
+  /// Inline storage budget. Sized so every closure the packet pipeline
+  /// schedules (worst case: peer Node*, int port, 16-byte PacketPtr) stays
+  /// inline with room to spare; larger captures fall back to the heap.
+  static constexpr std::size_t kInlineBytes = 48;
+
   UniqueFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
                 std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
-  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
-      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    } else {
+      D* heap = new D(std::forward<F>(f));
+      std::memcpy(buf_, &heap, sizeof(heap));
+    }
+    vtable_ = &kVTable<D>;
+  }
 
-  UniqueFunction(UniqueFunction&&) noexcept = default;
-  UniqueFunction& operator=(UniqueFunction&&) noexcept = default;
+  UniqueFunction(UniqueFunction&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) vtable_->relocate(other.buf_, buf_);
+    other.vtable_ = nullptr;
+  }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) vtable_->relocate(other.buf_, buf_);
+      other.vtable_ = nullptr;
+    }
+    return *this;
+  }
+
   UniqueFunction(const UniqueFunction&) = delete;
   UniqueFunction& operator=(const UniqueFunction&) = delete;
 
+  ~UniqueFunction() { Reset(); }
+
   R operator()(Args... args) {
-    return impl_->Invoke(std::forward<Args>(args)...);
+    return vtable_->invoke(buf_, std::forward<Args>(args)...);
   }
 
-  explicit operator bool() const { return impl_ != nullptr; }
+  explicit operator bool() const { return vtable_ != nullptr; }
 
  private:
-  struct Base {
-    virtual ~Base() = default;
-    virtual R Invoke(Args&&... args) = 0;
+  struct VTable {
+    R (*invoke)(unsigned char* storage, Args&&... args);
+    /// Moves the callable from `src` storage into `dst` storage and leaves
+    /// `src` destroyed (inline) or empty (heap pointer stolen).
+    void (*relocate)(unsigned char* src, unsigned char* dst) noexcept;
+    void (*destroy)(unsigned char* storage) noexcept;
   };
 
-  template <typename F>
-  struct Impl final : Base {
-    explicit Impl(F&& f) : fn(std::move(f)) {}
-    explicit Impl(const F& f) : fn(f) {}
-    R Invoke(Args&&... args) override {
-      return fn(std::forward<Args>(args)...);
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* Target(unsigned char* storage) noexcept {
+    if constexpr (kFitsInline<D>) {
+      return std::launder(reinterpret_cast<D*>(storage));
+    } else {
+      D* heap = nullptr;
+      std::memcpy(&heap, storage, sizeof(heap));
+      return heap;
     }
-    F fn;
+  }
+
+  template <typename D>
+  struct Ops {
+    static R Invoke(unsigned char* storage, Args&&... args) {
+      return (*Target<D>(storage))(std::forward<Args>(args)...);
+    }
+    static void Relocate(unsigned char* src, unsigned char* dst) noexcept {
+      if constexpr (kFitsInline<D>) {
+        D* from = Target<D>(src);
+        ::new (static_cast<void*>(dst)) D(std::move(*from));
+        from->~D();
+      } else {
+        std::memcpy(dst, src, sizeof(D*));
+      }
+    }
+    static void Destroy(unsigned char* storage) noexcept {
+      if constexpr (kFitsInline<D>) {
+        Target<D>(storage)->~D();
+      } else {
+        delete Target<D>(storage);
+      }
+    }
   };
 
-  std::unique_ptr<Base> impl_;
+  template <typename D>
+  static constexpr VTable kVTable{&Ops<D>::Invoke, &Ops<D>::Relocate,
+                                  &Ops<D>::Destroy};
+
+  void Reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(buf_);
+      vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
 };
 
 }  // namespace fncc

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "net/packet_pool.hpp"
 #include "sim/log.hpp"
 
 namespace fncc {
@@ -93,7 +94,7 @@ void Host::HandleData(PacketPtr pkt) {
 
 void Host::SendAck(const Packet& data, RecvCtx& ctx) {
   ctx.pkts_since_ack = 0;
-  PacketPtr ack = MakePacket();
+  PacketPtr ack = sim()->packet_pool().Acquire();
   ack->type = PacketType::kAck;
   ack->flow = data.flow;
   ack->src = id();
@@ -122,7 +123,7 @@ void Host::MaybeSendCnp(const Packet& data, RecvCtx& ctx) {
   if (!data.ecn_ce) return;
   if (sim()->Now() - ctx.last_cnp < config_.cnp_interval) return;
   ctx.last_cnp = sim()->Now();
-  PacketPtr cnp = MakePacket();
+  PacketPtr cnp = sim()->packet_pool().Acquire();
   cnp->type = PacketType::kCnp;
   cnp->flow = data.flow;
   cnp->src = id();

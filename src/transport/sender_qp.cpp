@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/cc_factory.hpp"
+#include "net/packet_pool.hpp"
 #include "sim/log.hpp"
 #include "transport/host.hpp"
 
@@ -57,7 +58,7 @@ void SenderQp::SendOnePacket() {
   const std::uint32_t bytes = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(mtu, spec_.size_bytes - snd_nxt_));
 
-  PacketPtr pkt = MakePacket();
+  PacketPtr pkt = sim->packet_pool().Acquire();
   pkt->type = PacketType::kData;
   pkt->flow = spec_.id;
   pkt->src = spec_.src;

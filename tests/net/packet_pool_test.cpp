@@ -1,0 +1,181 @@
+#include "net/packet_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace fncc {
+namespace {
+
+TEST(PacketPoolTest, AcquireGivesDefaultPacketWithFreshUid) {
+  PacketPool pool;
+  PacketPtr a = pool.Acquire();
+  PacketPtr b = pool.Acquire();
+  EXPECT_NE(a->uid, 0u);
+  EXPECT_NE(a->uid, b->uid);
+  EXPECT_EQ(a->type, PacketType::kData);
+  EXPECT_TRUE(a->int_stack.empty());
+  EXPECT_EQ(pool.total_created(), 2u);
+  EXPECT_EQ(pool.outstanding(), 2u);
+}
+
+TEST(PacketPoolTest, RecycledPacketIsIndistinguishableFromFresh) {
+  PacketPool pool;
+  std::uint64_t first_uid = 0;
+  Packet* first_addr = nullptr;
+  {
+    PacketPtr p = pool.Acquire();
+    first_uid = p->uid;
+    first_addr = p.get();
+    // Dirty every field a stale reuse could leak.
+    p->type = PacketType::kAck;
+    p->flow = 7;
+    p->ecn_ce = true;
+    p->path_id = 0xABC;
+    p->req_path_id = 0xDEF;
+    p->int_reversed = true;
+    p->concurrent_flows = 9;
+    p->rocc_rate_gbps = 50.0;
+    p->last_of_flow = true;
+    p->src = 1;
+    p->dst = 2;
+    p->sport = 3;
+    p->dport = 4;
+    p->seq = 5;
+    p->size_bytes = 6;
+    p->payload_bytes = 7;
+    p->t_sent = 8;
+    p->ingress_port = 9;
+    for (int i = 0; i < 5; ++i) {
+      p->int_stack.push_back(IntEntry{100.0, 123, 456, 789});
+    }
+  }  // returns to the pool
+
+  PacketPtr q = pool.Acquire();
+  EXPECT_EQ(q.get(), first_addr) << "free list should recycle the packet";
+  EXPECT_EQ(pool.total_created(), 1u);
+  EXPECT_NE(q->uid, first_uid) << "recycled packet must get a fresh uid";
+  // No telemetry or header state leaks across the reuse.
+  EXPECT_TRUE(q->int_stack.empty());
+  EXPECT_EQ(q->type, PacketType::kData);
+  EXPECT_EQ(q->flow, 0u);
+  EXPECT_FALSE(q->ecn_ce);
+  EXPECT_FALSE(q->int_reversed);
+  EXPECT_FALSE(q->last_of_flow);
+  EXPECT_EQ(q->path_id, 0);
+  EXPECT_EQ(q->req_path_id, 0);
+  EXPECT_EQ(q->concurrent_flows, 0);
+  EXPECT_EQ(q->rocc_rate_gbps, 0.0);
+  EXPECT_EQ(q->src, kInvalidNode);
+  EXPECT_EQ(q->dst, kInvalidNode);
+  EXPECT_EQ(q->sport, 0);
+  EXPECT_EQ(q->dport, 0);
+  EXPECT_EQ(q->seq, 0u);
+  EXPECT_EQ(q->size_bytes, 0u);
+  EXPECT_EQ(q->payload_bytes, 0u);
+  EXPECT_EQ(q->t_sent, 0);
+  EXPECT_EQ(q->ingress_port, 0);
+}
+
+TEST(PacketPoolTest, CloneCopiesEverythingExceptUid) {
+  PacketPool pool;
+  PacketPtr src = pool.Acquire();
+  src->type = PacketType::kAck;
+  src->flow = 3;
+  src->seq = 1'000'000;
+  src->int_stack.push_back(IntEntry{400.0, 1, 2, 3});
+  src->int_reversed = true;
+
+  PacketPtr copy = pool.Clone(*src);
+  EXPECT_NE(copy->uid, src->uid);
+  EXPECT_EQ(copy->type, PacketType::kAck);
+  EXPECT_EQ(copy->flow, 3u);
+  EXPECT_EQ(copy->seq, 1'000'000u);
+  EXPECT_TRUE(copy->int_reversed);
+  ASSERT_EQ(copy->int_stack.size(), 1u);
+  EXPECT_EQ(copy->int_stack[0], (IntEntry{400.0, 1, 2, 3}));
+}
+
+TEST(PacketPoolTest, PoolSizeStaysBoundedUnderLongRun) {
+  // 100k acquires with at most kDepth outstanding: the arena must stay at
+  // its high-water mark, i.e. steady-state traffic allocates nothing.
+  PacketPool pool;
+  constexpr std::size_t kDepth = 32;
+  std::mt19937 rng(7);
+  std::vector<PacketPtr> inflight;
+  for (int i = 0; i < 100'000; ++i) {
+    if (inflight.size() < kDepth && (inflight.empty() || rng() % 2 == 0)) {
+      inflight.push_back(pool.Acquire());
+    } else {
+      const std::size_t victim = rng() % inflight.size();
+      std::swap(inflight[victim], inflight.back());
+      inflight.pop_back();
+    }
+  }
+  EXPECT_LE(pool.total_created(), kDepth);
+  EXPECT_GE(pool.acquires(), 10'000u);
+  EXPECT_EQ(pool.outstanding(), inflight.size());
+  inflight.clear();
+  EXPECT_EQ(pool.outstanding(), 0u);
+  EXPECT_EQ(pool.free_count(), pool.total_created());
+}
+
+TEST(PacketPoolTest, UidsUniqueAcrossPools) {
+  PacketPool a;
+  PacketPool b;
+  std::set<std::uint64_t> uids;
+  for (int i = 0; i < 100; ++i) {
+    uids.insert(a.Acquire()->uid);
+    uids.insert(b.Acquire()->uid);
+    uids.insert(MakePacket()->uid);  // thread-default pool
+  }
+  EXPECT_EQ(uids.size(), 300u);
+}
+
+TEST(PacketPoolTest, MakePacketWrapperUsesThreadDefaultPool) {
+  PacketPool& pool = DefaultPacketPool();
+  const std::uint64_t before = pool.acquires();
+  PacketPtr p = MakePacket();
+  PacketPtr c = ClonePacket(*p);
+  EXPECT_EQ(pool.acquires(), before + 2);
+  EXPECT_NE(c->uid, p->uid);
+}
+
+TEST(PacketPoolTest, SimulatorOwnsAPerRunPool) {
+  Simulator sim_a;
+  Simulator sim_b;
+  EXPECT_NE(&sim_a.packet_pool(), &sim_b.packet_pool());
+  PacketPtr p = sim_a.packet_pool().Acquire();
+  EXPECT_EQ(sim_a.packet_pool().outstanding(), 1u);
+  EXPECT_EQ(sim_b.packet_pool().outstanding(), 0u);
+  p.reset();
+  EXPECT_EQ(sim_a.packet_pool().outstanding(), 0u);
+  EXPECT_EQ(sim_a.packet_pool().free_count(), 1u);
+}
+
+TEST(PacketPoolTest, PacketsHeldInScheduledEventsDrainSafely) {
+  // Packets captured in never-run events must flow back into the pool when
+  // the queue is destroyed before the pool (Simulator member order).
+  Simulator sim;
+  for (int i = 0; i < 8; ++i) {
+    sim.Schedule(1000, [p = sim.packet_pool().Acquire()] { (void)p; });
+  }
+  EXPECT_EQ(sim.packet_pool().outstanding(), 8u);
+  // Destroying `sim` at scope exit must not trip the pool's
+  // all-packets-returned assertion.
+}
+
+TEST(PacketPoolTest, DetachedPacketPtrOwnsPlainHeapPacket) {
+  // A PacketPtr with a null reclaimer pool behaves like unique_ptr.
+  PacketPtr p(new Packet{}, PacketReclaimer{});
+  p->uid = NextPacketUid();
+  EXPECT_NE(p->uid, 0u);
+}
+
+}  // namespace
+}  // namespace fncc

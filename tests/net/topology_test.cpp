@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
 
 #include "../test_util.hpp"
 
@@ -167,6 +168,41 @@ TEST(FatTreeAsymmetryTest, PlainHashBreaksPathSymmetry) {
     if (fwd != rev) ++asymmetric;
   }
   EXPECT_GT(asymmetric, 5);  // plain hashing routinely diverges
+}
+
+TEST(NetworkMoveTest, MovePreservesNodeCachesAndWiring) {
+  // Topology builders return {Network, ids} structs by value; a move must
+  // keep the raw-pointer caches (switches_/hosts_) and the EgressPort peer
+  // wiring pointing at the still-live heap-owned nodes.
+  Simulator sim;
+  Rng rng(1);
+  auto topo =
+      BuildDumbbell(&sim, SinkFactory(), SwitchConfig{}, &rng, 2, 2, {});
+  const Node* sw0_before = topo.net.node(topo.switches[0]);
+
+  Network moved = std::move(topo.net);
+  EXPECT_EQ(moved.sim(), &sim);
+  EXPECT_EQ(moved.num_nodes(), 5u);  // 2 senders + receiver + 2 switches
+  EXPECT_EQ(moved.node(topo.switches[0]), sw0_before);
+  ASSERT_EQ(moved.switches().size(), 2u);
+  EXPECT_EQ(moved.switches()[0], sw0_before);
+  // Link wiring survives: routing still resolves end to end.
+  moved.ComputeRoutes();
+  const auto path = moved.Path(topo.senders[0], topo.receiver, 1000, 2000);
+  EXPECT_EQ(path.size(), 4u);
+}
+
+TEST(NetworkMoveTest, MovedFromNetworkIsEmpty) {
+  Simulator sim;
+  Network net(&sim);
+  Network moved = std::move(net);
+  // Contract (see Network's class comment): the source is left empty and
+  // must not be reused. These observable properties are what the debug
+  // assertions key on.
+  EXPECT_EQ(net.num_nodes(), 0u);      // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(net.hosts().empty());    // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(net.switches().empty()); // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(moved.sim(), &sim);
 }
 
 TEST(FatTreeTest8, InterPodRttLargerThanIntraRack) {

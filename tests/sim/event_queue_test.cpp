@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
 #include <vector>
 
 namespace fncc {
@@ -118,6 +123,145 @@ TEST(EventQueueTest, MoveOnlyCallbacksSupported) {
   Time t = 0;
   q.PopNext(&t)();
   EXPECT_EQ(got, 7);
+}
+
+TEST(EventQueueTest, StaleIdAfterSlotReuseDoesNotCancelNewEvent) {
+  // ABA guard: cancelling with an id whose slot has been recycled must not
+  // touch the slot's new occupant.
+  EventQueue q;
+  bool first_ran = false;
+  bool second_ran = false;
+
+  const EventId first = q.Schedule(10, [&] { first_ran = true; });
+  Time t = 0;
+  q.PopNext(&t)();  // first runs; its slot is released
+  EXPECT_TRUE(first_ran);
+
+  // The next schedule reuses the freed slot (LIFO free list).
+  const EventId second = q.Schedule(20, [&] { second_ran = true; });
+  EXPECT_NE(first, second);
+
+  EXPECT_FALSE(q.Cancel(first));  // stale generation: must be a no-op
+  EXPECT_EQ(q.size(), 1u);
+  q.PopNext(&t)();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(EventQueueTest, StaleIdAfterCancelledSlotReuse) {
+  EventQueue q;
+  const EventId first = q.Schedule(10, [] {});
+  EXPECT_TRUE(q.Cancel(first));
+
+  bool ran = false;
+  q.Schedule(5, [&] { ran = true; });
+  EXPECT_FALSE(q.Cancel(first));  // must not cancel the reused slot
+  Time t = 0;
+  q.PopNext(&t)();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueueTest, CancelReleasesCallbackResourcesEagerly) {
+  // A cancelled event deep in the heap must drop its captures immediately
+  // (e.g. a pooled packet), not when the entry would have reached the top.
+  EventQueue q;
+  auto token = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = token;
+  q.Schedule(1, [] {});  // keeps the queue non-empty throughout
+  const EventId id = q.Schedule(1000, [t = std::move(token)] { (void)*t; });
+  EXPECT_EQ(watch.use_count(), 1);
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueueTest, CancelRescheduleStress) {
+  // Randomized schedule/cancel/reschedule/pop against a reference model.
+  // Exercises slot recycling, interior heap removal, and FIFO stability.
+  EventQueue q;
+  std::mt19937 rng(0x5eed);
+  std::map<std::uint64_t, EventId> live;  // token -> id of schedulable event
+  std::vector<std::uint64_t> executed;
+  std::vector<std::uint64_t> cancelled;
+  std::uint64_t next_token = 0;
+  Time now = 0;
+
+  const auto schedule = [&](Time at) {
+    const std::uint64_t token = next_token++;
+    live[token] = q.Schedule(at, [&executed, token] {
+      executed.push_back(token);
+    });
+    return token;
+  };
+
+  for (int round = 0; round < 400; ++round) {
+    const int op = static_cast<int>(rng() % 100);
+    if (op < 45 || live.empty()) {
+      schedule(now + 1 + static_cast<Time>(rng() % 50));
+    } else if (op < 65) {
+      // Cancel a random live event.
+      auto it = live.begin();
+      std::advance(it, rng() % live.size());
+      EXPECT_TRUE(q.Cancel(it->second));
+      EXPECT_FALSE(q.Cancel(it->second));  // idempotence: second try fails
+      cancelled.push_back(it->first);
+      live.erase(it);
+    } else if (op < 80) {
+      // Reschedule: cancel + schedule again (the RTO re-arm pattern).
+      auto it = live.begin();
+      std::advance(it, rng() % live.size());
+      EXPECT_TRUE(q.Cancel(it->second));
+      cancelled.push_back(it->first);
+      live.erase(it);
+      schedule(now + 1 + static_cast<Time>(rng() % 50));
+    } else {
+      // Pop a few events; time must never go backwards.
+      for (int i = 0; i < 3 && !q.Empty(); ++i) {
+        Time t = 0;
+        q.PopNext(&t)();
+        EXPECT_GE(t, now);
+        now = t;
+        const std::uint64_t token = executed.back();
+        EXPECT_EQ(live.erase(token), 1u) << "popped a cancelled/dead event";
+      }
+    }
+    EXPECT_EQ(q.size(), live.size());
+  }
+  while (!q.Empty()) {
+    Time t = 0;
+    q.PopNext(&t)();
+    EXPECT_GE(t, now);
+    now = t;
+    EXPECT_EQ(live.erase(executed.back()), 1u);
+  }
+  EXPECT_TRUE(live.empty());
+  // Exactly the non-cancelled tokens executed, each exactly once.
+  EXPECT_EQ(executed.size() + cancelled.size(), next_token);
+  std::sort(executed.begin(), executed.end());
+  EXPECT_EQ(std::unique(executed.begin(), executed.end()), executed.end());
+  std::sort(cancelled.begin(), cancelled.end());
+  std::vector<std::uint64_t> overlap;
+  std::set_intersection(executed.begin(), executed.end(), cancelled.begin(),
+                        cancelled.end(), std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty()) << "a cancelled event executed anyway";
+}
+
+TEST(EventQueueTest, FifoStableAcrossSlotRecycling) {
+  // Recycled slots must not disturb the FIFO order of simultaneous events
+  // (ordering is by schedule sequence, not by slot or id value).
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.Schedule(5, [&] { order.push_back(-1); });
+  const EventId b = q.Schedule(5, [&] { order.push_back(-2); });
+  q.Cancel(a);
+  q.Cancel(b);  // frees two low slots; next schedules reuse them LIFO
+  for (int i = 0; i < 8; ++i) {
+    q.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.Empty()) {
+    Time t = 0;
+    q.PopNext(&t)();
+  }
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
 }
 
 TEST(EventQueueTest, StressInterleavedScheduleCancelPop) {

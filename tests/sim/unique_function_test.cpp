@@ -1,0 +1,113 @@
+#include "sim/unique_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+namespace fncc {
+namespace {
+
+using Fn = UniqueFunction<int()>;
+
+TEST(UniqueFunctionTest, DefaultConstructedIsEmpty) {
+  Fn f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunctionTest, InvokesSmallInlineCallable) {
+  int x = 41;
+  Fn f = [&x] { return x + 1; };
+  EXPECT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(UniqueFunctionTest, InvokesLargeHeapCallable) {
+  // Captures larger than the inline buffer take the heap path.
+  std::array<int, 64> big{};
+  big[0] = 1;
+  big[63] = 2;
+  static_assert(sizeof(big) > Fn::kInlineBytes);
+  Fn f = [big] { return big[0] + big[63]; };
+  EXPECT_EQ(f(), 3);
+}
+
+TEST(UniqueFunctionTest, MoveTransfersSmallCallable) {
+  Fn f = [] { return 7; };
+  Fn g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(g(), 7);
+  Fn h;
+  h = std::move(g);
+  EXPECT_EQ(h(), 7);
+}
+
+TEST(UniqueFunctionTest, MoveTransfersLargeCallable) {
+  std::array<int, 64> big{};
+  big[5] = 9;
+  Fn f = [big] { return big[5]; };
+  Fn g = std::move(f);
+  EXPECT_EQ(g(), 9);
+}
+
+TEST(UniqueFunctionTest, MoveOnlyCaptureSupportedBothPaths) {
+  // Inline path.
+  auto small = std::make_unique<int>(5);
+  Fn f = [p = std::move(small)] { return *p; };
+  EXPECT_EQ(f(), 5);
+  // Heap path: unique_ptr plus padding beyond the inline budget.
+  struct Big {
+    std::unique_ptr<int> p;
+    std::array<char, 64> pad;
+  };
+  Fn g = [b = Big{std::make_unique<int>(6), {}}] { return *b.p; };
+  EXPECT_EQ(g(), 6);
+}
+
+TEST(UniqueFunctionTest, DestroysCaptureExactlyOnce) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  {
+    UniqueFunction<void()> f = [t = std::move(token)] { (void)t; };
+    EXPECT_EQ(watch.use_count(), 1);
+    UniqueFunction<void()> g = std::move(f);
+    EXPECT_EQ(watch.use_count(), 1) << "move must not duplicate the capture";
+  }
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(UniqueFunctionTest, AssignmentDestroysPreviousCallable) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  UniqueFunction<void()> f = [t = std::move(token)] { (void)t; };
+  f = [] {};
+  EXPECT_TRUE(watch.expired());
+  f();
+}
+
+TEST(UniqueFunctionTest, ForwardsArgumentsAndMutatesState) {
+  UniqueFunction<int(int, int)> f = [acc = 0](int a, int b) mutable {
+    acc += a + b;
+    return acc;
+  };
+  EXPECT_EQ(f(1, 2), 3);
+  EXPECT_EQ(f(3, 4), 10);  // stateful: same closure instance
+}
+
+TEST(UniqueFunctionTest, HotPathClosureFitsInline) {
+  // The egress-port completion closure (peer pointer, port, PacketPtr-sized
+  // payload) is the largest closure on the packet hot path; it must stay
+  // within the inline budget or every transmit would allocate.
+  struct HotCapture {
+    void* peer;
+    int port;
+    void* packet;
+    void* pool;
+  };
+  static_assert(sizeof(HotCapture) <= Fn::kInlineBytes);
+  static_assert(UniqueFunction<void()>::kInlineBytes >= 48);
+}
+
+}  // namespace
+}  // namespace fncc
