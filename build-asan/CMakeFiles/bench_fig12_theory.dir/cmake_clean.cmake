@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_theory.dir/bench/bench_fig12_theory.cpp.o"
+  "CMakeFiles/bench_fig12_theory.dir/bench/bench_fig12_theory.cpp.o.d"
+  "bench_fig12_theory"
+  "bench_fig12_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_hops.dir/bench/bench_fig13_hops.cpp.o"
+  "CMakeFiles/bench_fig13_hops.dir/bench/bench_fig13_hops.cpp.o.d"
+  "bench_fig13_hops"
+  "bench_fig13_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_websearch.dir/bench/bench_fig14_websearch.cpp.o"
+  "CMakeFiles/bench_fig14_websearch.dir/bench/bench_fig14_websearch.cpp.o.d"
+  "bench_fig14_websearch"
+  "bench_fig14_websearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_websearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_hadoop.dir/bench/bench_fig15_hadoop.cpp.o"
+  "CMakeFiles/bench_fig15_hadoop.dir/bench/bench_fig15_hadoop.cpp.o.d"
+  "bench_fig15_hadoop"
+  "bench_fig15_hadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_hadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

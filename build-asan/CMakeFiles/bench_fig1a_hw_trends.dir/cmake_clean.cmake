@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1a_hw_trends.dir/bench/bench_fig1a_hw_trends.cpp.o"
+  "CMakeFiles/bench_fig1a_hw_trends.dir/bench/bench_fig1a_hw_trends.cpp.o.d"
+  "bench_fig1a_hw_trends"
+  "bench_fig1a_hw_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1a_hw_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_pause.dir/bench/bench_fig3_pause.cpp.o"
+  "CMakeFiles/bench_fig3_pause.dir/bench/bench_fig3_pause.cpp.o.d"
+  "bench_fig3_pause"
+  "bench_fig3_pause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_pause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

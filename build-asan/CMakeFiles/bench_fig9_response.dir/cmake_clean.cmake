@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_response.dir/bench/bench_fig9_response.cpp.o"
+  "CMakeFiles/bench_fig9_response.dir/bench/bench_fig9_response.cpp.o.d"
+  "bench_fig9_response"
+  "bench_fig9_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

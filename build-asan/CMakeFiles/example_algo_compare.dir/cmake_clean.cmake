@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_algo_compare.dir/examples/algo_compare.cpp.o"
+  "CMakeFiles/example_algo_compare.dir/examples/algo_compare.cpp.o.d"
+  "example_algo_compare"
+  "example_algo_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_algo_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

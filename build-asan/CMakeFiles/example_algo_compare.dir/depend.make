@@ -1,0 +1,2 @@
+# Empty dependencies file for example_algo_compare.
+# This may be replaced when dependencies are built.

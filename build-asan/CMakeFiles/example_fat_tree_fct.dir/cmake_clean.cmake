@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fat_tree_fct.dir/examples/fat_tree_fct.cpp.o"
+  "CMakeFiles/example_fat_tree_fct.dir/examples/fat_tree_fct.cpp.o.d"
+  "example_fat_tree_fct"
+  "example_fat_tree_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fat_tree_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

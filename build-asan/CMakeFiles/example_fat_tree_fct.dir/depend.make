@@ -1,0 +1,2 @@
+# Empty dependencies file for example_fat_tree_fct.
+# This may be replaced when dependencies are built.

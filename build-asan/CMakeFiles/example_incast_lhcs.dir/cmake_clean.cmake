@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_incast_lhcs.dir/examples/incast_lhcs.cpp.o"
+  "CMakeFiles/example_incast_lhcs.dir/examples/incast_lhcs.cpp.o.d"
+  "example_incast_lhcs"
+  "example_incast_lhcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_incast_lhcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

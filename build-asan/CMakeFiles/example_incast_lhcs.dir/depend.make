@@ -1,0 +1,2 @@
+# Empty dependencies file for example_incast_lhcs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cc/dcqcn_test.cpp" "CMakeFiles/fncc_cc_tests.dir/tests/cc/dcqcn_test.cpp.o" "gcc" "CMakeFiles/fncc_cc_tests.dir/tests/cc/dcqcn_test.cpp.o.d"
+  "/root/repo/tests/cc/fncc_test.cpp" "CMakeFiles/fncc_cc_tests.dir/tests/cc/fncc_test.cpp.o" "gcc" "CMakeFiles/fncc_cc_tests.dir/tests/cc/fncc_test.cpp.o.d"
+  "/root/repo/tests/cc/hpcc_test.cpp" "CMakeFiles/fncc_cc_tests.dir/tests/cc/hpcc_test.cpp.o" "gcc" "CMakeFiles/fncc_cc_tests.dir/tests/cc/hpcc_test.cpp.o.d"
+  "/root/repo/tests/cc/rocc_timely_test.cpp" "CMakeFiles/fncc_cc_tests.dir/tests/cc/rocc_timely_test.cpp.o" "gcc" "CMakeFiles/fncc_cc_tests.dir/tests/cc/rocc_timely_test.cpp.o.d"
+  "/root/repo/tests/cc/swift_test.cpp" "CMakeFiles/fncc_cc_tests.dir/tests/cc/swift_test.cpp.o" "gcc" "CMakeFiles/fncc_cc_tests.dir/tests/cc/swift_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/fncc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fncc_cc_tests.dir/tests/cc/dcqcn_test.cpp.o"
+  "CMakeFiles/fncc_cc_tests.dir/tests/cc/dcqcn_test.cpp.o.d"
+  "CMakeFiles/fncc_cc_tests.dir/tests/cc/fncc_test.cpp.o"
+  "CMakeFiles/fncc_cc_tests.dir/tests/cc/fncc_test.cpp.o.d"
+  "CMakeFiles/fncc_cc_tests.dir/tests/cc/hpcc_test.cpp.o"
+  "CMakeFiles/fncc_cc_tests.dir/tests/cc/hpcc_test.cpp.o.d"
+  "CMakeFiles/fncc_cc_tests.dir/tests/cc/rocc_timely_test.cpp.o"
+  "CMakeFiles/fncc_cc_tests.dir/tests/cc/rocc_timely_test.cpp.o.d"
+  "CMakeFiles/fncc_cc_tests.dir/tests/cc/swift_test.cpp.o"
+  "CMakeFiles/fncc_cc_tests.dir/tests/cc/swift_test.cpp.o.d"
+  "fncc_cc_tests"
+  "fncc_cc_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fncc_cc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

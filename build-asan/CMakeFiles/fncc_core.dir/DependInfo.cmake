@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/cc_algorithm.cpp" "CMakeFiles/fncc_core.dir/src/cc/cc_algorithm.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/cc/cc_algorithm.cpp.o.d"
+  "/root/repo/src/cc/dcqcn.cpp" "CMakeFiles/fncc_core.dir/src/cc/dcqcn.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/cc/dcqcn.cpp.o.d"
+  "/root/repo/src/cc/hpcc.cpp" "CMakeFiles/fncc_core.dir/src/cc/hpcc.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/cc/hpcc.cpp.o.d"
+  "/root/repo/src/cc/rocc.cpp" "CMakeFiles/fncc_core.dir/src/cc/rocc.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/cc/rocc.cpp.o.d"
+  "/root/repo/src/cc/swift.cpp" "CMakeFiles/fncc_core.dir/src/cc/swift.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/cc/swift.cpp.o.d"
+  "/root/repo/src/cc/timely.cpp" "CMakeFiles/fncc_core.dir/src/cc/timely.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/cc/timely.cpp.o.d"
+  "/root/repo/src/core/ack_format.cpp" "CMakeFiles/fncc_core.dir/src/core/ack_format.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/core/ack_format.cpp.o.d"
+  "/root/repo/src/core/cc_factory.cpp" "CMakeFiles/fncc_core.dir/src/core/cc_factory.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/core/cc_factory.cpp.o.d"
+  "/root/repo/src/core/fncc.cpp" "CMakeFiles/fncc_core.dir/src/core/fncc.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/core/fncc.cpp.o.d"
+  "/root/repo/src/core/notification_model.cpp" "CMakeFiles/fncc_core.dir/src/core/notification_model.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/core/notification_model.cpp.o.d"
+  "/root/repo/src/harness/dumbbell_runner.cpp" "CMakeFiles/fncc_core.dir/src/harness/dumbbell_runner.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/harness/dumbbell_runner.cpp.o.d"
+  "/root/repo/src/harness/fat_tree_runner.cpp" "CMakeFiles/fncc_core.dir/src/harness/fat_tree_runner.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/harness/fat_tree_runner.cpp.o.d"
+  "/root/repo/src/harness/scenario.cpp" "CMakeFiles/fncc_core.dir/src/harness/scenario.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/harness/scenario.cpp.o.d"
+  "/root/repo/src/net/egress_port.cpp" "CMakeFiles/fncc_core.dir/src/net/egress_port.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/net/egress_port.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "CMakeFiles/fncc_core.dir/src/net/network.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/net/network.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "CMakeFiles/fncc_core.dir/src/net/packet.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/net/packet.cpp.o.d"
+  "/root/repo/src/net/packet_pool.cpp" "CMakeFiles/fncc_core.dir/src/net/packet_pool.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/net/packet_pool.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "CMakeFiles/fncc_core.dir/src/net/routing.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/net/routing.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "CMakeFiles/fncc_core.dir/src/net/switch.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/net/switch.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "CMakeFiles/fncc_core.dir/src/net/topology.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/net/topology.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/fncc_core.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "CMakeFiles/fncc_core.dir/src/sim/log.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/sim/log.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "CMakeFiles/fncc_core.dir/src/sim/simulator.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/sim/simulator.cpp.o.d"
+  "/root/repo/src/stats/csv.cpp" "CMakeFiles/fncc_core.dir/src/stats/csv.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/stats/csv.cpp.o.d"
+  "/root/repo/src/stats/fct.cpp" "CMakeFiles/fncc_core.dir/src/stats/fct.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/stats/fct.cpp.o.d"
+  "/root/repo/src/stats/percentile.cpp" "CMakeFiles/fncc_core.dir/src/stats/percentile.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/stats/percentile.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "CMakeFiles/fncc_core.dir/src/stats/timeseries.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/stats/timeseries.cpp.o.d"
+  "/root/repo/src/transport/host.cpp" "CMakeFiles/fncc_core.dir/src/transport/host.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/transport/host.cpp.o.d"
+  "/root/repo/src/transport/sender_qp.cpp" "CMakeFiles/fncc_core.dir/src/transport/sender_qp.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/transport/sender_qp.cpp.o.d"
+  "/root/repo/src/workload/cdf.cpp" "CMakeFiles/fncc_core.dir/src/workload/cdf.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/workload/cdf.cpp.o.d"
+  "/root/repo/src/workload/traffic_gen.cpp" "CMakeFiles/fncc_core.dir/src/workload/traffic_gen.cpp.o" "gcc" "CMakeFiles/fncc_core.dir/src/workload/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfncc_core.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/ack_format_test.cpp" "CMakeFiles/fncc_core_tests.dir/tests/core/ack_format_test.cpp.o" "gcc" "CMakeFiles/fncc_core_tests.dir/tests/core/ack_format_test.cpp.o.d"
+  "/root/repo/tests/core/notification_model_test.cpp" "CMakeFiles/fncc_core_tests.dir/tests/core/notification_model_test.cpp.o" "gcc" "CMakeFiles/fncc_core_tests.dir/tests/core/notification_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/fncc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

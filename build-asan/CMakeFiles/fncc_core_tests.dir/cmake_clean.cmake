@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fncc_core_tests.dir/tests/core/ack_format_test.cpp.o"
+  "CMakeFiles/fncc_core_tests.dir/tests/core/ack_format_test.cpp.o.d"
+  "CMakeFiles/fncc_core_tests.dir/tests/core/notification_model_test.cpp.o"
+  "CMakeFiles/fncc_core_tests.dir/tests/core/notification_model_test.cpp.o.d"
+  "fncc_core_tests"
+  "fncc_core_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fncc_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fncc_harness_tests.dir/tests/harness/harness_test.cpp.o"
+  "CMakeFiles/fncc_harness_tests.dir/tests/harness/harness_test.cpp.o.d"
+  "fncc_harness_tests"
+  "fncc_harness_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fncc_harness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fncc_integration_tests.dir/tests/integration/incast_lhcs_test.cpp.o"
+  "CMakeFiles/fncc_integration_tests.dir/tests/integration/incast_lhcs_test.cpp.o.d"
+  "CMakeFiles/fncc_integration_tests.dir/tests/integration/integration_test.cpp.o"
+  "CMakeFiles/fncc_integration_tests.dir/tests/integration/integration_test.cpp.o.d"
+  "CMakeFiles/fncc_integration_tests.dir/tests/integration/path_symmetry_test.cpp.o"
+  "CMakeFiles/fncc_integration_tests.dir/tests/integration/path_symmetry_test.cpp.o.d"
+  "CMakeFiles/fncc_integration_tests.dir/tests/integration/property_test.cpp.o"
+  "CMakeFiles/fncc_integration_tests.dir/tests/integration/property_test.cpp.o.d"
+  "fncc_integration_tests"
+  "fncc_integration_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fncc_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/egress_port_test.cpp" "CMakeFiles/fncc_net_tests.dir/tests/net/egress_port_test.cpp.o" "gcc" "CMakeFiles/fncc_net_tests.dir/tests/net/egress_port_test.cpp.o.d"
+  "/root/repo/tests/net/packet_pool_test.cpp" "CMakeFiles/fncc_net_tests.dir/tests/net/packet_pool_test.cpp.o" "gcc" "CMakeFiles/fncc_net_tests.dir/tests/net/packet_pool_test.cpp.o.d"
+  "/root/repo/tests/net/routing_test.cpp" "CMakeFiles/fncc_net_tests.dir/tests/net/routing_test.cpp.o" "gcc" "CMakeFiles/fncc_net_tests.dir/tests/net/routing_test.cpp.o.d"
+  "/root/repo/tests/net/spanning_tree_test.cpp" "CMakeFiles/fncc_net_tests.dir/tests/net/spanning_tree_test.cpp.o" "gcc" "CMakeFiles/fncc_net_tests.dir/tests/net/spanning_tree_test.cpp.o.d"
+  "/root/repo/tests/net/switch_test.cpp" "CMakeFiles/fncc_net_tests.dir/tests/net/switch_test.cpp.o" "gcc" "CMakeFiles/fncc_net_tests.dir/tests/net/switch_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "CMakeFiles/fncc_net_tests.dir/tests/net/topology_test.cpp.o" "gcc" "CMakeFiles/fncc_net_tests.dir/tests/net/topology_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/fncc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

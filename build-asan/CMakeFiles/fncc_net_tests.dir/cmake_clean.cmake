@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fncc_net_tests.dir/tests/net/egress_port_test.cpp.o"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/egress_port_test.cpp.o.d"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/packet_pool_test.cpp.o"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/packet_pool_test.cpp.o.d"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/routing_test.cpp.o"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/routing_test.cpp.o.d"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/spanning_tree_test.cpp.o"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/spanning_tree_test.cpp.o.d"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/switch_test.cpp.o"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/switch_test.cpp.o.d"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/topology_test.cpp.o"
+  "CMakeFiles/fncc_net_tests.dir/tests/net/topology_test.cpp.o.d"
+  "fncc_net_tests"
+  "fncc_net_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fncc_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/event_queue_test.cpp" "CMakeFiles/fncc_sim_tests.dir/tests/sim/event_queue_test.cpp.o" "gcc" "CMakeFiles/fncc_sim_tests.dir/tests/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "CMakeFiles/fncc_sim_tests.dir/tests/sim/simulator_test.cpp.o" "gcc" "CMakeFiles/fncc_sim_tests.dir/tests/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/unique_function_test.cpp" "CMakeFiles/fncc_sim_tests.dir/tests/sim/unique_function_test.cpp.o" "gcc" "CMakeFiles/fncc_sim_tests.dir/tests/sim/unique_function_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/CMakeFiles/fncc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fncc_sim_tests.dir/tests/sim/event_queue_test.cpp.o"
+  "CMakeFiles/fncc_sim_tests.dir/tests/sim/event_queue_test.cpp.o.d"
+  "CMakeFiles/fncc_sim_tests.dir/tests/sim/simulator_test.cpp.o"
+  "CMakeFiles/fncc_sim_tests.dir/tests/sim/simulator_test.cpp.o.d"
+  "CMakeFiles/fncc_sim_tests.dir/tests/sim/unique_function_test.cpp.o"
+  "CMakeFiles/fncc_sim_tests.dir/tests/sim/unique_function_test.cpp.o.d"
+  "fncc_sim_tests"
+  "fncc_sim_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fncc_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fncc_stats_tests.dir/tests/stats/csv_test.cpp.o"
+  "CMakeFiles/fncc_stats_tests.dir/tests/stats/csv_test.cpp.o.d"
+  "CMakeFiles/fncc_stats_tests.dir/tests/stats/stats_test.cpp.o"
+  "CMakeFiles/fncc_stats_tests.dir/tests/stats/stats_test.cpp.o.d"
+  "fncc_stats_tests"
+  "fncc_stats_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fncc_stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fncc_transport_tests.dir/tests/transport/host_edge_test.cpp.o"
+  "CMakeFiles/fncc_transport_tests.dir/tests/transport/host_edge_test.cpp.o.d"
+  "CMakeFiles/fncc_transport_tests.dir/tests/transport/transport_test.cpp.o"
+  "CMakeFiles/fncc_transport_tests.dir/tests/transport/transport_test.cpp.o.d"
+  "fncc_transport_tests"
+  "fncc_transport_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fncc_transport_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fncc_workload_tests.dir/tests/workload/workload_test.cpp.o"
+  "CMakeFiles/fncc_workload_tests.dir/tests/workload/workload_test.cpp.o.d"
+  "fncc_workload_tests"
+  "fncc_workload_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fncc_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-asan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cc "/root/repo/build-asan/fncc_cc_tests")
+set_tests_properties(cc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(core "/root/repo/build-asan/fncc_core_tests")
+set_tests_properties(core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(harness "/root/repo/build-asan/fncc_harness_tests")
+set_tests_properties(harness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(integration "/root/repo/build-asan/fncc_integration_tests")
+set_tests_properties(integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(net "/root/repo/build-asan/fncc_net_tests")
+set_tests_properties(net PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(sim "/root/repo/build-asan/fncc_sim_tests")
+set_tests_properties(sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(stats "/root/repo/build-asan/fncc_stats_tests")
+set_tests_properties(stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(transport "/root/repo/build-asan/fncc_transport_tests")
+set_tests_properties(transport PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(workload "/root/repo/build-asan/fncc_workload_tests")
+set_tests_properties(workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;40;add_test;/root/repo/CMakeLists.txt;0;")
