@@ -94,6 +94,36 @@ void BM_LegacyEventQueueCancelReschedule(benchmark::State& state) {
 }
 BENCHMARK(BM_LegacyEventQueueCancelReschedule)->Arg(64)->Arg(1024);
 
+// The fused rearm API: same workload as the cancel+schedule loop above, but
+// the victim timer is moved with Reschedule (slot and payload reused) — the
+// per-ACK RTO / CC-timer fast path.
+void BM_EventQueueRescheduleFused(benchmark::State& state) {
+  const int timers = static_cast<int>(state.range(0));
+  EventQueue q;
+  std::vector<EventId> ids;
+  ids.reserve(timers);
+  Time now = 0;
+  for (int i = 0; i < timers; ++i) {
+    ids.push_back(q.Schedule(now + 1000 + i, [] {}));
+  }
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    Time t = 0;
+    q.PopNext(&t)();
+    now = t;
+    const std::size_t victim = cycles % timers;
+    if (!q.Reschedule(ids[victim],
+                      now + 1000 + static_cast<Time>(cycles % 97))) {
+      ids[victim] = q.Schedule(now + 1000 + static_cast<Time>(cycles % 97),
+                               [] {});
+    }
+    q.Schedule(now + 500, [] {});  // replaces the popped event
+    ++cycles;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_EventQueueRescheduleFused)->Arg(64)->Arg(1024);
+
 // ------------------------------------------------------------- packet pool
 
 void BM_PacketPoolAcquireRelease(benchmark::State& state) {

@@ -4,6 +4,13 @@
 # counters). Usage:
 #   bench/run_benches.sh [build-dir] [output-json]
 # Defaults: build-dir = ./build, output = ./BENCH_micro.json
+#
+# Refuses to emit JSON from a non-Release build: -O0/-Og numbers are not a
+# valid baseline, and the committed BENCH_micro.json is what the CI
+# regression gate compares against. (The `library_build_type` field inside
+# the JSON describes the system google-benchmark library, not this project;
+# the authoritative field is the `fncc_build_type` context entry added
+# here.)
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -16,13 +23,26 @@ if [ ! -x "$BENCH" ]; then
   exit 1
 fi
 
+BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+  "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+case "$BUILD_TYPE" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "error: refusing to emit $OUT from a '$BUILD_TYPE' build" >&2
+    echo "  benchmark baselines must come from Release:" >&2
+    echo "  cmake -B $BUILD_DIR -S . -DCMAKE_BUILD_TYPE=Release" >&2
+    exit 1
+    ;;
+esac
+
 "$BENCH" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
+  --benchmark_context=fncc_build_type="$BUILD_TYPE" \
   --benchmark_min_time=0.2
 
 echo ""
-echo "wrote $OUT"
+echo "wrote $OUT (fncc_build_type=$BUILD_TYPE)"
 
 # Headline numbers: new-vs-legacy event-queue speedup and the steady-state
 # packet allocation counter (must be 0). Python is optional sugar; the JSON
@@ -39,7 +59,7 @@ def ips(name):
     b = by_name.get(name)
     return b["items_per_second"] if b else None
 
-print("== event queue: new vs legacy (events/sec) ==")
+print("== event queue: new (wheel+heap hybrid) vs legacy (events/sec) ==")
 for arg in (64, 1024, 16384):
     new = ips(f"BM_EventQueueScheduleRun/{arg}")
     old = ips(f"BM_LegacyEventQueueScheduleRun/{arg}")
@@ -49,9 +69,13 @@ for arg in (64, 1024, 16384):
 for arg in (64, 1024):
     new = ips(f"BM_EventQueueCancelReschedule/{arg}")
     old = ips(f"BM_LegacyEventQueueCancelReschedule/{arg}")
+    fused = ips(f"BM_EventQueueRescheduleFused/{arg}")
     if new and old:
-        print(f"  cancel+rearm timers={arg:<5} {new/1e6:8.1f}M vs "
-              f"{old/1e6:8.1f}M  -> {new/old:.2f}x")
+        line = (f"  cancel+rearm timers={arg:<5} {new/1e6:8.1f}M vs "
+                f"{old/1e6:8.1f}M  -> {new/old:.2f}x")
+        if fused:
+            line += f"  (fused Reschedule: {fused/1e6:.1f}M)"
+        print(line)
 
 print("== packet pool ==")
 pool = by_name.get("BM_PacketPoolAcquireRelease")

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""CI gate: fail when the event-queue hot path regresses vs the baseline.
+
+Absolute items_per_second numbers are machine-dependent, so the gate
+compares a machine-independent quantity: the speedup ratio of the current
+implementation over the legacy event queue compiled into the same binary
+(BM_EventQueueScheduleRun/N vs BM_LegacyEventQueueScheduleRun/N, measured
+in the same run on the same hardware). The current run's ratio must stay
+within the threshold (default 20%) of the committed baseline's ratio for
+every batch size present in both files.
+
+Usage:
+  scripts/check_bench_regression.py BASELINE.json CURRENT.json \
+      [--threshold 0.20] [--pattern BM_EventQueueScheduleRun] \
+      [--legacy-pattern BM_LegacyEventQueueScheduleRun]
+
+The current run must therefore include both the new and the legacy
+benchmarks (e.g. --benchmark_filter='EventQueueScheduleRun').
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_items_per_second(path: str) -> dict[str, float]:
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if "items_per_second" in bench:
+            out[bench.get("name", "")] = float(bench["items_per_second"])
+    return out
+
+
+def speedup_ratios(ips: dict[str, float], pattern: str,
+                   legacy_pattern: str) -> dict[str, float]:
+    """arg suffix ('/64', ...) -> new items/sec over legacy items/sec."""
+    ratios = {}
+    for name, value in ips.items():
+        if name.startswith(pattern + "/"):
+            arg = name[len(pattern):]
+            legacy = ips.get(legacy_pattern + arg)
+            if legacy:
+                ratios[arg] = value / legacy
+    return ratios
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="maximum tolerated fractional drop in the "
+                             "new-vs-legacy speedup ratio")
+    parser.add_argument("--pattern", default="BM_EventQueueScheduleRun")
+    parser.add_argument("--legacy-pattern",
+                        default="BM_LegacyEventQueueScheduleRun")
+    args = parser.parse_args()
+
+    base = speedup_ratios(load_items_per_second(args.baseline),
+                          args.pattern, args.legacy_pattern)
+    cur = speedup_ratios(load_items_per_second(args.current),
+                         args.pattern, args.legacy_pattern)
+    common = sorted(set(base) & set(cur), key=lambda a: int(a.lstrip("/")))
+    if not common:
+        print(f"error: no {args.pattern} + {args.legacy_pattern} pairs "
+              f"shared between {args.baseline} and {args.current}; run the "
+              f"current bench with a filter matching both (e.g. "
+              f"--benchmark_filter='EventQueueScheduleRun')",
+              file=sys.stderr)
+        return 2
+
+    failed = False
+    for arg in common:
+        rel = cur[arg] / base[arg]
+        status = "ok"
+        if rel < 1.0 - args.threshold:
+            status = "REGRESSION"
+            failed = True
+        print(f"{args.pattern}{arg:8s} new-vs-legacy speedup: "
+              f"baseline {base[arg]:5.2f}x  current {cur[arg]:5.2f}x  "
+              f"({rel:5.2f} of baseline)  {status}")
+    if failed:
+        print(f"\nFAIL: speedup dropped beyond {args.threshold:.0%} tolerance",
+              file=sys.stderr)
+        return 1
+    print(f"\nPASS: all within {args.threshold:.0%} of baseline speedup")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,16 +50,44 @@ void DcqcnAlgorithm::OnBytesSent(std::uint64_t bytes) {
   }
 }
 
+void DcqcnAlgorithm::AlphaTimerEvent(void* cc, void* /*unused*/,
+                                     std::uint64_t /*arg*/) {
+  static_cast<DcqcnAlgorithm*>(cc)->OnAlphaTimer();
+}
+
+void DcqcnAlgorithm::IncreaseTimerEvent(void* cc, void* /*unused*/,
+                                        std::uint64_t /*arg*/) {
+  static_cast<DcqcnAlgorithm*>(cc)->OnIncreaseTimer();
+}
+
 void DcqcnAlgorithm::ArmAlphaTimer() {
-  sim_->Cancel(alpha_event_);
-  alpha_event_ =
-      sim_->Schedule(config_.dcqcn.alpha_timer, [this] { OnAlphaTimer(); });
+  // Rearm fast path (every CNP restarts this timer): the fused
+  // Reschedule reuses the pending event's slot; only after the timer fired
+  // (or on first arm) is a fresh typed event scheduled.
+  alpha_event_ = sim_->Reschedule(alpha_event_, config_.dcqcn.alpha_timer);
+  if (alpha_event_ == kInvalidEventId) {
+    alpha_event_ = sim_->Schedule(
+        config_.dcqcn.alpha_timer,
+        TypedEvent{.run = &DcqcnAlgorithm::AlphaTimerEvent,
+                   .drop = nullptr,
+                   .p0 = this,
+                   .p1 = nullptr,
+                   .arg = 0});
+  }
 }
 
 void DcqcnAlgorithm::ArmIncreaseTimer() {
-  sim_->Cancel(increase_event_);
-  increase_event_ = sim_->Schedule(config_.dcqcn.increase_timer,
-                                   [this] { OnIncreaseTimer(); });
+  increase_event_ =
+      sim_->Reschedule(increase_event_, config_.dcqcn.increase_timer);
+  if (increase_event_ == kInvalidEventId) {
+    increase_event_ = sim_->Schedule(
+        config_.dcqcn.increase_timer,
+        TypedEvent{.run = &DcqcnAlgorithm::IncreaseTimerEvent,
+                   .drop = nullptr,
+                   .p0 = this,
+                   .p1 = nullptr,
+                   .arg = 0});
+  }
 }
 
 void DcqcnAlgorithm::OnAlphaTimer() {

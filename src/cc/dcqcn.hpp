@@ -29,6 +29,10 @@ class DcqcnAlgorithm : public CcAlgorithm {
   void Shutdown() override;
 
  private:
+  // TypedEvent trampolines: the periodic timers fire closure-free.
+  static void AlphaTimerEvent(void* cc, void* unused, std::uint64_t arg);
+  static void IncreaseTimerEvent(void* cc, void* unused, std::uint64_t arg);
+
   void ArmAlphaTimer();
   void ArmIncreaseTimer();
   void OnAlphaTimer();

@@ -5,6 +5,31 @@
 
 namespace fncc {
 
+EgressPort::EgressPort(EgressPort&& other) noexcept
+    : on_transmit_start(std::move(other.on_transmit_start)),
+      sim_(other.sim_),
+      peer_(std::exchange(other.peer_, Peer{})),
+      bandwidth_gbps_(other.bandwidth_gbps_),
+      prop_delay_(other.prop_delay_),
+      data_q_(std::exchange(other.data_q_, Fifo{})),
+      ctrl_q_(std::exchange(other.ctrl_q_, Fifo{})),
+      tx_pkt_(std::move(other.tx_pkt_)),
+      qlen_bytes_(other.qlen_bytes_),
+      busy_(other.busy_),
+      paused_(other.paused_),
+      paused_since_(other.paused_since_),
+      paused_total_(other.paused_total_),
+      tx_bytes_(other.tx_bytes_) {
+  // Moves only happen while wiring a topology (vector growth), never with a
+  // serialization event in flight — that event captures `this`.
+  assert(!busy_ && "EgressPort moved while transmitting");
+}
+
+EgressPort::~EgressPort() {
+  data_q_.Clear();
+  ctrl_q_.Clear();
+}
+
 void EgressPort::Connect(Peer peer, double bandwidth_gbps,
                          Time propagation_delay) {
   assert(!connected() && "port connected twice");
@@ -17,13 +42,13 @@ void EgressPort::Connect(Peer peer, double bandwidth_gbps,
 void EgressPort::Enqueue(PacketPtr pkt) {
   assert(connected());
   qlen_bytes_ += pkt->size_bytes;
-  data_q_.push_back(std::move(pkt));
+  data_q_.Push(std::move(pkt));
   TryTransmit();
 }
 
 void EgressPort::EnqueueControl(PacketPtr pkt) {
   assert(connected());
-  ctrl_q_.push_back(std::move(pkt));
+  ctrl_q_.Push(std::move(pkt));
   TryTransmit();
 }
 
@@ -37,15 +62,30 @@ void EgressPort::SetPaused(bool paused) {
   if (!paused_) TryTransmit();
 }
 
+void EgressPort::TxDoneEvent(void* port, void* /*unused*/,
+                             std::uint64_t /*arg*/) {
+  static_cast<EgressPort*>(port)->FinishTransmit();
+}
+
+void EgressPort::DeliverEvent(void* node, void* pkt, std::uint64_t port) {
+  auto* raw = static_cast<Packet*>(pkt);
+  static_cast<Node*>(node)->ReceivePacket(WrapRawPacket(raw),
+                                          static_cast<int>(port));
+}
+
+void EgressPort::DropPacketEvent(void* /*unused*/, void* pkt,
+                                 std::uint64_t /*arg*/) {
+  // Cancelled/torn-down delivery: return the in-flight packet to its pool.
+  WrapRawPacket(static_cast<Packet*>(pkt));
+}
+
 void EgressPort::TryTransmit() {
   if (busy_) return;
   PacketPtr pkt;
   if (!ctrl_q_.empty()) {
-    pkt = std::move(ctrl_q_.front());
-    ctrl_q_.pop_front();
+    pkt = ctrl_q_.Pop();
   } else if (!paused_ && !data_q_.empty()) {
-    pkt = std::move(data_q_.front());
-    data_q_.pop_front();
+    pkt = data_q_.Pop();
     qlen_bytes_ -= pkt->size_bytes;
   } else {
     return;
@@ -58,22 +98,28 @@ void EgressPort::TryTransmit() {
   busy_ = true;
   tx_bytes_ += pkt->size_bytes;
   const Time ser = SerializationDelay(pkt->size_bytes, bandwidth_gbps_);
-  sim_->Schedule(ser, [this, p = std::move(pkt)]() mutable {
-    FinishTransmit(std::move(p));
-  });
+  tx_pkt_ = std::move(pkt);
+  // Self-rearming drain loop: one typed event per busy port; FinishTransmit
+  // re-enters TryTransmit, which rearms it for the next queued packet.
+  sim_->Schedule(ser, TypedEvent{.run = &EgressPort::TxDoneEvent,
+                                 .drop = nullptr,
+                                 .p0 = this,
+                                 .p1 = nullptr,
+                                 .arg = 0});
 }
 
-void EgressPort::FinishTransmit(PacketPtr pkt) {
+void EgressPort::FinishTransmit() {
   busy_ = false;
   // Hand the packet to the peer after propagation. The link itself cannot
   // reorder: serialization completions are strictly ordered and the
   // propagation delay is constant.
-  Node* peer_node = peer_.node;
-  const int peer_port = peer_.port;
-  sim_->Schedule(prop_delay_, [peer_node, peer_port,
-                               p = std::move(pkt)]() mutable {
-    peer_node->ReceivePacket(std::move(p), peer_port);
-  });
+  Packet* raw = ReleaseToRaw(std::move(tx_pkt_));
+  sim_->Schedule(prop_delay_,
+                 TypedEvent{.run = &EgressPort::DeliverEvent,
+                            .drop = &EgressPort::DropPacketEvent,
+                            .p0 = peer_.node,
+                            .p1 = raw,
+                            .arg = static_cast<std::uint64_t>(peer_.port)});
   TryTransmit();
 }
 

@@ -1,9 +1,14 @@
 // Output port model: FIFO data queue + strict-priority control queue,
 // serialization at line rate, propagation to the peer, PFC pause gate.
+//
+// The transmit side is a zero-lambda drain loop: queued packets sit in
+// intrusive FIFOs (Packet::next), the in-flight packet is a port member,
+// and both the serialization-complete and the propagation-delivery events
+// are TypedEvent records (function pointer + POD words) — no closure is
+// constructed or destroyed anywhere on the per-packet path.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 
 #include "net/node.hpp"
@@ -25,7 +30,11 @@ class EgressPort {
   };
 
   explicit EgressPort(Simulator* sim) : sim_(sim) {}
-  EgressPort(EgressPort&&) = default;
+  EgressPort(EgressPort&& other) noexcept;
+  EgressPort(const EgressPort&) = delete;
+  EgressPort& operator=(const EgressPort&) = delete;
+  EgressPort& operator=(EgressPort&&) = delete;
+  ~EgressPort();
 
   /// Wires this port to its peer. Must be called exactly once before use.
   void Connect(Peer peer, double bandwidth_gbps, Time propagation_delay);
@@ -63,20 +72,61 @@ class EgressPort {
   [[nodiscard]] Time propagation_delay() const { return prop_delay_; }
   [[nodiscard]] const Peer& peer() const { return peer_; }
   [[nodiscard]] std::size_t packets_queued() const {
-    return data_q_.size() + ctrl_q_.size();
+    return data_q_.count + ctrl_q_.count;
   }
 
  private:
+  /// Intrusive FIFO threaded through Packet::next. Packets are held as raw
+  /// pointers with their reclaimer snapshotted (ReleaseToRaw), so queueing
+  /// moves one pointer instead of a deque node.
+  struct Fifo {
+    Packet* head = nullptr;
+    Packet* tail = nullptr;
+    std::size_t count = 0;
+
+    [[nodiscard]] bool empty() const { return head == nullptr; }
+    void Push(PacketPtr pkt) {
+      Packet* raw = ReleaseToRaw(std::move(pkt));
+      raw->next = nullptr;
+      if (tail != nullptr) {
+        tail->next = raw;
+      } else {
+        head = raw;
+      }
+      tail = raw;
+      ++count;
+    }
+    PacketPtr Pop() {
+      Packet* raw = head;
+      head = raw->next;
+      if (head == nullptr) tail = nullptr;
+      raw->next = nullptr;
+      --count;
+      return WrapRawPacket(raw);
+    }
+    void Clear() {
+      while (!empty()) Pop();  // PacketPtr dtor reclaims
+    }
+  };
+
+  // TypedEvent trampolines for the two per-packet events.
+  static void TxDoneEvent(void* port, void* unused, std::uint64_t arg);
+  static void DeliverEvent(void* node, void* pkt, std::uint64_t port);
+  static void DropPacketEvent(void* unused, void* pkt, std::uint64_t arg);
+
   void TryTransmit();
-  void FinishTransmit(PacketPtr pkt);
+  /// Serialization finished: launch the propagation event for the in-flight
+  /// packet and rearm on the next queued one.
+  void FinishTransmit();
 
   Simulator* sim_;
   Peer peer_;
   double bandwidth_gbps_ = 0.0;
   Time prop_delay_ = 0;
 
-  std::deque<PacketPtr> data_q_;
-  std::deque<PacketPtr> ctrl_q_;
+  Fifo data_q_;
+  Fifo ctrl_q_;
+  PacketPtr tx_pkt_;              // currently serializing (busy_ == true)
   std::uint64_t qlen_bytes_ = 0;  // data queue only, as INT reports qLen
   bool busy_ = false;
   bool paused_ = false;

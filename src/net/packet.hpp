@@ -46,6 +46,8 @@ struct IntEntry {
   friend bool operator==(const IntEntry&, const IntEntry&) = default;
 };
 
+class PacketPool;
+
 struct Packet {
   std::uint64_t uid = 0;  // unique per simulation, for tracing
   FlowId flow = 0;
@@ -97,6 +99,14 @@ struct Packet {
   /// switch (Observation 3), which is what Alg. 1 indexes All_INT_Table by.
   std::uint16_t ingress_port = 0;
 
+  /// Transport-plumbing fields, meaningful only while ownership is
+  /// flattened to a raw pointer: `next` links the packet into an
+  /// EgressPort's intrusive FIFO; `pool` snapshots the owning PacketPtr's
+  /// reclaimer so the handle can be reconstructed (see WrapRawPacket).
+  /// Refreshed at each hand-off; never read while a PacketPtr is live.
+  Packet* next = nullptr;
+  PacketPool* pool = nullptr;
+
   [[nodiscard]] bool IsControl() const {
     return type == PacketType::kPfcPause || type == PacketType::kPfcResume;
   }
@@ -127,10 +137,10 @@ struct Packet {
     path_id = 0;
     req_path_id = 0;
     ingress_port = 0;
+    next = nullptr;
+    pool = nullptr;
   }
 };
-
-class PacketPool;
 
 /// Deleter for pooled packets: hands the packet back to its owning pool's
 /// free list instead of freeing it. A default-constructed reclaimer (null
@@ -144,6 +154,21 @@ struct PacketReclaimer {
 /// to its pool for reuse. The pool must outlive every handle it issued (see
 /// PacketPool's class comment for the ownership contract).
 using PacketPtr = std::unique_ptr<Packet, PacketReclaimer>;
+
+/// Flattens a PacketPtr to a raw pointer (for intrusive FIFOs and typed
+/// events), snapshotting the reclaimer into the packet so WrapRawPacket can
+/// rebuild an equivalent handle later.
+inline Packet* ReleaseToRaw(PacketPtr p) {
+  Packet* raw = p.get();
+  raw->pool = p.get_deleter().pool;
+  p.release();
+  return raw;
+}
+
+/// Rebuilds the owning handle a ReleaseToRaw call flattened.
+inline PacketPtr WrapRawPacket(Packet* raw) {
+  return PacketPtr(raw, PacketReclaimer{raw->pool});
+}
 
 /// Next value of the process-wide packet uid counter. Shared by every pool
 /// so uids stay unique per simulation even with multiple pools alive.

@@ -32,6 +32,10 @@ PacketPtr PacketPool::Clone(const Packet& src) {
   const std::uint64_t uid = p->uid;
   *p = src;
   p->uid = uid;
+  // Transport-plumbing fields describe the source's queue position and
+  // owner, not the clone's; the hand-off helpers refresh them as needed.
+  p->next = nullptr;
+  p->pool = nullptr;
   return p;
 }
 

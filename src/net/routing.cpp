@@ -36,17 +36,35 @@ std::uint32_t EcmpHash(NodeId src, NodeId dst, std::uint16_t sport,
   return static_cast<std::uint32_t>(Mix64(key ^ salt));
 }
 
+void RoutingTable::SetNextHops(NodeId dst, const std::vector<int>& ports) {
+  Route& r = routes_.at(dst);
+  if (ports.empty()) {
+    r = Route{};
+    return;
+  }
+  if (ports.size() == 1) {
+    r.base = static_cast<std::uint32_t>(ports[0]);
+    r.count = 1;
+    return;
+  }
+  r.base = static_cast<std::uint32_t>(pool_.size());
+  r.count = static_cast<std::uint32_t>(ports.size());
+  pool_.reserve(pool_.size() + ports.size());
+  for (const int p : ports) pool_.push_back(static_cast<std::uint16_t>(p));
+}
+
 int RoutingTable::Select(const Packet& pkt, std::uint32_t salt,
                          bool symmetric) const {
-  const auto& hops = next_hops_.at(pkt.dst);
-  assert(!hops.empty() && "no route to destination");
-  if (hops.size() == 1) return hops[0];
+  assert(pkt.dst < routes_.size());
+  const Route r = routes_[pkt.dst];
+  assert(r.count != 0 && "no route to destination");
+  if (r.count == 1) return static_cast<int>(r.base);
   // proto is constant (RoCEv2/UDP): a data packet and its ACK must hash
   // identically or path symmetry breaks.
   constexpr std::uint8_t kProtoUdp = 17;
   const std::uint32_t h = EcmpHash(pkt.src, pkt.dst, pkt.sport, pkt.dport,
                                    kProtoUdp, salt, symmetric);
-  return hops[h % hops.size()];
+  return pool_[r.base + h % r.count];
 }
 
 }  // namespace fncc

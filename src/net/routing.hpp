@@ -21,23 +21,23 @@ std::uint32_t EcmpHash(NodeId src, NodeId dst, std::uint16_t sport,
 /// Per-switch routing table: destination node -> set of equal-cost output
 /// ports, ordered consistently (ascending peer node id) across the fabric so
 /// symmetric hashing yields symmetric paths.
+///
+/// Storage is a flat array indexed by destination: one 8-byte Route record
+/// per node, holding the output port directly when the route is unique (the
+/// common case — no indirection, no hash) or an (offset, count) span into a
+/// shared port pool for ECMP sets. Built once by Network::ComputeRoutes;
+/// per-packet Select is one load plus, for multipath, one hash.
 class RoutingTable {
  public:
   RoutingTable() = default;
-  explicit RoutingTable(std::size_t num_nodes) : next_hops_(num_nodes) {}
+  explicit RoutingTable(std::size_t num_nodes) : routes_(num_nodes) {}
 
-  void Resize(std::size_t num_nodes) { next_hops_.resize(num_nodes); }
+  void Resize(std::size_t num_nodes) { routes_.resize(num_nodes); }
 
-  void SetNextHops(NodeId dst, std::vector<int> ports) {
-    next_hops_.at(dst) = std::move(ports);
-  }
-
-  [[nodiscard]] const std::vector<int>& NextHops(NodeId dst) const {
-    return next_hops_.at(dst);
-  }
+  void SetNextHops(NodeId dst, const std::vector<int>& ports);
 
   [[nodiscard]] bool HasRoute(NodeId dst) const {
-    return dst < next_hops_.size() && !next_hops_[dst].empty();
+    return dst < routes_.size() && routes_[dst].count != 0;
   }
 
   /// Picks the output port for `pkt` using ECMP among the equal-cost set.
@@ -45,7 +45,13 @@ class RoutingTable {
                            bool symmetric) const;
 
  private:
-  std::vector<std::vector<int>> next_hops_;  // indexed by destination NodeId
+  struct Route {
+    std::uint32_t base = 0;   // the port itself (count == 1) or pool offset
+    std::uint32_t count = 0;  // 0 = no route
+  };
+
+  std::vector<Route> routes_;        // indexed by destination NodeId
+  std::vector<std::uint16_t> pool_;  // ECMP port sets, contiguous
 };
 
 }  // namespace fncc

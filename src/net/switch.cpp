@@ -26,11 +26,29 @@ Switch::Switch(Simulator* sim, NodeId id, std::string name,
   rocc_state_.assign(config_.num_ports, RoccPortState{});
 
   if (config_.int_table_refresh > 0) {
-    sim->Schedule(config_.int_table_refresh, [this] { RefreshIntTable(); });
+    sim->Schedule(config_.int_table_refresh,
+                  TypedEvent{.run = &Switch::RefreshIntEvent,
+                             .drop = nullptr,
+                             .p0 = this,
+                             .p1 = nullptr,
+                             .arg = 0});
   }
   if (config_.rocc_enabled) {
-    sim->Schedule(config_.rocc.update_interval, [this] { UpdateRocc(); });
+    sim->Schedule(config_.rocc.update_interval,
+                  TypedEvent{.run = &Switch::RoccUpdateEvent,
+                             .drop = nullptr,
+                             .p0 = this,
+                             .p1 = nullptr,
+                             .arg = 0});
   }
+}
+
+void Switch::RefreshIntEvent(void* sw, void* /*unused*/, std::uint64_t /*arg*/) {
+  static_cast<Switch*>(sw)->RefreshIntTable();
+}
+
+void Switch::RoccUpdateEvent(void* sw, void* /*unused*/, std::uint64_t /*arg*/) {
+  static_cast<Switch*>(sw)->UpdateRocc();
 }
 
 void Switch::ConfigureSpanningTrees(int num_trees, std::uint32_t salt) {
@@ -171,7 +189,12 @@ void Switch::RefreshIntTable() {
         IntEntry{p.bandwidth_gbps(), sim()->Now(), p.tx_bytes(),
                  p.qlen_bytes()};
   }
-  sim()->Schedule(config_.int_table_refresh, [this] { RefreshIntTable(); });
+  sim()->Schedule(config_.int_table_refresh,
+                  TypedEvent{.run = &Switch::RefreshIntEvent,
+                             .drop = nullptr,
+                             .p0 = this,
+                             .p1 = nullptr,
+                             .arg = 0});
 }
 
 void Switch::UpdateRocc() {
@@ -196,7 +219,12 @@ void Switch::UpdateRocc() {
     st.fair_gbps = std::clamp(st.fair_gbps, rp.min_rate_gbps, line);
     st.prev_qlen = q;
   }
-  sim()->Schedule(rp.update_interval, [this] { UpdateRocc(); });
+  sim()->Schedule(rp.update_interval,
+                  TypedEvent{.run = &Switch::RoccUpdateEvent,
+                             .drop = nullptr,
+                             .p0 = this,
+                             .p1 = nullptr,
+                             .arg = 0});
 }
 
 void Switch::AccountIngress(const Packet& pkt) {

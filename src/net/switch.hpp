@@ -132,6 +132,10 @@ class Switch final : public Node {
     bool initialized = false;
   };
 
+  // TypedEvent trampolines for the periodic per-switch timers.
+  static void RefreshIntEvent(void* sw, void* unused, std::uint64_t arg);
+  static void RoccUpdateEvent(void* sw, void* unused, std::uint64_t arg);
+
   void OnTransmitStart(int port_idx, Packet& pkt);
   /// Reads the INT for `port_idx` — live counters or the periodic table.
   [[nodiscard]] IntEntry IntFor(int port_idx) const;

@@ -14,23 +14,26 @@ constexpr EventId MakeEventId(std::uint32_t slot, std::uint32_t generation) {
 
 }  // namespace
 
-EventId EventQueue::Schedule(Time t, Callback cb) {
-  std::uint32_t slot;
+std::uint32_t EventQueue::AllocSlot() {
   if (!free_slots_.empty()) {
-    slot = free_slots_.back();
+    const std::uint32_t slot = free_slots_.back();
     free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slot_meta_.size());
-    slot_meta_.emplace_back();
-    slot_cbs_.emplace_back();
+    return slot;
   }
-  slot_cbs_[slot] = std::move(cb);
-  SlotMeta& meta = slot_meta_[slot];
+  const auto slot = static_cast<std::uint32_t>(slot_meta_.size());
+  slot_meta_.emplace_back();
+  slot_actions_.emplace_back();
+  return slot;
+}
 
-  heap_.push_back(HeapEntry{t, next_seq_++, slot});
-  meta.heap_pos = static_cast<std::uint32_t>(heap_.size() - 1);
-  SiftUp(heap_.size() - 1);
-  return MakeEventId(slot, meta.generation);
+EventId EventQueue::Commit(Time t, std::uint32_t slot) {
+  const std::uint64_t seq = next_seq_++;
+  if (wheel_.Accepts(t)) {
+    wheel_.Insert(SchedEntry{t, seq, slot});
+  } else {
+    HeapPush(HeapEntry{t, seq, slot});
+  }
+  return MakeEventId(slot, slot_meta_[slot].generation);
 }
 
 bool EventQueue::Cancel(EventId id) {
@@ -38,25 +41,73 @@ bool EventQueue::Cancel(EventId id) {
   if (low == 0 || low > slot_meta_.size()) return false;
   const auto slot = static_cast<std::uint32_t>(low - 1);
   SlotMeta& meta = slot_meta_[slot];
-  if (meta.heap_pos == kNoPos ||
+  if (meta.loc == kLocNone ||
       meta.generation != static_cast<std::uint32_t>(id >> 32)) {
     return false;  // already ran, already cancelled, or slot was reused
   }
-  RemoveAt(meta.heap_pos);
+  if ((meta.loc & ~kLocIndexMask) == kLocHeapTag) {
+    RemoveAt(meta.loc & kLocIndexMask);
+  } else {
+    wheel_.Remove(slot, meta.loc);
+  }
   ReleaseSlot(slot);
   return true;
 }
 
-EventQueue::Callback EventQueue::PopNext(Time* t) {
-  assert(!heap_.empty() && "PopNext on empty queue");
-  const HeapEntry top = heap_.front();
-  *t = top.t;
-  Callback cb = std::move(slot_cbs_[top.slot]);
-  const HeapEntry last = heap_.back();
-  heap_.pop_back();
-  if (!heap_.empty()) SiftDownFromRoot(last);
-  ReleaseSlot(top.slot);
-  return cb;
+bool EventQueue::Reschedule(EventId id, Time t) {
+  const std::uint64_t low = id & 0xFFFF'FFFFu;
+  if (low == 0 || low > slot_meta_.size()) return false;
+  const auto slot = static_cast<std::uint32_t>(low - 1);
+  SlotMeta& meta = slot_meta_[slot];
+  if (meta.loc == kLocNone ||
+      meta.generation != static_cast<std::uint32_t>(id >> 32)) {
+    return false;
+  }
+  // Extract the timing record, keeping the slot (payload + generation)
+  // alive, then re-enter with a fresh sequence number — exactly the order a
+  // separate cancel + schedule would have produced.
+  if ((meta.loc & ~kLocIndexMask) == kLocHeapTag) {
+    RemoveAt(meta.loc & kLocIndexMask);
+  } else {
+    wheel_.Remove(slot, meta.loc);
+  }
+  meta.loc = kLocNone;
+  const std::uint64_t seq = next_seq_++;
+  if (wheel_.Accepts(t)) {
+    wheel_.Insert(SchedEntry{t, seq, slot});
+  } else {
+    HeapPush(HeapEntry{t, seq, slot});
+  }
+  return true;
+}
+
+EventAction EventQueue::PopNext(Time* t) {
+  assert(!Empty() && "PopNext on empty queue");
+  const SchedEntry* w = wheel_.Peek();
+  const bool from_wheel =
+      w != nullptr &&
+      (heap_.empty() || w->t < heap_.front().t ||
+       (w->t == heap_.front().t && w->seq < heap_.front().seq));
+
+  std::uint32_t slot;
+  if (from_wheel) {
+    const SchedEntry e = wheel_.Pop();
+    *t = e.t;
+    slot = e.slot;
+  } else {
+    const HeapEntry top = heap_.front();
+    *t = top.t;
+    slot = top.slot;
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDownFromRoot(last);
+    // The heap ran ahead of an empty wheel: drag the wheel cursor to now so
+    // newly scheduled near events land in the wheel, not the heap.
+    if (wheel_.size() == 0) wheel_.AdvanceTo(top.t);
+  }
+  EventAction action = std::move(slot_actions_[slot]);
+  ReleaseSlot(slot);
+  return action;
 }
 
 void EventQueue::RemoveAt(std::size_t pos) {
@@ -72,11 +123,18 @@ void EventQueue::RemoveAt(std::size_t pos) {
 }
 
 void EventQueue::ReleaseSlot(std::uint32_t slot) {
-  slot_cbs_[slot] = Callback();  // drop captured resources eagerly
+  slot_actions_[slot] = EventAction();  // drop the payload eagerly
   SlotMeta& meta = slot_meta_[slot];
   ++meta.generation;
-  meta.heap_pos = kNoPos;
+  meta.loc = kLocNone;
   free_slots_.push_back(slot);
+}
+
+void EventQueue::HeapPush(const HeapEntry& e) {
+  heap_.push_back(e);
+  slot_meta_[e.slot].loc =
+      kLocHeapTag | static_cast<std::uint32_t>(heap_.size() - 1);
+  SiftUp(heap_.size() - 1);
 }
 
 void EventQueue::SiftUp(std::size_t i) {

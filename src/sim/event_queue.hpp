@@ -1,24 +1,29 @@
-// Indexed binary-heap event queue with stable FIFO ordering for simultaneous
-// events and exact O(log n) cancellation via slot + generation handles.
+// Hybrid event scheduler: a hierarchical timing wheel for near-horizon
+// events (sim/timing_wheel.hpp — serialization, propagation, CC rate
+// timers) with an indexed binary heap retained as the overflow level for
+// far timers. Both sides share one slot table and one schedule-sequence
+// counter, so the pop order is the exact global (time, seq) order — FIFO
+// among simultaneous events — regardless of which structure holds an event,
+// and cancellation stays exact and O(1)/O(log n) via slot + generation
+// handles (an EventId packs (generation << 32) | (slot + 1); stale ids fail
+// the generation check instead of aliasing a newer event — no ABA).
 //
-// Design: the heap stores small trivially-copyable {time, seq, slot} entries;
-// callbacks live in a parallel slot table whose indices are recycled through
-// a free list. An EventId packs (generation << 32) | (slot + 1), so a stale
-// id — the event already ran, was cancelled, or its slot was reused — fails
-// the generation check instead of aliasing a newer event (no ABA). Unlike
-// the earlier hash-set + lazy-cancellation scheme, schedule/cancel/pop touch
-// no hash tables and perform no heap allocation in steady state (slot, heap
-// and free-list vectors reuse their capacity; callbacks with captures up to
-// UniqueFunction::kInlineBytes are stored inline). Cancellation removes the
-// entry eagerly, so captured resources (e.g. pooled packets) are released
-// immediately rather than when the entry would have reached the heap top.
+// Events carry either a closure (UniqueFunction with 48-byte SBO — still
+// allocation-free for hot-path captures) or a TypedEvent: a bare function
+// pointer plus two pointer words and a 64-bit argument. The packet pipeline
+// schedules only typed events, so per-hop dispatch constructs no closures
+// at all. Cancellation destroys the payload eagerly (closure captures are
+// dropped, a typed event's drop hook runs), so captured resources such as
+// pooled packets are released immediately.
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
+#include "sim/timing_wheel.hpp"
 #include "sim/unique_function.hpp"
 
 namespace fncc {
@@ -28,61 +33,201 @@ namespace fncc {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
-/// Min-heap of timed callbacks. Events with equal timestamps run in
-/// scheduling order (stable), which the packet pipeline relies on.
+/// Closure-free event record for the packet hot path: `run(p0, p1, arg)`
+/// fires when the event is due; `drop(p0, p1, arg)`, if set, runs instead
+/// when the event is cancelled or the queue is torn down, releasing any
+/// payload `p1` owns (e.g. returning a packet to its pool).
+struct TypedEvent {
+  using Fn = void (*)(void* p0, void* p1, std::uint64_t arg);
+  Fn run = nullptr;
+  Fn drop = nullptr;
+  void* p0 = nullptr;
+  void* p1 = nullptr;
+  std::uint64_t arg = 0;
+};
+
+/// What a scheduled event executes: empty, a closure, or a typed record.
+/// Move-only; destroying an unrun action releases its resources (closure
+/// destructor or TypedEvent::drop).
+class EventAction {
+ public:
+  using Callback = UniqueFunction<void()>;
+
+  EventAction() noexcept {}
+  EventAction(Callback cb) noexcept : kind_(Kind::kClosure) {  // NOLINT
+    ::new (static_cast<void*>(&cb_)) Callback(std::move(cb));
+  }
+  EventAction(const TypedEvent& ev) noexcept  // NOLINT(google-explicit-*)
+      : ev_(ev), kind_(Kind::kTyped) {}
+
+  EventAction(EventAction&& other) noexcept { MoveFrom(other); }
+  EventAction& operator=(EventAction&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventAction(const EventAction&) = delete;
+  EventAction& operator=(const EventAction&) = delete;
+  ~EventAction() { Destroy(); }
+
+  /// Runs the action once and empties it (a run typed event's drop hook
+  /// does not fire).
+  void operator()() {
+    switch (kind_) {
+      case Kind::kClosure: {
+        Callback cb = std::move(cb_);
+        cb_.~Callback();
+        kind_ = Kind::kEmpty;
+        cb();
+        break;
+      }
+      case Kind::kTyped: {
+        const TypedEvent ev = ev_;
+        kind_ = Kind::kEmpty;
+        ev.run(ev.p0, ev.p1, ev.arg);
+        break;
+      }
+      case Kind::kEmpty:
+        assert(false && "running an empty EventAction");
+        break;
+    }
+  }
+
+  explicit operator bool() const { return kind_ != Kind::kEmpty; }
+
+  /// In-place assignment without a temporary EventAction (one move of the
+  /// callable instead of two) — the schedule hot path.
+  void AssignClosure(Callback&& cb) {
+    Destroy();
+    ::new (static_cast<void*>(&cb_)) Callback(std::move(cb));
+    kind_ = Kind::kClosure;
+  }
+  void AssignTyped(const TypedEvent& ev) {
+    Destroy();
+    ev_ = ev;
+    kind_ = Kind::kTyped;
+  }
+
+ private:
+  enum class Kind : unsigned char { kEmpty, kClosure, kTyped };
+
+  void MoveFrom(EventAction& other) noexcept {
+    kind_ = other.kind_;
+    switch (kind_) {
+      case Kind::kClosure:
+        ::new (static_cast<void*>(&cb_)) Callback(std::move(other.cb_));
+        other.cb_.~Callback();
+        break;
+      case Kind::kTyped:
+        ev_ = other.ev_;
+        break;
+      case Kind::kEmpty:
+        break;
+    }
+    other.kind_ = Kind::kEmpty;
+  }
+
+  void Destroy() noexcept {
+    switch (kind_) {
+      case Kind::kClosure:
+        cb_.~Callback();
+        break;
+      case Kind::kTyped:
+        if (ev_.drop != nullptr) ev_.drop(ev_.p0, ev_.p1, ev_.arg);
+        break;
+      case Kind::kEmpty:
+        break;
+    }
+    kind_ = Kind::kEmpty;
+  }
+
+  union {
+    Callback cb_;
+    TypedEvent ev_;
+  };
+  Kind kind_ = Kind::kEmpty;
+};
+
+/// Timed-event scheduler. Events with equal timestamps run in scheduling
+/// order (stable), which the packet pipeline relies on.
 class EventQueue {
  public:
   using Callback = UniqueFunction<void()>;
 
-  /// Schedules `cb` at absolute time `t`. Returns an id for cancellation.
-  EventId Schedule(Time t, Callback cb);
+  EventQueue() : wheel_(&slot_meta_) {}
 
-  /// Cancels a pending event and destroys its callback immediately.
-  /// Returns false if the event already ran, was already cancelled, or
-  /// never existed. O(log n), allocation-free.
-  bool Cancel(EventId id);
-
-  /// True when no runnable event remains.
-  [[nodiscard]] bool Empty() const { return heap_.empty(); }
-
-  /// Time of the earliest runnable event; kTimeInfinity when empty.
-  [[nodiscard]] Time NextTime() const {
-    return heap_.empty() ? kTimeInfinity : heap_.front().t;
+  /// Schedules a closure at absolute time `t`. Returns an id for
+  /// cancellation.
+  EventId Schedule(Time t, Callback cb) {
+    const std::uint32_t slot = AllocSlot();
+    slot_actions_[slot].AssignClosure(std::move(cb));
+    return Commit(t, slot);
   }
 
-  /// Extracts and returns the earliest runnable event's callback, setting
-  /// `t` to its timestamp. Precondition: !Empty().
-  Callback PopNext(Time* t);
+  /// Schedules a typed (closure-free) event at absolute time `t`.
+  EventId Schedule(Time t, const TypedEvent& ev) {
+    const std::uint32_t slot = AllocSlot();
+    slot_actions_[slot].AssignTyped(ev);
+    return Commit(t, slot);
+  }
 
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// Cancels a pending event and destroys its payload immediately.
+  /// Returns false if the event already ran, was already cancelled, or
+  /// never existed. Allocation-free.
+  bool Cancel(EventId id);
+
+  /// Fused cancel + schedule: moves a pending event to absolute time `t`,
+  /// keeping its slot, payload and id valid (the event behaves as if it
+  /// were cancelled and freshly scheduled — it goes to the back of the
+  /// FIFO among equal timestamps). Returns false (and does nothing) if the
+  /// id is stale; the caller then schedules a fresh event.
+  bool Reschedule(EventId id, Time t);
+
+  /// True when no runnable event remains.
+  [[nodiscard]] bool Empty() const { return wheel_.size() == 0 && heap_.empty(); }
+
+  /// Time of the earliest runnable event; kTimeInfinity when empty.
+  /// Non-const: peeking may advance the wheel cursor (lazily, without
+  /// changing the observable order).
+  [[nodiscard]] Time NextTime() {
+    const SchedEntry* w = wheel_.Peek();
+    const Time tw = w != nullptr ? w->t : kTimeInfinity;
+    const Time th = heap_.empty() ? kTimeInfinity : heap_.front().t;
+    return tw < th ? tw : th;
+  }
+
+  /// Extracts the earliest event's action, setting `t` to its timestamp.
+  /// Precondition: !Empty().
+  EventAction PopNext(Time* t);
+
+  [[nodiscard]] std::size_t size() const {
+    return wheel_.size() + heap_.size();
+  }
 
  private:
-  static constexpr std::uint32_t kNoPos = 0xFFFF'FFFF;
-
   struct HeapEntry {
     Time t;
     std::uint64_t seq;   // global schedule order: FIFO among equal times
-    std::uint32_t slot;  // index into slot_meta_ / slot_cbs_
-  };
-
-  /// Slot bookkeeping is split from the (much larger) callbacks: sift
-  /// operations write heap_pos on every placement, and keeping the
-  /// write-hot metadata at 8 bytes per slot keeps those scattered writes
-  /// cache-resident even with tens of thousands of pending events.
-  struct SlotMeta {
-    std::uint32_t generation = 0;  // bumped on release; guards stale ids
-    std::uint32_t heap_pos = kNoPos;
+    std::uint32_t slot;  // index into slot_meta_ / slot_actions_
   };
 
   static bool Later(const HeapEntry& a, const HeapEntry& b) {
     return a.t != b.t ? a.t > b.t : a.seq > b.seq;
   }
 
+  /// Pops a free slot (or grows the tables). The caller fills the slot's
+  /// action, then Commit() enters it into the wheel or overflow heap.
+  std::uint32_t AllocSlot();
+  EventId Commit(Time t, std::uint32_t slot);
+
   void Place(std::size_t i, const HeapEntry& e) {
     heap_[i] = e;
-    slot_meta_[e.slot].heap_pos = static_cast<std::uint32_t>(i);
+    slot_meta_[e.slot].loc = kLocHeapTag | static_cast<std::uint32_t>(i);
   }
 
+  void HeapPush(const HeapEntry& e);
   void SiftUp(std::size_t i);
   void SiftDown(std::size_t i);
   /// Re-inserts `e` (the former back element) after the root was removed.
@@ -93,14 +238,15 @@ class EventQueue {
   void SiftDownFromRoot(const HeapEntry& e);
   /// Removes heap_[pos], restoring heap order. O(log n).
   void RemoveAt(std::size_t pos);
-  /// Destroys the slot's callback, bumps its generation so outstanding ids
+  /// Destroys the slot's payload, bumps its generation so outstanding ids
   /// to it die, and returns it to the free list.
   void ReleaseSlot(std::uint32_t slot);
 
-  std::vector<HeapEntry> heap_;
+  std::vector<HeapEntry> heap_;  // overflow level: beyond the wheel horizon
   std::vector<SlotMeta> slot_meta_;
-  std::vector<Callback> slot_cbs_;  // parallel to slot_meta_
+  std::vector<EventAction> slot_actions_;  // parallel to slot_meta_
   std::vector<std::uint32_t> free_slots_;
+  TimingWheel wheel_;
   std::uint64_t next_seq_ = 0;
 };
 

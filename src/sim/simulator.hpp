@@ -39,13 +39,34 @@ class Simulator {
     return queue_.Schedule(now_ + (delay > 0 ? delay : 0), std::move(cb));
   }
 
+  /// Schedules a typed (closure-free) event `delay` from now — the packet
+  /// pipeline's zero-lambda dispatch path.
+  EventId Schedule(Time delay, const TypedEvent& ev) {
+    return queue_.Schedule(now_ + (delay > 0 ? delay : 0), ev);
+  }
+
   /// Schedules `cb` at absolute time `t` (clamped to now).
   EventId ScheduleAt(Time t, EventQueue::Callback cb) {
     return queue_.Schedule(t > now_ ? t : now_, std::move(cb));
   }
 
+  /// Typed-event variant of ScheduleAt.
+  EventId ScheduleAt(Time t, const TypedEvent& ev) {
+    return queue_.Schedule(t > now_ ? t : now_, ev);
+  }
+
   /// Cancels a pending event; returns false if it already ran.
   bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  /// Fused cancel + schedule (rearm fast path): moves a pending event to
+  /// `delay` from now, reusing its slot and payload. Returns `id` (still
+  /// valid) on success, or kInvalidEventId if the event already ran or was
+  /// cancelled — the caller then schedules afresh with its payload.
+  EventId Reschedule(EventId id, Time delay) {
+    return queue_.Reschedule(id, now_ + (delay > 0 ? delay : 0))
+               ? id
+               : kInvalidEventId;
+  }
 
   /// Runs until the event queue drains or Stop() is called.
   void Run();

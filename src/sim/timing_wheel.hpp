@@ -1,0 +1,220 @@
+// Hierarchical timing wheel: the O(1) near-horizon half of the hybrid
+// scheduler (EventQueue keeps the indexed binary heap as the far-timer
+// overflow level).
+//
+// Three levels of 64 buckets each, with a base tick of 2^kTickShift
+// picoseconds (4.096 ns), cover a rolling horizon of 2^30 ps (~1.07 ms) —
+// serialization slots, propagation delays and CC rate timers all land in
+// the wheel; far timers (RTOs, idle watchdogs) overflow to the heap, which
+// stays tiny as a result. Insert and cancel are O(1); cascading is O(1)
+// amortized (an entry moves down at most twice); finding the next
+// non-empty bucket is one ctz over a per-level occupancy word.
+//
+// Ordering contract (shared with EventQueue): events are totally ordered by
+// (time, schedule sequence). A bucket spans many distinct timestamps, so
+// buckets are unordered contiguous vectors; when the cursor reaches a
+// bucket its entries are swapped into a drain vector and sorted, which is
+// what Peek()/Pop() serve from. The wheel refuses (`Accepts` == false)
+// events at or behind the cursor's tick while the drain is live — those go
+// to the overflow heap, which EventQueue already merges with the wheel at
+// pop by (t, seq) — so the global pop order is exact, identical to a single
+// heap, with no mid-drain insertion path.
+//
+// The wheel stores only {t, seq, slot} records. Callbacks, slot generations
+// and the slot free list stay in EventQueue; the wheel writes each slot's
+// current location (bucket coordinates or drain index) into the shared
+// SlotMeta table so cancellation stays exact and O(1).
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace fncc {
+
+/// A scheduled-event record: absolute time, global schedule sequence (FIFO
+/// tie-break for simultaneous events), and the owning callback slot.
+struct SchedEntry {
+  Time t;
+  std::uint64_t seq;
+  std::uint32_t slot;
+};
+
+/// Where a callback slot's queue entry currently lives. Written by both the
+/// EventQueue heap and the TimingWheel; read on cancel/reschedule.
+/// Encoding (tag = loc >> 30):
+///   tag 0 — overflow-heap position (EventQueue's binary heap)
+///   tag 1 — wheel bucket: level [29:28], bucket slot [27:20], index [19:0]
+///   tag 2 — drain index [29:0]
+///   kLocNone — not scheduled
+inline constexpr std::uint32_t kLocNone = 0xFFFF'FFFF;
+inline constexpr std::uint32_t kLocIndexMask = 0x3FFF'FFFF;
+inline constexpr std::uint32_t kLocHeapTag = 0u << 30;
+inline constexpr std::uint32_t kLocWheelTag = 1u << 30;
+inline constexpr std::uint32_t kLocDrainTag = 2u << 30;
+
+/// Slot bookkeeping, parallel to the callback table. 8 bytes per slot keeps
+/// the write-hot location updates cache-resident (see event_queue.hpp).
+struct SlotMeta {
+  std::uint32_t generation = 0;  // bumped on release; guards stale ids
+  std::uint32_t loc = kLocNone;
+};
+
+class TimingWheel {
+ public:
+  /// Base tick: 2^12 ps = 4.096 ns. Small enough that back-to-back ACK
+  /// serializations (60 B at 100 Gbps = 4.8 ns) land in distinct buckets,
+  /// large enough that one MTU serialization (~121 ns) spans ~30 ticks.
+  static constexpr int kTickShift = 12;
+  static constexpr int kLevels = 3;
+  static constexpr int kSlotBits = 6;
+  static constexpr std::uint32_t kWheelSlots = 1u << kSlotBits;  // 64
+  static constexpr std::uint32_t kSlotMask = kWheelSlots - 1;
+  /// Entries per bucket must fit the 20-bit index field of the loc word.
+  static constexpr std::uint32_t kMaxBucketEntries = 1u << 20;
+
+  /// `meta` is EventQueue's slot table; the wheel writes loc fields only.
+  /// The pointee may reallocate (slot growth); the pointer must stay valid.
+  explicit TimingWheel(std::vector<SlotMeta>* meta) : meta_(meta) {}
+
+  /// True if an event at absolute time `t` belongs in the wheel given the
+  /// current cursor; false means the caller keeps it in the overflow heap.
+  /// Refused: far times (beyond the superblock horizon), past-cursor times,
+  /// and the cursor's own tick while the drain is live (its bucket was
+  /// already consumed).
+  [[nodiscard]] bool Accepts(Time t) const {
+    const std::uint64_t tick = Tick(t);
+    if (tick > cur_) {
+      return (tick >> (kLevels * kSlotBits)) ==
+             (cur_ >> (kLevels * kSlotBits));
+    }
+    return tick == cur_ && !DrainLive();
+  }
+
+  /// Inserts an event. Precondition: Accepts(e.t).
+  void Insert(const SchedEntry& e) {
+    assert(Accepts(e.t));
+    ++count_;
+    Place(e);
+  }
+
+  /// Removes the entry for `slot` given its location word. O(1).
+  void Remove(std::uint32_t slot, std::uint32_t loc);
+
+  /// Earliest event, or nullptr when the wheel is empty. Lazily advances the
+  /// cursor / cascades levels; pointer is valid until the next mutation.
+  [[nodiscard]] const SchedEntry* Peek() {
+    if (count_ == 0) {
+      if (!drain_.empty()) {
+        drain_.clear();
+        drain_head_ = 0;
+      }
+      return nullptr;
+    }
+    if (DrainLive()) {
+      const SchedEntry* e = &drain_[drain_head_];
+      if (e->slot != kDeadSlot) [[likely]] return e;
+    }
+    return PeekSlow();
+  }
+
+  /// Extracts the earliest event. Precondition: Peek() != nullptr. The
+  /// caller clears the slot's loc (via its slot-release path).
+  SchedEntry Pop() {
+    const SchedEntry* e = Peek();
+    assert(e != nullptr && "Pop on empty wheel");
+    const SchedEntry out = *e;
+    ++drain_head_;
+    --count_;
+    return out;
+  }
+
+  /// Moves the cursor forward to `t`'s tick. Only legal while the wheel is
+  /// empty (there are no entries whose relative position could change);
+  /// called when the overflow heap advances time past the wheel horizon so
+  /// subsequently scheduled near events use the wheel again.
+  void AdvanceTo(Time t) {
+    assert(count_ == 0 && "AdvanceTo with events in the wheel");
+    drain_.clear();
+    drain_head_ = 0;
+    const std::uint64_t tick = Tick(t);
+    if (tick > cur_) cur_ = tick;
+  }
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+ private:
+  /// Tombstone marker for cancelled drain entries (never a real slot: slot
+  /// ids are dense indices into EventQueue's slot table).
+  static constexpr std::uint32_t kDeadSlot = 0xFFFF'FFFF;
+
+  static std::uint64_t Tick(Time t) {
+    return static_cast<std::uint64_t>(t) >> kTickShift;
+  }
+  static bool Before(const SchedEntry& a, const SchedEntry& b) {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  [[nodiscard]] bool DrainLive() const { return drain_head_ < drain_.size(); }
+
+  /// Appends `e` to the bucket its time selects under the current cursor
+  /// and records its location. Precondition: within horizon, not behind
+  /// the cursor.
+  void Place(const SchedEntry& e);
+  /// Moves the level-0 bucket `s` into the (empty) drain, sorted.
+  void DrainBucket(std::uint32_t s);
+  /// Sorts the freshly swapped-in drain by (t, seq). A clean bucket is in
+  /// seq (insertion) order, and a level-0 bucket spans exactly one tick, so
+  /// a stable counting sort on the sub-tick key suffices; `dirty` (a
+  /// swap-remove disturbed the order) or small inputs fall back to
+  /// std::sort.
+  void SortDrain(bool dirty);
+  /// Re-places every entry of bucket `s` at `level` into lower levels after
+  /// the cursor entered that bucket's range.
+  void CascadeBucket(int level, std::uint32_t s);
+  /// Refills an empty drain from the buckets. Precondition: count_ > 0.
+  void Refill();
+  /// Peek's out-of-line tail: skips drain tombstones and refills.
+  [[nodiscard]] const SchedEntry* PeekSlow();
+
+  [[nodiscard]] std::vector<SchedEntry>& Bucket(int level, std::uint32_t s) {
+    return buckets_[static_cast<std::uint32_t>(level) * kWheelSlots + s];
+  }
+  /// Lowest set bit index >= from in the level's occupancy word, or -1.
+  [[nodiscard]] int FindSet(int level, std::uint32_t from) const {
+    const std::uint64_t bits = bitmap_[level] & (~0ull << from);
+    return bits != 0 ? std::countr_zero(bits) : -1;
+  }
+
+  std::vector<SlotMeta>* meta_;
+
+  /// kLevels * kWheelSlots contiguous buckets; capacities persist across
+  /// reuse, so the steady state allocates nothing.
+  std::vector<SchedEntry> buckets_[kLevels * kWheelSlots];
+  std::uint64_t bitmap_[kLevels] = {};  // per-level bucket occupancy
+  /// Buckets whose insertion order was disturbed by a swap-remove; their
+  /// drain pass needs the comparison sort. Cascading a dirty bucket taints
+  /// the destinations.
+  std::uint64_t dirty_[kLevels] = {};
+
+  // Counting-sort workspace (reused; no steady-state allocation).
+  std::vector<std::uint32_t> counts_;
+  std::vector<SchedEntry> scratch_;
+
+  /// Level-0 tick cursor: every event in ticks < cur_ has been moved to the
+  /// drain (or popped); the bucket at cur_ itself may refill while the
+  /// drain is dead and is then rescanned.
+  std::uint64_t cur_ = 0;
+
+  /// Sorted run of due entries served by Peek/Pop. Entries before
+  /// drain_head_ are consumed; cancelled ones are tombstoned in place.
+  std::vector<SchedEntry> drain_;
+  std::size_t drain_head_ = 0;
+
+  std::size_t count_ = 0;  // live entries (buckets + drain, minus tombstones)
+};
+
+}  // namespace fncc

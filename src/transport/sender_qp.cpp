@@ -32,6 +32,18 @@ bool SenderQp::WindowBlocked() const {
          static_cast<double>(inflight_bytes()) >= cc_->window_bytes();
 }
 
+void SenderQp::PaceEvent(void* qp, void* /*unused*/, std::uint64_t /*arg*/) {
+  auto* self = static_cast<SenderQp*>(qp);
+  self->send_event_ = kInvalidEventId;
+  self->TrySend();
+}
+
+void SenderQp::RtoEvent(void* qp, void* /*unused*/, std::uint64_t /*arg*/) {
+  auto* self = static_cast<SenderQp*>(qp);
+  self->rto_event_ = kInvalidEventId;
+  self->OnRto();
+}
+
 void SenderQp::TrySend() {
   if (in_try_send_) return;  // re-entrant via CC on_update callbacks
   in_try_send_ = true;
@@ -40,10 +52,12 @@ void SenderQp::TrySend() {
     const Time now = sim->Now();
     if (now < next_send_time_) {
       if (send_event_ == kInvalidEventId) {
-        send_event_ = sim->ScheduleAt(next_send_time_, [this] {
-          send_event_ = kInvalidEventId;
-          TrySend();
-        });
+        send_event_ = sim->ScheduleAt(
+            next_send_time_, TypedEvent{.run = &SenderQp::PaceEvent,
+                                        .drop = nullptr,
+                                        .p0 = this,
+                                        .p1 = nullptr,
+                                        .arg = 0});
       }
       break;
     }
@@ -116,12 +130,21 @@ void SenderQp::ArmRto() {
   if (rto <= 0) return;
   // Called on ACK progress: reset the exponential backoff.
   rto_backoff_ = 1;
+  ArmRtoAt(rto);
+}
+
+void SenderQp::ArmRtoAt(Time delay) {
   Simulator* sim = host_->sim();
-  sim->Cancel(rto_event_);
-  rto_event_ = sim->Schedule(rto, [this] {
-    rto_event_ = kInvalidEventId;
-    OnRto();
-  });
+  // Fused cancel + schedule keeps the slot and the typed payload; only when
+  // the timer already fired (or was never armed) is a fresh event needed.
+  rto_event_ = sim->Reschedule(rto_event_, delay);
+  if (rto_event_ == kInvalidEventId) {
+    rto_event_ = sim->Schedule(delay, TypedEvent{.run = &SenderQp::RtoEvent,
+                                                 .drop = nullptr,
+                                                 .p0 = this,
+                                                 .p1 = nullptr,
+                                                 .arg = 0});
+  }
 }
 
 void SenderQp::OnRto() {
@@ -139,13 +162,8 @@ void SenderQp::OnRto() {
       static_cast<unsigned long long>(snd_una_));
   snd_nxt_ = snd_una_;
   next_send_time_ = host_->sim()->Now();
-  Simulator* sim = host_->sim();
   if (rto_backoff_ < 64) rto_backoff_ *= 2;
-  sim->Cancel(rto_event_);
-  rto_event_ = sim->Schedule(host_->config().rto * rto_backoff_, [this] {
-    rto_event_ = kInvalidEventId;
-    OnRto();
-  });
+  ArmRtoAt(host_->config().rto * rto_backoff_);
   TrySend();
 }
 

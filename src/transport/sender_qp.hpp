@@ -58,10 +58,17 @@ class SenderQp {
   }
 
  private:
+  // TypedEvent trampolines: pacing and RTO fire closure-free.
+  static void PaceEvent(void* qp, void* unused, std::uint64_t arg);
+  static void RtoEvent(void* qp, void* unused, std::uint64_t arg);
+
   void TrySend();
   void SendOnePacket();
   [[nodiscard]] bool WindowBlocked() const;
   void ArmRto();
+  /// Re-arms rto_event_ `delay` from now, reusing the pending event's slot
+  /// when possible (the per-ACK rearm fast path).
+  void ArmRtoAt(Time delay);
   void OnRto();
   void Complete();
 

@@ -1,0 +1,280 @@
+// Hybrid-scheduler coverage: wheel <-> overflow-heap boundary crossing,
+// FIFO stability for simultaneous events across wheel levels, typed
+// events, the fused Reschedule fast path, and an ABA stress mirroring the
+// event-queue one but driven across the wheel horizon.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/timing_wheel.hpp"
+
+namespace fncc {
+namespace {
+
+constexpr Time kTick = Time{1} << TimingWheel::kTickShift;
+// The wheel horizon: events this far past the cursor overflow to the heap.
+constexpr Time kHorizon =
+    kTick << (TimingWheel::kLevels * TimingWheel::kSlotBits);
+
+void DrainAll(EventQueue& q, Time* now = nullptr) {
+  Time last = now != nullptr ? *now : 0;
+  while (!q.Empty()) {
+    Time t = 0;
+    q.PopNext(&t)();
+    EXPECT_GE(t, last) << "time went backwards";
+    last = t;
+  }
+  if (now != nullptr) *now = last;
+}
+
+TEST(TimingWheelQueueTest, FarEventsOverflowAndStillRunInOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(3 * kHorizon, [&] { order.push_back(3); });  // heap
+  q.Schedule(10, [&] { order.push_back(0); });            // wheel, level 0
+  q.Schedule(kHorizon - kTick, [&] { order.push_back(2); });  // wheel, level 2
+  q.Schedule(50 * kTick, [&] { order.push_back(1); });        // wheel, level 1
+  DrainAll(q);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(TimingWheelQueueTest, HeapEventCancelledAndRearmedIntoWheel) {
+  // The boundary crossing the RTO pattern produces: schedule far (heap),
+  // cancel, rearm near (wheel) — and the reverse.
+  EventQueue q;
+  std::vector<int> order;
+  const EventId far = q.Schedule(2 * kHorizon, [&] { order.push_back(9); });
+  q.Schedule(kTick, [&] { order.push_back(1); });
+  EXPECT_TRUE(q.Cancel(far));
+  q.Schedule(2 * kTick, [&] { order.push_back(2); });  // near: wheel
+  const EventId near = q.Schedule(3 * kTick, [&] { order.push_back(8); });
+  EXPECT_TRUE(q.Cancel(near));
+  q.Schedule(2 * kHorizon, [&] { order.push_back(4); });  // far again: heap
+  DrainAll(q);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4}));
+}
+
+TEST(TimingWheelQueueTest, RescheduleMovesAcrossTheBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  // Wheel -> heap.
+  const EventId a = q.Schedule(kTick, [&] { order.push_back(1); });
+  EXPECT_TRUE(q.Reschedule(a, 2 * kHorizon));
+  // Heap -> wheel.
+  const EventId b = q.Schedule(3 * kHorizon, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.Reschedule(b, 2 * kTick));
+  q.Schedule(kTick, [&] { order.push_back(3); });
+  DrainAll(q);
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(TimingWheelQueueTest, RescheduleKeepsIdValidAndPayload) {
+  EventQueue q;
+  int runs = 0;
+  const EventId id = q.Schedule(10, [&] { ++runs; });
+  EXPECT_TRUE(q.Reschedule(id, 500));
+  EXPECT_TRUE(q.Reschedule(id, 50 * kTick));  // id stays valid across rearms
+  EXPECT_EQ(q.size(), 1u);
+  Time t = 0;
+  q.PopNext(&t)();
+  EXPECT_EQ(t, 50 * kTick);
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(q.Reschedule(id, 10)) << "ran events must not rearm";
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(TimingWheelQueueTest, RescheduleGoesToBackOfFifoAmongEqualTimes) {
+  // A rearmed event behaves exactly like cancel + schedule: it yields to
+  // events already scheduled for the same timestamp.
+  EventQueue q;
+  std::vector<int> order;
+  const EventId a = q.Schedule(5, [&] { order.push_back(0); });
+  q.Schedule(5, [&] { order.push_back(1); });
+  EXPECT_TRUE(q.Reschedule(a, 5));
+  DrainAll(q);
+  EXPECT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(TimingWheelQueueTest, SameTimestampFifoAcrossLevelsAndHeap) {
+  // Five events with one shared timestamp, entering through different
+  // structures: wheel level 1/2 (far ticks), the overflow heap (beyond the
+  // horizon at schedule time... simulated by a Reschedule into range), and
+  // level 0 (after the cursor advanced close by). Pop order must be the
+  // global schedule order regardless of entry point.
+  EventQueue q;
+  std::vector<int> order;
+  const Time target = kHorizon - kTick;  // reachable by every level
+  q.Schedule(target, [&] { order.push_back(0); });  // level 2
+  q.Schedule(target, [&] { order.push_back(1); });  // level 2, same bucket
+  const EventId far = q.Schedule(3 * kHorizon, [&] { order.push_back(2); });
+  EXPECT_TRUE(q.Reschedule(far, target));  // heap -> wheel, seq refreshed
+  q.Schedule(target, [&] { order.push_back(3); });
+  // Advance the cursor near the target so the last event enters at a lower
+  // level than the earlier ones did.
+  q.Schedule(target - 40 * kTick,
+             [&q, &order, target] {
+               q.Schedule(target, [&order] { order.push_back(4); });
+             });
+  DrainAll(q);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TimingWheelQueueTest, TypedEventRunsAndDropsEagerly) {
+  EventQueue q;
+  static int runs;
+  static int drops;
+  runs = drops = 0;
+  const TypedEvent ev{
+      .run = [](void*, void*, std::uint64_t arg) { runs += int(arg); },
+      .drop = [](void*, void*, std::uint64_t) { ++drops; },
+      .p0 = nullptr,
+      .p1 = nullptr,
+      .arg = 2};
+  q.Schedule(10, ev);
+  const EventId cancelled = q.Schedule(20, ev);
+  EXPECT_TRUE(q.Cancel(cancelled));
+  EXPECT_EQ(drops, 1) << "cancel must fire the drop hook immediately";
+  DrainAll(q);
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(drops, 1) << "a run event must not also drop";
+  {
+    EventQueue q2;
+    q2.Schedule(10, ev);
+  }
+  EXPECT_EQ(drops, 2) << "queue teardown must drop pending typed events";
+}
+
+TEST(TimingWheelQueueTest, TypedAndClosureEventsInterleaveFifo) {
+  EventQueue q;
+  static std::vector<int>* sink;
+  std::vector<int> order;
+  sink = &order;
+  for (int i = 0; i < 8; ++i) {
+    if (i % 2 == 0) {
+      q.Schedule(7, TypedEvent{.run = [](void*, void*, std::uint64_t arg) {
+                                 sink->push_back(static_cast<int>(arg));
+                               },
+                               .drop = nullptr,
+                               .p0 = nullptr,
+                               .p1 = nullptr,
+                               .arg = static_cast<std::uint64_t>(i)});
+    } else {
+      q.Schedule(7, [&order, i] { order.push_back(i); });
+    }
+  }
+  DrainAll(q);
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TimingWheelQueueTest, AbaStressAcrossTheHorizon) {
+  // Mirrors EventQueueTest.CancelRescheduleStress, but delays span wheel
+  // levels 0/1/2 and the overflow heap, exercising slot recycling, drain
+  // tombstones, bucket swap-removes, cascades and heap removal together.
+  EventQueue q;
+  std::mt19937 rng(0xABA5EED);
+  std::map<std::uint64_t, EventId> live;  // token -> id
+  std::vector<std::uint64_t> executed;
+  std::vector<std::uint64_t> cancelled;
+  std::uint64_t next_token = 0;
+  Time now = 0;
+
+  const auto random_delay = [&]() -> Time {
+    switch (rng() % 4) {
+      case 0:
+        return 1 + static_cast<Time>(rng() % (10 * kTick));  // level 0
+      case 1:
+        return static_cast<Time>(rng() % (60 * kTick));  // level 0/1
+      case 2:
+        return static_cast<Time>(rng() % kHorizon);  // any level
+      default:
+        return kHorizon + static_cast<Time>(rng() % kHorizon);  // heap
+    }
+  };
+  const auto schedule = [&](Time at) {
+    const std::uint64_t token = next_token++;
+    live[token] =
+        q.Schedule(at, [&executed, token] { executed.push_back(token); });
+    return token;
+  };
+
+  for (int round = 0; round < 3000; ++round) {
+    const int op = static_cast<int>(rng() % 100);
+    if (op < 40 || live.empty()) {
+      schedule(now + 1 + random_delay());
+    } else if (op < 55) {
+      auto it = live.begin();
+      std::advance(it, rng() % live.size());
+      EXPECT_TRUE(q.Cancel(it->second));
+      EXPECT_FALSE(q.Cancel(it->second));  // idempotence
+      cancelled.push_back(it->first);
+      live.erase(it);
+    } else if (op < 70) {
+      // Fused rearm: the id must stay valid and unique to its token.
+      auto it = live.begin();
+      std::advance(it, rng() % live.size());
+      EXPECT_TRUE(q.Reschedule(it->second, now + 1 + random_delay()));
+    } else if (op < 80) {
+      // Cancel + schedule (the legacy rearm shape).
+      auto it = live.begin();
+      std::advance(it, rng() % live.size());
+      EXPECT_TRUE(q.Cancel(it->second));
+      cancelled.push_back(it->first);
+      live.erase(it);
+      schedule(now + 1 + random_delay());
+    } else {
+      for (int i = 0; i < 3 && !q.Empty(); ++i) {
+        Time t = 0;
+        q.PopNext(&t)();
+        EXPECT_GE(t, now);
+        now = t;
+        const std::uint64_t token = executed.back();
+        EXPECT_EQ(live.erase(token), 1u) << "popped a cancelled/dead event";
+      }
+    }
+    EXPECT_EQ(q.size(), live.size());
+  }
+  while (!q.Empty()) {
+    Time t = 0;
+    q.PopNext(&t)();
+    EXPECT_GE(t, now);
+    now = t;
+    EXPECT_EQ(live.erase(executed.back()), 1u);
+  }
+  EXPECT_TRUE(live.empty());
+  EXPECT_EQ(executed.size() + cancelled.size(), next_token);
+  std::sort(executed.begin(), executed.end());
+  EXPECT_EQ(std::unique(executed.begin(), executed.end()), executed.end());
+  std::sort(cancelled.begin(), cancelled.end());
+  std::vector<std::uint64_t> overlap;
+  std::set_intersection(executed.begin(), executed.end(), cancelled.begin(),
+                        cancelled.end(), std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty()) << "a cancelled event executed anyway";
+}
+
+TEST(TimingWheelQueueTest, HeapRunAheadThenNearScheduling) {
+  // When only far (heap) events exist, popping them drags the wheel cursor
+  // forward; near events scheduled from those callbacks must still run at
+  // exact times and in order.
+  EventQueue q;
+  std::vector<Time> times;
+  for (int i = 1; i <= 3; ++i) {
+    const Time base = i * 2 * kHorizon;
+    q.Schedule(base, [&q, &times, base] {
+      q.Schedule(base + 3, [&times, base] { times.push_back(base + 3); });
+      q.Schedule(base + 1, [&times, base] { times.push_back(base + 1); });
+    });
+  }
+  DrainAll(q);
+  ASSERT_EQ(times.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+}  // namespace
+}  // namespace fncc
