@@ -1,4 +1,7 @@
 // Shared driver for the Fig. 14/15 large-scale FCT-slowdown benchmarks.
+// The per-CC-mode scenario points run as one parallel sweep (exec/
+// SweepRunner, FNCC_THREADS threads); outputs are bit-identical to the
+// serial run, only wall time changes.
 #pragma once
 
 #include <cstdio>
@@ -7,6 +10,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "exec/thread_pool.hpp"
 #include "harness/fat_tree_runner.hpp"
 
 namespace fncc::bench {
@@ -33,20 +37,34 @@ inline void RunFctBench(const FctBenchSetup& setup) {
   config.scenario.seed = static_cast<std::uint64_t>(EnvLong("FNCC_SEED", 1));
 
   const CcMode modes[] = {CcMode::kDcqcn, CcMode::kHpcc, CcMode::kFncc};
-  std::map<CcMode, FatTreeRunResult> results;
+  std::vector<FatTreeRunConfig> configs;
   for (CcMode mode : modes) {
     config.scenario.mode = mode;
-    results.emplace(mode, RunFatTree(config));
-    const auto& r = results.at(mode);
+    configs.push_back(config);
+  }
+
+  const int threads = ThreadPool::DefaultThreadCount();  // FNCC_THREADS-aware
+  WallTimer sweep_timer;
+  std::vector<FatTreeRunResult> sweep = RunFatTreeSweep(configs, threads);
+  const double sweep_seconds = sweep_timer.Seconds();
+
+  std::map<CcMode, FatTreeRunResult> results;
+  std::vector<SweepPointMeta> point_meta;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const FatTreeRunResult& r = sweep[i];
     std::printf("%s: %zu/%zu flows, %llu pauses, %llu drops, %llu rtx, "
-                "%llu asym-acks, %llu events\n",
-                CcModeName(mode), r.flows_completed, r.flows_total,
+                "%llu asym-acks, %llu events, %.2fs\n",
+                CcModeName(modes[i]), r.flows_completed, r.flows_total,
                 static_cast<unsigned long long>(r.pause_frames),
                 static_cast<unsigned long long>(r.drops),
                 static_cast<unsigned long long>(r.retransmits),
                 static_cast<unsigned long long>(r.asymmetric_acks),
-                static_cast<unsigned long long>(r.events_processed));
+                static_cast<unsigned long long>(r.events_processed),
+                r.wall_time_seconds);
+    point_meta.push_back({CcModeName(modes[i]), r.wall_time_seconds});
+    results.emplace(modes[i], std::move(sweep[i]));
   }
+  WriteSweepMeta(setup.figure, threads, sweep_seconds, point_meta);
 
   const char* stat_names[] = {"average", "median", "p95", "p99"};
   for (int stat = 0; stat < 4; ++stat) {

@@ -3,9 +3,11 @@
 // INT under HPCC (data-path stamping, ~1 RTT) vs FNCC (return-path ACK
 // stamping, sub-RTT) — and how the advantage shrinks toward the last hop.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/notification_model.hpp"
+#include "exec/sweep_runner.hpp"
 
 int main() {
   using namespace fncc;
@@ -38,14 +40,22 @@ int main() {
       (d.gain[0] > d.gain[1] && d.gain[1] > d.gain[2]) ? "first > middle > last"
                                                        : "violated");
 
-  // Sweep: deeper chains, faster links.
+  // Sweep: deeper chains, faster links. The model is analytic — the whole
+  // sweep costs microseconds, so it runs on the serial SweepRunner path
+  // (same index-ordered API as the simulation sweeps, no pool spun up).
+  const std::vector<int> depths = {2, 3, 5, 8};
+  SweepRunner runner(1);
+  const std::vector<NotificationDelays> sweep =
+      runner.Map<NotificationDelays>(depths.size(), [&](std::size_t i) {
+        NotificationChain c;
+        c.num_switches = depths[i];
+        return ComputeNotificationDelays(c);
+      });
   std::printf("\nchain-depth sweep (gain at first hop):\n");
-  for (int n : {2, 3, 5, 8}) {
-    NotificationChain c;
-    c.num_switches = n;
-    const auto dd = ComputeNotificationDelays(c);
-    std::printf("  %d switches: HPCC %.2f us -> FNCC %.2f us\n", n,
-                ToMicroseconds(dd.hpcc[0]), ToMicroseconds(dd.fncc[0]));
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    std::printf("  %d switches: HPCC %.2f us -> FNCC %.2f us\n", depths[i],
+                ToMicroseconds(sweep[i].hpcc[0]),
+                ToMicroseconds(sweep[i].fncc[0]));
   }
   return 0;
 }

@@ -6,17 +6,19 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "exec/thread_pool.hpp"
 #include "harness/dumbbell_runner.hpp"
 
 namespace {
 
-fncc::MicroRunResult Run(fncc::CcMode mode, int merge_switch) {
-  fncc::MicroRunConfig config;
-  config.scenario.mode = mode;
-  config.num_switches = 3;
-  config.flows = {{0, 0}, {1, fncc::Microseconds(300)}};
-  config.duration = fncc::Microseconds(800);
-  return RunChainMerge(config, merge_switch);
+fncc::MicroSweepPoint Point(fncc::CcMode mode, int merge_switch) {
+  fncc::MicroSweepPoint point;
+  point.config.scenario.mode = mode;
+  point.config.num_switches = 3;
+  point.config.flows = {{0, 0}, {1, fncc::Microseconds(300)}};
+  point.config.duration = fncc::Microseconds(800);
+  point.merge_switch = merge_switch;
+  return point;
 }
 
 }  // namespace
@@ -27,13 +29,32 @@ int main() {
 
   Banner("Fig 13: congestion location study (first/middle/last hop)");
 
+  // All nine (hop, mode) points as one parallel sweep; results come back
+  // in point order, bit-identical to the serial run.
+  const CcMode modes[] = {CcMode::kHpcc, CcMode::kFnccNoLhcs, CcMode::kFncc};
+  std::vector<MicroSweepPoint> points;
+  for (int hop = 0; hop < 3; ++hop) {
+    for (CcMode mode : modes) points.push_back(Point(mode, hop));
+  }
+  const int threads = ThreadPool::DefaultThreadCount();
+  WallTimer sweep_timer;
+  const std::vector<MicroRunResult> sweep = RunMicroSweep(points, threads);
+  const double sweep_seconds = sweep_timer.Seconds();
+
   const char* hop_names[] = {"first", "middle", "last"};
   double reduction[4] = {};  // first, middle, last-noLHCS, last-LHCS
 
+  std::vector<SweepPointMeta> point_meta;
   for (int hop = 0; hop < 3; ++hop) {
-    const auto hpcc = Run(CcMode::kHpcc, hop);
-    const auto fncc_no = Run(CcMode::kFnccNoLhcs, hop);
-    const auto fncc_full = Run(CcMode::kFncc, hop);
+    const auto& hpcc = sweep[static_cast<std::size_t>(3 * hop)];
+    const auto& fncc_no = sweep[static_cast<std::size_t>(3 * hop + 1)];
+    const auto& fncc_full = sweep[static_cast<std::size_t>(3 * hop + 2)];
+    for (int m = 0; m < 3; ++m) {
+      const auto& r = sweep[static_cast<std::size_t>(3 * hop + m)];
+      point_meta.push_back({std::string(hop_names[hop]) + "/" +
+                                CcModeName(modes[m]),
+                            r.wall_time_seconds});
+    }
 
     const Time from = Microseconds(300), to = Microseconds(800);
     const double q_hpcc = hpcc.queue_bytes.MaxOver(from, to);
@@ -86,5 +107,6 @@ int main() {
   PaperVsMeasured("fig13", "LHCS adds most on last hop",
                   "LHCS reduction >> no-LHCS reduction",
                   reduction[3] > reduction[2] ? "confirmed" : "violated");
+  WriteSweepMeta("fig13", threads, sweep_seconds, point_meta);
   return 0;
 }

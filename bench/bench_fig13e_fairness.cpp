@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "exec/thread_pool.hpp"
 #include "harness/dumbbell_runner.hpp"
 #include "stats/percentile.hpp"
 
@@ -21,7 +22,8 @@ int main() {
 
   Banner("Fig 13e: fairness with staggered long-lived flows");
 
-  MicroRunConfig config;
+  MicroSweepPoint point;
+  MicroRunConfig& config = point.config;
   config.scenario.mode = CcMode::kFncc;
   config.num_senders = 4;
   config.flows = {{0, 0 * stage, 8 * stage},
@@ -30,7 +32,11 @@ int main() {
                   {3, 3 * stage, 5 * stage}};
   config.duration = 8 * stage + Microseconds(50);
   config.rate_sample_interval = stage / 100;
-  const MicroRunResult r = RunDumbbell(config);
+  const int threads = ThreadPool::DefaultThreadCount();
+  WallTimer sweep_timer;
+  const MicroRunResult r = RunMicroSweep({point}, threads).front();
+  WriteSweepMeta("fig13e", threads, sweep_timer.Seconds(),
+                 {{"fncc_staircase", r.wall_time_seconds}});
 
   for (int i = 0; i < 4; ++i) {
     PrintSeries("fig13e", "flow" + std::to_string(i),

@@ -2,10 +2,13 @@
 // emission plus paper-vs-measured summary lines for EXPERIMENTS.md.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "exec/wall_timer.hpp"
 #include "stats/timeseries.hpp"
 
 namespace fncc::bench {
@@ -46,6 +49,61 @@ inline std::string Fmt(const char* fmt, double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), fmt, v);
   return buf;
+}
+
+/// One scenario point's wall-time record for the sweep meta JSON.
+struct SweepPointMeta {
+  std::string label;
+  double wall_time_seconds = 0.0;
+};
+
+/// Writes BENCH_<figure>.json recording how the figure's sweep executed:
+/// thread count, elapsed wall time, the serial-equivalent time (sum of
+/// per-point wall times), the aggregate parallel speedup
+/// (serial-equivalent / elapsed), and each point's wall time with its
+/// wall_time_share (point seconds per elapsed second — how much of its
+/// serial cost the sweep hid behind other points). Wall-time fields are
+/// machine- and thread-count-dependent; never compare them across runs
+/// with different thread counts. Also prints a one-line "sweep," CSV
+/// summary.
+inline void WriteSweepMeta(const char* figure, int threads,
+                           double wall_time_seconds,
+                           const std::vector<SweepPointMeta>& points) {
+  // Record how the sweep actually executed: a sweep never uses more
+  // threads than it has points (and a single-point sweep runs inline).
+  threads = std::min(threads, static_cast<int>(std::max<std::size_t>(
+                                  points.size(), 1)));
+  double serial_seconds = 0.0;
+  for (const SweepPointMeta& p : points) {
+    serial_seconds += p.wall_time_seconds;
+  }
+  const double speedup =
+      wall_time_seconds > 0.0 ? serial_seconds / wall_time_seconds : 0.0;
+
+  const std::string path = std::string("BENCH_") + figure + ".json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n  \"figure\": \"%s\",\n  \"threads\": %d,\n"
+                 "  \"wall_time_seconds\": %.6f,\n"
+                 "  \"serial_wall_time_seconds\": %.6f,\n"
+                 "  \"speedup\": %.3f,\n  \"points\": [\n",
+                 figure, threads, wall_time_seconds, serial_seconds, speedup);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::fprintf(
+          f,
+          "    {\"label\": \"%s\", \"wall_time_seconds\": %.6f, "
+          "\"wall_time_share\": %.3f}%s\n",
+          points[i].label.c_str(), points[i].wall_time_seconds,
+          wall_time_seconds > 0.0
+              ? points[i].wall_time_seconds / wall_time_seconds
+              : 0.0,
+          i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  std::printf("sweep,%s,threads=%d,wall_s=%.3f,serial_s=%.3f,speedup=%.2f\n",
+              figure, threads, wall_time_seconds, serial_seconds, speedup);
 }
 
 }  // namespace fncc::bench

@@ -5,6 +5,12 @@
 #   bench/run_benches.sh [build-dir] [output-json]
 # Defaults: build-dir = ./build, output = ./BENCH_micro.json
 #
+# FNCC_THREADS (default 1) is exported to the benchmark process and stamped
+# into the JSON as the `fncc_threads` context entry. Baselines are recorded
+# single-threaded; scripts/check_bench_regression.py ignores wall-time
+# fields whenever the two runs' fncc_threads differ, so a parallel smoke
+# run can still be compared on the machine-independent ratios.
+#
 # Refuses to emit JSON from a non-Release build: -O0/-Og numbers are not a
 # valid baseline, and the committed BENCH_micro.json is what the CI
 # regression gate compares against. (The `library_build_type` field inside
@@ -16,6 +22,8 @@ set -eu
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_micro.json}"
 BENCH="$BUILD_DIR/bench_micro"
+FNCC_THREADS="${FNCC_THREADS:-1}"
+export FNCC_THREADS
 
 if [ ! -x "$BENCH" ]; then
   echo "error: $BENCH not found - build first:" >&2
@@ -39,10 +47,11 @@ esac
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   --benchmark_context=fncc_build_type="$BUILD_TYPE" \
+  --benchmark_context=fncc_threads="$FNCC_THREADS" \
   --benchmark_min_time=0.2
 
 echo ""
-echo "wrote $OUT (fncc_build_type=$BUILD_TYPE)"
+echo "wrote $OUT (fncc_build_type=$BUILD_TYPE, fncc_threads=$FNCC_THREADS)"
 
 # Headline numbers: new-vs-legacy event-queue speedup and the steady-state
 # packet allocation counter (must be 0). Python is optional sugar; the JSON

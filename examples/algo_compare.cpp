@@ -3,9 +3,16 @@
 // fairness — the paper's §5.1 narrative in one table.
 //
 //   ./algo_compare [link_gbps]
+//
+// The seven schemes run as one parallel sweep (FNCC_THREADS threads, see
+// README "Parallel execution"); per-scheme numbers are bit-identical to a
+// serial run.
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
+#include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "harness/dumbbell_runner.hpp"
 #include "stats/percentile.hpp"
 
@@ -13,21 +20,31 @@ int main(int argc, char** argv) {
   using namespace fncc;
   const double gbps = argc > 1 ? std::atof(argv[1]) : 100.0;
 
+  const CcMode modes[] = {CcMode::kFncc,  CcMode::kFnccNoLhcs,
+                          CcMode::kHpcc,  CcMode::kDcqcn,
+                          CcMode::kRocc,  CcMode::kTimely,
+                          CcMode::kSwift};
+  std::vector<MicroSweepPoint> points;
+  for (CcMode mode : modes) {
+    MicroSweepPoint point;
+    point.config.scenario.mode = mode;
+    point.config.scenario.link_gbps = gbps;
+    point.config.flows = {{0, 0}, {1, Microseconds(300)}};
+    point.config.duration = Microseconds(1000);
+    points.push_back(point);
+  }
+  const std::vector<MicroRunResult> sweep =
+      RunMicroSweep(points, ThreadPool::DefaultThreadCount());
+
   std::printf("two elephants on the Fig. 10 dumbbell at %.0f Gbps; flow1 "
               "joins at 300 us\n\n",
               gbps);
   std::printf("%-14s %12s %12s %10s %8s %8s\n", "scheme", "react(us)",
               "peakQ(KB)", "util", "Jain", "pauses");
 
-  for (CcMode mode :
-       {CcMode::kFncc, CcMode::kFnccNoLhcs, CcMode::kHpcc, CcMode::kDcqcn,
-        CcMode::kRocc, CcMode::kTimely, CcMode::kSwift}) {
-    MicroRunConfig config;
-    config.scenario.mode = mode;
-    config.scenario.link_gbps = gbps;
-    config.flows = {{0, 0}, {1, Microseconds(300)}};
-    config.duration = Microseconds(1000);
-    const MicroRunResult r = RunDumbbell(config);
+  for (std::size_t i = 0; i < std::size(modes); ++i) {
+    const CcMode mode = modes[i];
+    const MicroRunResult& r = sweep[i];
 
     const Time react = r.flows[0].pacing_gbps.FirstTimeBelow(
         0.8 * gbps, Microseconds(300));

@@ -2,44 +2,66 @@
 // mix at 50% load, reporting FCT slowdown per flow-size bucket — a small
 // interactive version of the paper's §5.5 evaluation.
 //
-//   ./fat_tree_fct [FNCC|HPCC|DCQCN] [num_flows] [k]
+//   ./fat_tree_fct [FNCC|HPCC|DCQCN|ALL] [num_flows] [k]
+//
+// ALL runs the three schemes as one parallel sweep (FNCC_THREADS threads)
+// and prints each table; a single scheme still goes through the same batch
+// path, so the output is identical either way.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "exec/thread_pool.hpp"
 #include "harness/fat_tree_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace fncc;
 
-  FatTreeRunConfig config;
+  std::vector<CcMode> modes = {CcMode::kFncc};
   if (argc > 1) {
     const std::string m = argv[1];
-    if (m == "HPCC") config.scenario.mode = CcMode::kHpcc;
-    if (m == "DCQCN") config.scenario.mode = CcMode::kDcqcn;
+    if (m == "HPCC") modes = {CcMode::kHpcc};
+    if (m == "DCQCN") modes = {CcMode::kDcqcn};
+    if (m == "ALL") modes = {CcMode::kFncc, CcMode::kHpcc, CcMode::kDcqcn};
   }
+
+  FatTreeRunConfig config;
   config.k = argc > 3 ? std::atoi(argv[3]) : 4;
   config.cdf = SizeCdf::FbHadoop();
   config.num_flows = argc > 2 ? std::atoi(argv[2]) : 500;
   config.load = 0.5;
 
-  std::printf("fat-tree k=%d (%d hosts), %d Hadoop flows at %.0f%% load, %s\n",
+  std::vector<FatTreeRunConfig> configs;
+  for (CcMode mode : modes) {
+    config.scenario.mode = mode;
+    configs.push_back(config);
+  }
+  const int threads = ThreadPool::DefaultThreadCount();
+  std::printf("fat-tree k=%d (%d hosts), %d Hadoop flows at %.0f%% load, "
+              "%zu scheme(s) on %d thread(s)\n",
               config.k, config.k * config.k * config.k / 4, config.num_flows,
-              config.load * 100, CcModeName(config.scenario.mode));
+              config.load * 100, configs.size(), threads);
 
-  const FatTreeRunResult r = RunFatTree(config);
-  std::printf("completed %zu/%zu flows, %llu pause frames, %llu drops\n\n",
-              r.flows_completed, r.flows_total,
-              static_cast<unsigned long long>(r.pause_frames),
-              static_cast<unsigned long long>(r.drops));
+  const std::vector<FatTreeRunResult> sweep =
+      RunFatTreeSweep(configs, threads);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const FatTreeRunResult& r = sweep[i];
+    std::printf("\n%s: completed %zu/%zu flows, %llu pause frames, "
+                "%llu drops (%.2fs)\n",
+                CcModeName(modes[i]), r.flows_completed, r.flows_total,
+                static_cast<unsigned long long>(r.pause_frames),
+                static_cast<unsigned long long>(r.drops),
+                r.wall_time_seconds);
 
-  std::printf("%12s %8s %8s %8s %8s %8s\n", "size<=", "count", "avg", "p50",
-              "p95", "p99");
-  for (const BucketStats& b : r.fct.Bucketed(HadoopBucketEdges())) {
-    if (b.count == 0) continue;
-    std::printf("%12llu %8zu %8.2f %8.2f %8.2f %8.2f\n",
-                static_cast<unsigned long long>(b.max_size_bytes), b.count,
-                b.avg, b.p50, b.p95, b.p99);
+    std::printf("%12s %8s %8s %8s %8s %8s\n", "size<=", "count", "avg",
+                "p50", "p95", "p99");
+    for (const BucketStats& b : r.fct.Bucketed(HadoopBucketEdges())) {
+      if (b.count == 0) continue;
+      std::printf("%12llu %8zu %8.2f %8.2f %8.2f %8.2f\n",
+                  static_cast<unsigned long long>(b.max_size_bytes), b.count,
+                  b.avg, b.p50, b.p95, b.p99);
+    }
   }
   return 0;
 }

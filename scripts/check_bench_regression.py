@@ -16,6 +16,19 @@ Usage:
 
 The current run must therefore include both the new and the legacy
 benchmarks (e.g. --benchmark_filter='EventQueueScheduleRun').
+
+Wall-time entries (benchmark names containing 'WallTime' / 'wall_time')
+are only comparable between runs that used the same thread count. Both
+files carry an `fncc_threads` context entry (stamped by
+bench/run_benches.sh); when the two counts differ, wall-time entries are
+dropped from the comparison with a note instead of producing a bogus
+verdict.
+
+This gate reads Google-Benchmark JSON only. The BENCH_<figure>.json
+sweep-meta files the fig benches write (top-level `threads` /
+`wall_time_seconds`, no `benchmarks` array) are pure telemetry with no
+machine-independent ratio to gate on; passing one here is rejected with
+an explanatory error rather than a misleading "no pairs" message.
 """
 
 import argparse
@@ -23,14 +36,28 @@ import json
 import sys
 
 
-def load_items_per_second(path: str) -> dict[str, float]:
+def is_wall_time(name: str) -> bool:
+    lowered = name.lower()
+    return "walltime" in lowered or "wall_time" in lowered
+
+
+def load_bench_file(path: str) -> tuple[dict[str, float], str]:
+    """Returns ({name: items_per_second}, fncc_threads context value)."""
     with open(path) as f:
         data = json.load(f)
+    if "benchmarks" not in data:
+        kind = (f"fig-sweep meta for {data['figure']!r}"
+                if "figure" in data else "unrecognized")
+        raise SystemExit(
+            f"error: {path} is not Google-Benchmark JSON ({kind}); this "
+            f"gate compares BENCH_micro.json-style files -- sweep-meta "
+            f"wall times are telemetry, not gateable ratios")
     out = {}
     for bench in data.get("benchmarks", []):
         if "items_per_second" in bench:
             out[bench.get("name", "")] = float(bench["items_per_second"])
-    return out
+    threads = str(data.get("context", {}).get("fncc_threads", "1"))
+    return out, threads
 
 
 def speedup_ratios(ips: dict[str, float], pattern: str,
@@ -58,10 +85,20 @@ def main() -> int:
                         default="BM_LegacyEventQueueScheduleRun")
     args = parser.parse_args()
 
-    base = speedup_ratios(load_items_per_second(args.baseline),
-                          args.pattern, args.legacy_pattern)
-    cur = speedup_ratios(load_items_per_second(args.current),
-                         args.pattern, args.legacy_pattern)
+    base_ips, base_threads = load_bench_file(args.baseline)
+    cur_ips, cur_threads = load_bench_file(args.current)
+    if base_threads != cur_threads:
+        dropped = sorted(n for n in (set(base_ips) | set(cur_ips))
+                         if is_wall_time(n))
+        base_ips = {n: v for n, v in base_ips.items() if not is_wall_time(n)}
+        cur_ips = {n: v for n, v in cur_ips.items() if not is_wall_time(n)}
+        print(f"note: fncc_threads differs (baseline={base_threads}, "
+              f"current={cur_threads}); ignoring "
+              f"{len(dropped)} wall-time entr{'y' if len(dropped) == 1 else 'ies'}"
+              + (f": {', '.join(dropped)}" if dropped else ""))
+
+    base = speedup_ratios(base_ips, args.pattern, args.legacy_pattern)
+    cur = speedup_ratios(cur_ips, args.pattern, args.legacy_pattern)
     common = sorted(set(base) & set(cur), key=lambda a: int(a.lstrip("/")))
     if not common:
         print(f"error: no {args.pattern} + {args.legacy_pattern} pairs "

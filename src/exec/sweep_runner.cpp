@@ -1,0 +1,54 @@
+#include "exec/sweep_runner.hpp"
+
+#include <algorithm>
+
+namespace fncc {
+
+SweepRunner::SweepRunner(int num_threads)
+    : threads_(num_threads > 0 ? num_threads
+                               : ThreadPool::DefaultThreadCount()) {}
+
+SweepRunner::~SweepRunner() = default;
+
+void SweepRunner::RunIndexed(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  // Per-index exception slots, shared by both paths so the contract is
+  // identical at every thread count: every job runs (a throwing job never
+  // prevents later jobs' side effects), then the lowest-index failure is
+  // rethrown. Distinct jobs never touch the same slot, so the parallel
+  // path needs no lock, and the winner is deterministic no matter which
+  // job lost the scheduling race.
+  std::vector<std::exception_ptr> errors(n);
+  auto guarded = [&fn, &errors](std::size_t i) {
+    try {
+      fn(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  if (threads_ == 1 || n == 1) {
+    // Serial reference path: ascending index order, inline, no pool.
+    for (std::size_t i = 0; i < n; ++i) guarded(i);
+  } else {
+    // Never spawn more workers than there are jobs; grow the cached pool
+    // if a later, larger sweep needs it (the old pool drains on destroy).
+    const int want = static_cast<int>(
+        std::min(static_cast<std::size_t>(threads_), n));
+    if (!pool_ || pool_->size() < want) {
+      pool_ = std::make_unique<ThreadPool>(want);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      pool_->Submit([&guarded, i] { guarded(i); });
+    }
+    pool_->Wait();  // jobs never throw into the pool; nothing rethrown here
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+}  // namespace fncc

@@ -1,0 +1,66 @@
+// Fixed-size thread pool for fanning independent simulation jobs across
+// cores. Deliberately minimal: one FIFO queue, no work stealing, no
+// priorities — sweep jobs are coarse (whole simulations, milliseconds to
+// seconds each), so a single locked queue is nowhere near contention.
+//
+// Threading contract:
+//   - Submit() may be called from any thread, including from inside a job.
+//   - Wait() blocks until every job submitted so far has finished, then
+//     rethrows the first exception any job raised (in completion order;
+//     later exceptions are dropped). SweepRunner layers a deterministic
+//     lowest-index-wins policy on top of this.
+//   - The destructor drains the queue (runs every submitted job) and joins.
+//     Exceptions still pending at destruction are swallowed — call Wait()
+//     first if you care, and you do.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/unique_function.hpp"
+
+namespace fncc {
+
+class ThreadPool {
+ public:
+  using Job = UniqueFunction<void()>;
+
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Enqueues a job. Jobs run in submission order (picked up FIFO), though
+  /// completion order depends on job durations.
+  void Submit(Job job);
+
+  /// Blocks until all jobs submitted so far have completed. Rethrows the
+  /// first exception a job raised since the last Wait(), if any.
+  void Wait();
+
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Thread count the sweep infrastructure defaults to: FNCC_THREADS when
+  /// set to a positive integer, else std::thread::hardware_concurrency()
+  /// (>= 1).
+  [[nodiscard]] static int DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<Job> queue_;
+  std::size_t in_flight_ = 0;  // popped but not yet finished
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace fncc

@@ -1,0 +1,25 @@
+// Host wall-clock stopwatch shared by the sweep timing paths (harness
+// batch APIs, bench sweep meta). Wall time is telemetry only: it is
+// machine- and thread-count-dependent and excluded from every determinism
+// guarantee and equivalence comparison.
+#pragma once
+
+#include <chrono>
+
+namespace fncc {
+
+class WallTimer {
+ public:
+  /// Seconds elapsed since construction.
+  [[nodiscard]] double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace fncc

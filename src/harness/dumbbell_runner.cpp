@@ -3,6 +3,8 @@
 #include <memory>
 
 #include "core/fncc.hpp"
+#include "exec/sweep_runner.hpp"
+#include "exec/wall_timer.hpp"
 #include "net/packet_pool.hpp"
 
 namespace fncc {
@@ -127,6 +129,21 @@ MicroRunResult RunChainMerge(const MicroRunConfig& config, int merge_switch) {
   const std::vector<NodeId> senders{topo.sender0, topo.sender1};
   return RunMicro(config, topo.net, sim, topo.congestion_switch(),
                   topo.congestion_port(), senders, topo.receiver);
+}
+
+std::vector<MicroRunResult> RunMicroSweep(
+    const std::vector<MicroSweepPoint>& points, int num_threads) {
+  SweepRunner runner(num_threads);
+  return runner.Map<MicroRunResult>(points.size(), [&](std::size_t i) {
+    const MicroSweepPoint& point = points[i];
+    const WallTimer timer;
+    MicroRunResult result =
+        point.merge_switch == kDumbbellPoint
+            ? RunDumbbell(point.config)
+            : RunChainMerge(point.config, point.merge_switch);
+    result.wall_time_seconds = timer.Seconds();
+    return result;
+  });
 }
 
 }  // namespace fncc

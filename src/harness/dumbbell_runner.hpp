@@ -56,6 +56,11 @@ struct MicroRunResult {
   // acquired - created is the number of allocation-free packet services.
   std::uint64_t pool_packets_created = 0;
   std::uint64_t pool_packets_acquired = 0;
+
+  /// Host wall-clock seconds this point took (bench telemetry only —
+  /// machine- and thread-count-dependent, excluded from the parallel
+  /// determinism guarantee and from equivalence comparisons).
+  double wall_time_seconds = 0.0;
 };
 
 /// Fig. 10 dumbbell: all senders attach to switch0; the monitored queue is
@@ -66,5 +71,23 @@ MicroRunResult RunDumbbell(const MicroRunConfig& config);
 /// `merge_switch`; the monitored queue is the merge switch's downstream
 /// egress. flows[i].sender_index selects sender i in {0, 1}.
 MicroRunResult RunChainMerge(const MicroRunConfig& config, int merge_switch);
+
+/// Selects the dumbbell topology for a MicroSweepPoint.
+inline constexpr int kDumbbellPoint = -1;
+
+/// One point of a micro-benchmark sweep: a dumbbell run when merge_switch
+/// is kDumbbellPoint, else a chain-merge run at that switch.
+struct MicroSweepPoint {
+  MicroRunConfig config;
+  int merge_switch = kDumbbellPoint;
+};
+
+/// Runs every point as an independent job on a SweepRunner (exec/): one
+/// Simulator + PacketPool + seeded RNG per point, results returned in
+/// point order. Simulation output is bit-identical for every thread count
+/// (only wall_time_seconds varies). num_threads = 0 picks FNCC_THREADS /
+/// hardware concurrency; 1 is the serial reference path.
+std::vector<MicroRunResult> RunMicroSweep(
+    const std::vector<MicroSweepPoint>& points, int num_threads = 0);
 
 }  // namespace fncc

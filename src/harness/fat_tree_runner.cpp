@@ -1,5 +1,7 @@
 #include "harness/fat_tree_runner.hpp"
 
+#include "exec/sweep_runner.hpp"
+#include "exec/wall_timer.hpp"
 #include "sim/log.hpp"
 
 namespace fncc {
@@ -54,6 +56,17 @@ FatTreeRunResult RunFatTree(const FatTreeRunConfig& config) {
   result.drops = net.TotalDrops();
   result.events_processed = sim.events_processed();
   return result;
+}
+
+std::vector<FatTreeRunResult> RunFatTreeSweep(
+    const std::vector<FatTreeRunConfig>& configs, int num_threads) {
+  SweepRunner runner(num_threads);
+  return runner.Map<FatTreeRunResult>(configs.size(), [&](std::size_t i) {
+    const WallTimer timer;
+    FatTreeRunResult result = RunFatTree(configs[i]);
+    result.wall_time_seconds = timer.Seconds();
+    return result;
+  });
 }
 
 }  // namespace fncc

@@ -2,6 +2,8 @@
 // flow-size CDF at a target load, FCT-slowdown collection (Figs. 14-15).
 #pragma once
 
+#include <vector>
+
 #include "harness/scenario.hpp"
 #include "stats/fct.hpp"
 #include "workload/cdf.hpp"
@@ -28,8 +30,21 @@ struct FatTreeRunResult {
   std::uint64_t retransmits = 0;
   std::uint64_t asymmetric_acks = 0;  // Fig. 7 pathID mismatches
   std::uint64_t events_processed = 0;
+
+  /// Host wall-clock seconds this point took (bench telemetry only —
+  /// machine- and thread-count-dependent, excluded from the parallel
+  /// determinism guarantee and from equivalence comparisons).
+  double wall_time_seconds = 0.0;
 };
 
 FatTreeRunResult RunFatTree(const FatTreeRunConfig& config);
+
+/// Runs every config as an independent job on a SweepRunner (exec/):
+/// one Simulator + PacketPool + seeded RNG per point, results returned in
+/// config order. Simulation output is bit-identical for every thread count
+/// (only wall_time_seconds varies). num_threads = 0 picks FNCC_THREADS /
+/// hardware concurrency; 1 is the serial reference path.
+std::vector<FatTreeRunResult> RunFatTreeSweep(
+    const std::vector<FatTreeRunConfig>& configs, int num_threads = 0);
 
 }  // namespace fncc

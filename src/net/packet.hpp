@@ -174,13 +174,16 @@ inline PacketPtr WrapRawPacket(Packet* raw) {
 /// so uids stay unique per simulation even with multiple pools alive.
 std::uint64_t NextPacketUid();
 
-/// Allocates a packet with a fresh uid from the thread-default PacketPool —
-/// the convenience path tests and tools use; simulation components allocate
-/// from their Simulator's pool instead.
+/// Allocates a packet with a fresh uid from the implicit pool: the sole
+/// live Simulator's pool on this thread when there is one (so the packet
+/// shares that run's arena and lifetime), else the thread-default pool —
+/// an escape hatch for single-threaded tests and tools. Several live
+/// Simulators on one thread are ambiguous and debug-assert; hot-path
+/// simulation components allocate from their Simulator's pool directly.
 PacketPtr MakePacket();
 
 /// Clones every field except uid (fresh) — used by tests and mirroring.
-/// Also served from the thread-default pool.
+/// Served from the same implicit pool as MakePacket().
 PacketPtr ClonePacket(const Packet& p);
 
 }  // namespace fncc

@@ -8,8 +8,18 @@
 //   - The pool must therefore outlive every PacketPtr it issued. Simulator
 //     owns one pool and destroys it after its event queue (whose callbacks
 //     are the last in-flight packet holders), so model code holding packets
-//     inside scheduled events is always safe. The thread-default pool used
-//     by MakePacket()/ClonePacket() lives until thread exit.
+//     inside scheduled events is always safe.
+//   - Pool-ownership rule (parallel sweeps): a pool, and every packet it
+//     issued, belong to exactly one thread at a time — PacketPool is not
+//     internally synchronized. Each sweep job owns a full Simulator +
+//     PacketPool + RNG built and torn down inside the job, so pools are
+//     never shared across threads. MakePacket()/ClonePacket() follow the
+//     rule automatically: they allocate from the sole live Simulator's
+//     pool on the calling thread, and only fall back to the thread-local
+//     default pool (an escape hatch for single-threaded tests and tools,
+//     alive until thread exit) when no Simulator is alive; several live
+//     Simulators on one thread make the implicit pool ambiguous and
+//     debug-assert (see ImplicitPacketPool in packet.cpp).
 //   - Recycled packets are indistinguishable from fresh ones: Acquire()
 //     resets every field to its default and stamps a new uid, so no INT
 //     telemetry, ECN marks or path ids leak across reuses.
@@ -64,8 +74,11 @@ class PacketPool {
   std::uint64_t acquires_ = 0;
 };
 
-/// Per-thread fallback pool backing MakePacket()/ClonePacket(). Thread-local
-/// so parallel simulations (one per thread) never contend.
+/// Per-thread fallback pool behind MakePacket()/ClonePacket() when no
+/// Simulator is alive on the calling thread — an escape hatch for
+/// single-threaded tests and tools only. Simulation code must allocate
+/// from its Simulator's pool (directly or via the MakePacket routing);
+/// see the pool-ownership rule in the class comment above.
 PacketPool& DefaultPacketPool();
 
 }  // namespace fncc

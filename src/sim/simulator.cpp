@@ -1,6 +1,8 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 // The sim kernel is otherwise below the net layer; the packet arena is the
 // one deliberate exception so every component of a run shares one pool with
@@ -9,9 +11,35 @@
 
 namespace fncc {
 
-Simulator::Simulator() : pool_(std::make_unique<PacketPool>()) {}
+namespace {
+// Registry of the Simulators alive on this thread, in construction order.
+// Small (one entry in every sane configuration); linear erase is fine.
+thread_local std::vector<Simulator*> t_live_simulators;
+}  // namespace
 
-Simulator::~Simulator() = default;
+Simulator::Simulator() : pool_(std::make_unique<PacketPool>()) {
+  t_live_simulators.push_back(this);
+}
+
+Simulator::~Simulator() {
+  auto& live = t_live_simulators;
+  const auto it = std::find(live.begin(), live.end(), this);
+  // Absent here means construction happened on a different thread — a
+  // contract violation (see CurrentOnThread) that would otherwise leave a
+  // dangling registry pointer on the constructing thread.
+  assert(it != live.end() &&
+         "Simulator destroyed on a different thread than it was "
+         "constructed on");
+  if (it != live.end()) live.erase(it);
+}
+
+Simulator* Simulator::CurrentOnThread() {
+  return t_live_simulators.size() == 1 ? t_live_simulators.front() : nullptr;
+}
+
+int Simulator::LiveOnThread() {
+  return static_cast<int>(t_live_simulators.size());
+}
 
 void Simulator::Run() {
   stopped_ = false;

@@ -31,6 +31,18 @@ class Simulator {
   /// return them to a live pool.
   [[nodiscard]] PacketPool& packet_pool() { return *pool_; }
 
+  /// The Simulator whose pool MakePacket()/ClonePacket() implicitly target:
+  /// the sole Simulator alive on the calling thread, or nullptr when zero
+  /// or several are alive (several = ambiguous; the implicit path then
+  /// debug-asserts and falls back to the thread-default pool). Each
+  /// Simulator registers itself per-thread at construction, so it must be
+  /// constructed and destroyed on the same thread — which parallel sweeps
+  /// satisfy by building one Simulator per job, entirely inside the job.
+  [[nodiscard]] static Simulator* CurrentOnThread();
+
+  /// Number of Simulators currently alive on the calling thread.
+  [[nodiscard]] static int LiveOnThread();
+
   /// Current simulation time.
   [[nodiscard]] Time Now() const { return now_; }
 

@@ -1,0 +1,163 @@
+// Parallel-vs-serial equivalence: the same sweep run at 1, 2 and 8 threads
+// must produce bit-identical simulation output (wall_time_seconds is host
+// telemetry and explicitly excluded). This is the determinism contract of
+// exec/SweepRunner plus the per-job Simulator+PacketPool+RNG isolation in
+// the harness batch APIs — the property the fig12-fig15 benches rely on.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "harness/dumbbell_runner.hpp"
+#include "harness/fat_tree_runner.hpp"
+
+namespace fncc {
+namespace {
+
+/// Doubles compared as bit patterns: "equal" here means bit-identical,
+/// stricter than operator== (distinguishes -0.0 from 0.0).
+::testing::AssertionResult SameBits(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bit pattern";
+}
+
+void ExpectSeriesIdentical(const TimeSeries& a, const TimeSeries& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.samples()[i].t, b.samples()[i].t) << "sample " << i;
+    EXPECT_TRUE(SameBits(a.samples()[i].value, b.samples()[i].value))
+        << "sample " << i;
+  }
+}
+
+void ExpectMicroResultsIdentical(const MicroRunResult& a,
+                                 const MicroRunResult& b) {
+  ExpectSeriesIdentical(a.queue_bytes, b.queue_bytes);
+  ExpectSeriesIdentical(a.utilization, b.utilization);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    ExpectSeriesIdentical(a.flows[i].pacing_gbps, b.flows[i].pacing_gbps);
+    ExpectSeriesIdentical(a.flows[i].goodput_gbps, b.flows[i].goodput_gbps);
+  }
+  EXPECT_EQ(a.pause_frames, b.pause_frames);
+  EXPECT_EQ(a.resume_frames, b.resume_frames);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.out_of_order, b.out_of_order);
+  EXPECT_EQ(a.asymmetric_acks, b.asymmetric_acks);
+  EXPECT_EQ(a.lhcs_triggers, b.lhcs_triggers);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.pool_packets_created, b.pool_packets_created);
+  EXPECT_EQ(a.pool_packets_acquired, b.pool_packets_acquired);
+  // wall_time_seconds deliberately not compared: host telemetry.
+}
+
+std::vector<MicroSweepPoint> DumbbellSweepPoints() {
+  // A small but non-trivial mix: different CC modes, topologies and seeds,
+  // with enough traffic for INT stamping, pacing and sampling to all run.
+  std::vector<MicroSweepPoint> points;
+  const CcMode modes[] = {CcMode::kFncc, CcMode::kHpcc, CcMode::kDcqcn,
+                          CcMode::kSwift};
+  for (std::size_t m = 0; m < 4; ++m) {
+    MicroSweepPoint point;
+    point.config.scenario.mode = modes[m];
+    point.config.scenario.seed = m + 1;
+    point.config.flows = {{0, 0}, {1, Microseconds(40)}};
+    point.config.duration = Microseconds(150);
+    points.push_back(point);
+  }
+  // Two chain-merge points exercise the other topology path.
+  MicroSweepPoint merge;
+  merge.config.scenario.mode = CcMode::kFncc;
+  merge.config.num_switches = 3;
+  merge.config.flows = {{0, 0}, {1, Microseconds(40)}};
+  merge.config.duration = Microseconds(150);
+  merge.merge_switch = 1;
+  points.push_back(merge);
+  merge.merge_switch = 2;
+  points.push_back(merge);
+  return points;
+}
+
+TEST(SweepEquivalenceTest, DumbbellSweepBitIdenticalAcrossThreadCounts) {
+  const std::vector<MicroSweepPoint> points = DumbbellSweepPoints();
+  const std::vector<MicroRunResult> serial = RunMicroSweep(points, 1);
+  ASSERT_EQ(serial.size(), points.size());
+  for (int threads : {2, 8}) {
+    const std::vector<MicroRunResult> parallel =
+        RunMicroSweep(points, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " point=" +
+                   std::to_string(i));
+      ExpectMicroResultsIdentical(serial[i], parallel[i]);
+    }
+  }
+}
+
+TEST(SweepEquivalenceTest, RepeatedParallelRunsAreStable) {
+  // Same sweep twice at the same thread count: no run-to-run drift from
+  // scheduling, the global uid counter, or pool reuse.
+  const std::vector<MicroSweepPoint> points = DumbbellSweepPoints();
+  const std::vector<MicroRunResult> first = RunMicroSweep(points, 8);
+  const std::vector<MicroRunResult> second = RunMicroSweep(points, 8);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE("point=" + std::to_string(i));
+    ExpectMicroResultsIdentical(first[i], second[i]);
+  }
+}
+
+TEST(SweepEquivalenceTest, FatTreeFctRecordsBitIdenticalAcrossThreadCounts) {
+  // The fig14/fig15 shape in miniature: per-mode fat-tree points whose FCT
+  // records (the raw material of every slowdown stat) must not depend on
+  // the thread count.
+  std::vector<FatTreeRunConfig> configs(3);
+  configs[0].scenario.mode = CcMode::kFncc;
+  configs[1].scenario.mode = CcMode::kHpcc;
+  configs[2].scenario.mode = CcMode::kDcqcn;
+  for (FatTreeRunConfig& c : configs) {
+    c.k = 4;
+    c.num_flows = 60;
+    c.cdf = SizeCdf::WebSearch();
+    c.load = 0.5;
+  }
+
+  const std::vector<FatTreeRunResult> serial = RunFatTreeSweep(configs, 1);
+  for (int threads : {2, 8}) {
+    const std::vector<FatTreeRunResult> parallel =
+        RunFatTreeSweep(configs, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) + " mode=" +
+                   std::to_string(i));
+      const FatTreeRunResult& a = serial[i];
+      const FatTreeRunResult& b = parallel[i];
+      EXPECT_EQ(a.flows_completed, b.flows_completed);
+      EXPECT_EQ(a.flows_total, b.flows_total);
+      EXPECT_EQ(a.pause_frames, b.pause_frames);
+      EXPECT_EQ(a.drops, b.drops);
+      EXPECT_EQ(a.retransmits, b.retransmits);
+      EXPECT_EQ(a.asymmetric_acks, b.asymmetric_acks);
+      EXPECT_EQ(a.events_processed, b.events_processed);
+      ASSERT_EQ(a.fct.count(), b.fct.count());
+      for (std::size_t f = 0; f < a.fct.count(); ++f) {
+        const FlowResult& fa = a.fct.results()[f];
+        const FlowResult& fb = b.fct.results()[f];
+        EXPECT_EQ(fa.spec.id, fb.spec.id) << "flow " << f;
+        EXPECT_EQ(fa.spec.src, fb.spec.src) << "flow " << f;
+        EXPECT_EQ(fa.spec.dst, fb.spec.dst) << "flow " << f;
+        EXPECT_EQ(fa.spec.size_bytes, fb.spec.size_bytes) << "flow " << f;
+        EXPECT_EQ(fa.spec.start_time, fb.spec.start_time) << "flow " << f;
+        EXPECT_EQ(fa.spec.ideal_fct, fb.spec.ideal_fct) << "flow " << f;
+        EXPECT_EQ(fa.fct, fb.fct) << "flow " << f;
+        EXPECT_TRUE(SameBits(fa.slowdown, fb.slowdown)) << "flow " << f;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fncc

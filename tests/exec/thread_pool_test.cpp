@@ -1,0 +1,141 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/sweep_runner.hpp"
+
+namespace fncc {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdownWithNoJobs) {
+  for (int n : {1, 2, 4, 8}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.size(), n);
+  }
+  // Non-positive thread counts clamp to one worker instead of deadlocking.
+  ThreadPool clamped(0);
+  EXPECT_EQ(clamped.size(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryJobExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kJobs = 1000;
+  std::atomic<int> counter{0};
+  for (int i = 0; i < kJobs; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kJobs);
+}
+
+TEST(ThreadPoolTest, NoLostJobsUnderChurn) {
+  // Repeated pool lifecycles with bursts of jobs and no Wait() before
+  // destruction: drain semantics must still run every job.
+  std::atomic<int> counter{0};
+  int submitted = 0;
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(1 + round % 4);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+      ++submitted;
+    }
+    if (round % 2 == 0) pool.Wait();
+    // Odd rounds destroy the pool with jobs still queued.
+  }
+  EXPECT_EQ(counter.load(), submitted);
+}
+
+TEST(ThreadPoolTest, SubmitFromInsideAJob) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&pool, &counter] {
+    counter.fetch_add(1);
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstJobException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.Submit([] { throw std::runtime_error("job failed"); });
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 10) << "jobs after the failing one must still run";
+  // The error was consumed: a second Wait is clean.
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvOverride) {
+  ASSERT_EQ(setenv("FNCC_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  ASSERT_EQ(setenv("FNCC_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1) << "garbage falls back";
+  ASSERT_EQ(unsetenv("FNCC_THREADS"), 0);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(SweepRunnerTest, MapReturnsResultsInIndexOrder) {
+  for (int threads : {1, 2, 8}) {
+    SweepRunner runner(threads);
+    EXPECT_EQ(runner.threads(), threads);
+    const std::vector<int> out =
+        runner.Map<int>(64, [](std::size_t i) { return static_cast<int>(i) * 7; });
+    ASSERT_EQ(out.size(), 64u);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 7);
+  }
+}
+
+TEST(SweepRunnerTest, EachIndexRunsExactlyOnce) {
+  SweepRunner runner(4);
+  std::vector<std::atomic<int>> hits(100);
+  runner.RunIndexed(100, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepRunnerTest, EmptySweepIsANoOp) {
+  SweepRunner runner(4);
+  EXPECT_TRUE(runner.Map<int>(0, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(SweepRunnerTest, LowestIndexExceptionWinsDeterministically) {
+  // Several jobs throw; no matter which finishes first, the rethrown
+  // exception must be job 3's (the lowest failing index) — and every
+  // other job must still have run, so side effects don't depend on the
+  // thread count either.
+  for (int threads : {1, 4}) {
+    SweepRunner runner(threads);
+    std::atomic<int> ran{0};
+    try {
+      runner.RunIndexed(32, [&ran](std::size_t i) {
+        ran.fetch_add(1);
+        if (i >= 3 && i % 2 == 1) {
+          throw std::runtime_error("fail@" + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "fail@3");
+    }
+    EXPECT_EQ(ran.load(), 32) << "threads=" << threads;
+  }
+}
+
+TEST(SweepRunnerTest, ZeroThreadsPicksDefaultCount) {
+  ASSERT_EQ(setenv("FNCC_THREADS", "2", 1), 0);
+  SweepRunner runner(0);
+  EXPECT_EQ(runner.threads(), 2);
+  ASSERT_EQ(unsetenv("FNCC_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace fncc

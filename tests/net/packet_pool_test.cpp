@@ -137,13 +137,46 @@ TEST(PacketPoolTest, UidsUniqueAcrossPools) {
   EXPECT_EQ(uids.size(), 300u);
 }
 
-TEST(PacketPoolTest, MakePacketWrapperUsesThreadDefaultPool) {
+TEST(PacketPoolTest, MakePacketFallsBackToThreadDefaultPoolWithoutSim) {
+  // No Simulator alive on this thread: the escape-hatch pool serves.
+  ASSERT_EQ(Simulator::LiveOnThread(), 0);
   PacketPool& pool = DefaultPacketPool();
   const std::uint64_t before = pool.acquires();
   PacketPtr p = MakePacket();
   PacketPtr c = ClonePacket(*p);
   EXPECT_EQ(pool.acquires(), before + 2);
   EXPECT_NE(c->uid, p->uid);
+}
+
+TEST(PacketPoolTest, MakePacketRoutesToSoleLiveSimulatorPool) {
+  // With exactly one Simulator alive on the thread, the implicit path is
+  // per-Simulator: the packet joins that run's arena, not the thread pool.
+  Simulator sim;
+  ASSERT_EQ(Simulator::CurrentOnThread(), &sim);
+  PacketPool& default_pool = DefaultPacketPool();
+  const std::uint64_t default_before = default_pool.acquires();
+  const std::uint64_t sim_before = sim.packet_pool().acquires();
+  {
+    PacketPtr p = MakePacket();
+    PacketPtr c = ClonePacket(*p);
+    EXPECT_EQ(sim.packet_pool().acquires(), sim_before + 2);
+    EXPECT_EQ(default_pool.acquires(), default_before);
+    EXPECT_NE(c->uid, p->uid);
+  }  // both packets return to sim's pool before it dies
+}
+
+TEST(PacketPoolTest, SecondSimulatorMakesImplicitPoolAmbiguous) {
+  // Two live Simulators: CurrentOnThread() refuses to pick one. (The
+  // MakePacket fallback debug-asserts in this state; release builds fall
+  // back to the thread-default pool.)
+  Simulator sim_a;
+  EXPECT_EQ(Simulator::CurrentOnThread(), &sim_a);
+  {
+    Simulator sim_b;
+    EXPECT_EQ(Simulator::LiveOnThread(), 2);
+    EXPECT_EQ(Simulator::CurrentOnThread(), nullptr);
+  }
+  EXPECT_EQ(Simulator::CurrentOnThread(), &sim_a);
 }
 
 TEST(PacketPoolTest, SimulatorOwnsAPerRunPool) {
