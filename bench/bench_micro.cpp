@@ -13,9 +13,12 @@
 #include "core/fncc.hpp"
 #include "harness/dumbbell_runner.hpp"
 #include "legacy_event_queue.hpp"
+#include "legacy_host_path.hpp"
 #include "net/packet_pool.hpp"
 #include "net/routing.hpp"
+#include "net/switch.hpp"
 #include "sim/event_queue.hpp"
+#include "transport/host.hpp"
 
 namespace fncc {
 namespace {
@@ -237,6 +240,162 @@ void BM_FnccAckProcessing(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FnccAckProcessing);
+
+// ---------------------------------------------------- host ACK / forward path
+// The per-packet receive hot path: an ACK arriving at a sender host must
+// resolve its flow and run the CC update. The new path is one indexed
+// flow-table load into a slot with the QP + CC state inline and a
+// CcMode-tagged (non-virtual) OnAck; the legacy baseline
+// (bench/legacy_host_path.hpp) is the pre-change unordered_map find plus
+// virtual dispatch through two heap objects. Target: >= 1.5x items/sec at
+// the larger flow counts (gated by scripts/check_bench_regression.py).
+
+/// Drops every delivery; stands in for a receiver so sender hosts can be
+/// benched in isolation.
+class BenchSink final : public Endpoint {
+ public:
+  BenchSink(Simulator* sim, NodeId id) : Endpoint(sim, id, "sink"), nic_(sim) {}
+  EgressPort& nic() override { return nic_; }
+  void ReceivePacket(PacketPtr, int) override {}  // PacketPtr dtor reclaims
+
+ private:
+  EgressPort nic_;
+};
+
+/// Deterministic shuffled visiting order: ACKs from thousands of concurrent
+/// flows arrive interleaved, not round-robin in registration order — the
+/// pattern that exposes each path's dependent-load chain instead of letting
+/// the hardware prefetcher hide it.
+std::vector<std::uint32_t> ShuffledOrder(std::uint32_t n) {
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  if (n < 2) return order;  // the loop below underflows at n == 0
+  std::uint64_t lcg = 0x9E3779B97F4A7C15ull;
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    std::swap(order[i], order[(lcg >> 33) % (i + 1)]);
+  }
+  return order;
+}
+
+/// An ACK shaped like FNCC's: 3 return-path INT hops, N = 2, no cumulative
+/// progress (seq 0) so the sender's window state stays put and successive
+/// ACKs keep exercising the full CC math without transmitting.
+void FillBenchAck(Packet& ack, FlowId flow, Time ts) {
+  ack.type = PacketType::kAck;
+  ack.flow = flow;
+  ack.seq = 0;
+  ack.size_bytes = kAckBytes;
+  ack.int_reversed = true;
+  ack.concurrent_flows = 2;
+  for (int h = 0; h < 3; ++h) {
+    ack.int_stack.push_back(
+        IntEntry{100.0, ts, 12'500u * static_cast<std::uint64_t>(h + 1),
+                 40'000});
+  }
+}
+
+void BM_HostAckPath(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  Simulator sim;
+  auto table = std::make_shared<FlowTable>();
+  Host host(&sim, 0, "tx", HostConfig{}, table);
+  BenchSink sink(&sim, 1);
+  host.nic().Connect({&sink, 0}, 100.0, Nanoseconds(10));
+  sink.nic().Connect({&host, 0}, 100.0, Nanoseconds(10));
+
+  CcConfig cc = MicroCcConfig(CcMode::kFncc);
+  std::vector<FlowId> ids;
+  for (int i = 0; i < flows; ++i) {
+    FlowSpec spec;
+    spec.src = 0;
+    spec.dst = 1;
+    spec.sport = static_cast<std::uint16_t>(1000 + 2 * i);
+    spec.dport = static_cast<std::uint16_t>(1001 + 2 * i);
+    spec.size_bytes = 4 * static_cast<std::uint64_t>(cc.mtu_bytes);
+    ids.push_back(host.StartFlow(spec, cc)->spec().id);
+  }
+  // Let every flow start and emit its (short) burst into the sink, so each
+  // QP sits in the "all data sent, awaiting ACKs" steady state.
+  sim.RunUntil(Microseconds(100));
+
+  const std::vector<std::uint32_t> order = ShuffledOrder(ids.size());
+  Time ts = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ts += Microseconds(1);
+    PacketPtr ack = sim.packet_pool().Acquire();
+    FillBenchAck(*ack, ids[order[i]], ts);
+    host.ReceivePacket(std::move(ack), 0);
+    if (++i == order.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostAckPath)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_LegacyHostAckPath(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  Simulator sim;
+  bench::LegacyHostModel host;
+  CcConfig cc = MicroCcConfig(CcMode::kFncc);
+  std::vector<FlowId> ids;
+  ids.reserve(flows);
+  for (int i = 0; i < flows; ++i) {
+    ids.push_back(host.AddFlow(cc, &sim, 4 * cc.mtu_bytes));
+  }
+
+  const std::vector<std::uint32_t> order = ShuffledOrder(ids.size());
+  Time ts = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ts += Microseconds(1);
+    PacketPtr ack = sim.packet_pool().Acquire();
+    FillBenchAck(*ack, ids[order[i]], ts);
+    host.ReceivePacket(std::move(ack));
+    if (++i == order.size()) i = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyHostAckPath)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_SwitchForward(benchmark::State& state) {
+  // One data packet through the full switch pipeline: devirtualized
+  // delivery, route lookup, buffer/PFC accounting, egress serialization
+  // and propagation to the peer — the per-hop cost of every simulated
+  // packet. The sim drains after each packet so queues stay empty.
+  Simulator sim;
+  Rng rng(1);
+  SwitchConfig config;
+  config.num_ports = 2;
+  Switch sw(&sim, 0, "sw", config, &rng);
+  BenchSink a(&sim, 1), b(&sim, 2);
+  sw.port(0).Connect({&a, 0}, 100.0, Nanoseconds(100));
+  a.nic().Connect({&sw, 0}, 100.0, Nanoseconds(100));
+  sw.port(1).Connect({&b, 0}, 100.0, Nanoseconds(100));
+  b.nic().Connect({&sw, 1}, 100.0, Nanoseconds(100));
+  sw.routing().Resize(3);
+  sw.routing().SetNextHops(1, {0});
+  sw.routing().SetNextHops(2, {1});
+
+  for (auto _ : state) {
+    PacketPtr pkt = sim.packet_pool().Acquire();
+    pkt->type = PacketType::kData;
+    pkt->flow = 1;
+    pkt->src = 1;
+    pkt->dst = 2;
+    pkt->sport = 1000;
+    pkt->dport = 1001;
+    pkt->size_bytes = kDefaultMtuBytes;
+    pkt->payload_bytes = kDefaultMtuBytes;
+    sw.ReceivePacket(std::move(pkt), 0);
+    sim.RunUntil(sim.Now() + Microseconds(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["events_per_pkt"] = benchmark::Counter(
+      static_cast<double>(sim.events_processed()),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_SwitchForward);
 
 void BM_DumbbellSimulation(benchmark::State& state) {
   // End-to-end simulator throughput: events/second over a full scenario.

@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
-"""CI gate: fail when the event-queue hot path regresses vs the baseline.
+"""CI gate: fail when a gated hot-path benchmark regresses vs the baseline.
 
 Absolute items_per_second numbers are machine-dependent, so the gate
 compares a machine-independent quantity: the speedup ratio of the current
-implementation over the legacy event queue compiled into the same binary
-(BM_EventQueueScheduleRun/N vs BM_LegacyEventQueueScheduleRun/N, measured
-in the same run on the same hardware). The current run's ratio must stay
-within the threshold (default 20%) of the committed baseline's ratio for
-every batch size present in both files.
+implementation over its legacy counterpart compiled into the same binary,
+measured in the same run on the same hardware. Gated pairs (new=legacy):
+
+  BM_EventQueueScheduleRun = BM_LegacyEventQueueScheduleRun
+  BM_HostAckPath           = BM_LegacyHostAckPath
+
+The current run's ratio must stay within the threshold (default 20%) of
+the committed baseline's ratio for every benchmark arg present in both
+files. Repeated --pair NEW=LEGACY options REPLACE the default pair
+set (argparse append semantics) — when adding a pair, restate the
+defaults too, or edit DEFAULT_PAIRS in this script.
+
+Required families: every gated family (both sides of each pair) plus the
+standalone families listed in --require (default BM_SwitchForward) must be
+present in BOTH files. A gated benchmark that silently vanishes from the
+current JSON is an error, not a pass — a deleted or renamed benchmark must
+be removed from the gate deliberately.
 
 Usage:
   scripts/check_bench_regression.py BASELINE.json CURRENT.json \
-      [--threshold 0.20] [--pattern BM_EventQueueScheduleRun] \
-      [--legacy-pattern BM_LegacyEventQueueScheduleRun]
+      [--threshold 0.20] [--pair NEW=LEGACY ...] [--require FAMILY ...]
 
-The current run must therefore include both the new and the legacy
-benchmarks (e.g. --benchmark_filter='EventQueueScheduleRun').
+The current run must include the new and the legacy benchmarks of every
+pair plus the required families, e.g.
+  --benchmark_filter='EventQueueScheduleRun|HostAckPath|SwitchForward'
 
 Wall-time entries (benchmark names containing 'WallTime' / 'wall_time')
 are only comparable between runs that used the same thread count. Both
@@ -34,6 +46,12 @@ an explanatory error rather than a misleading "no pairs" message.
 import argparse
 import json
 import sys
+
+DEFAULT_PAIRS = [
+    "BM_EventQueueScheduleRun=BM_LegacyEventQueueScheduleRun",
+    "BM_HostAckPath=BM_LegacyHostAckPath",
+]
+DEFAULT_REQUIRED = ["BM_SwitchForward"]
 
 
 def is_wall_time(name: str) -> bool:
@@ -60,6 +78,19 @@ def load_bench_file(path: str) -> tuple[dict[str, float], str]:
     return out, threads
 
 
+def has_family(ips: dict[str, float], family: str) -> bool:
+    """True when `family` appears bare or with an /arg suffix."""
+    return family in ips or any(n.startswith(family + "/") for n in ips)
+
+
+def check_required(ips: dict[str, float], families: list[str],
+                   path: str) -> list[str]:
+    return [f"error: gated benchmark family '{fam}' is missing from {path}; "
+            f"a vanished benchmark must not pass silently -- rerun with a "
+            f"filter covering it, or deliberately remove it from the gate"
+            for fam in families if not has_family(ips, fam)]
+
+
 def speedup_ratios(ips: dict[str, float], pattern: str,
                    legacy_pattern: str) -> dict[str, float]:
     """arg suffix ('/64', ...) -> new items/sec over legacy items/sec."""
@@ -80,10 +111,26 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="maximum tolerated fractional drop in the "
                              "new-vs-legacy speedup ratio")
-    parser.add_argument("--pattern", default="BM_EventQueueScheduleRun")
-    parser.add_argument("--legacy-pattern",
-                        default="BM_LegacyEventQueueScheduleRun")
+    parser.add_argument("--pair", action="append", metavar="NEW=LEGACY",
+                        help="gated new=legacy family pair (repeatable); "
+                             "REPLACES the defaults -- restate them when "
+                             f"adding: {', '.join(DEFAULT_PAIRS)}")
+    parser.add_argument("--require", action="append", metavar="FAMILY",
+                        help="standalone family that must exist in both "
+                             "files (repeatable); REPLACES the default: "
+                             f"{', '.join(DEFAULT_REQUIRED)}")
     args = parser.parse_args()
+
+    pairs = []
+    for spec in (args.pair if args.pair else DEFAULT_PAIRS):
+        if "=" not in spec:
+            print(f"error: --pair expects NEW=LEGACY, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        new, legacy = spec.split("=", 1)
+        pairs.append((new, legacy))
+    required = [fam for p in pairs for fam in p]
+    required += (args.require if args.require else DEFAULT_REQUIRED)
 
     base_ips, base_threads = load_bench_file(args.baseline)
     cur_ips, cur_threads = load_bench_file(args.current)
@@ -97,27 +144,33 @@ def main() -> int:
               f"{len(dropped)} wall-time entr{'y' if len(dropped) == 1 else 'ies'}"
               + (f": {', '.join(dropped)}" if dropped else ""))
 
-    base = speedup_ratios(base_ips, args.pattern, args.legacy_pattern)
-    cur = speedup_ratios(cur_ips, args.pattern, args.legacy_pattern)
-    common = sorted(set(base) & set(cur), key=lambda a: int(a.lstrip("/")))
-    if not common:
-        print(f"error: no {args.pattern} + {args.legacy_pattern} pairs "
-              f"shared between {args.baseline} and {args.current}; run the "
-              f"current bench with a filter matching both (e.g. "
-              f"--benchmark_filter='EventQueueScheduleRun')",
-              file=sys.stderr)
+    missing = (check_required(base_ips, required, args.baseline) +
+               check_required(cur_ips, required, args.current))
+    if missing:
+        for line in missing:
+            print(line, file=sys.stderr)
         return 2
 
     failed = False
-    for arg in common:
-        rel = cur[arg] / base[arg]
-        status = "ok"
-        if rel < 1.0 - args.threshold:
-            status = "REGRESSION"
-            failed = True
-        print(f"{args.pattern}{arg:8s} new-vs-legacy speedup: "
-              f"baseline {base[arg]:5.2f}x  current {cur[arg]:5.2f}x  "
-              f"({rel:5.2f} of baseline)  {status}")
+    for pattern, legacy_pattern in pairs:
+        base = speedup_ratios(base_ips, pattern, legacy_pattern)
+        cur = speedup_ratios(cur_ips, pattern, legacy_pattern)
+        common = sorted(set(base) & set(cur),
+                        key=lambda a: int(a.lstrip("/")))
+        if not common:
+            print(f"error: no {pattern} + {legacy_pattern} arg pairs shared "
+                  f"between {args.baseline} and {args.current}",
+                  file=sys.stderr)
+            return 2
+        for arg in common:
+            rel = cur[arg] / base[arg]
+            status = "ok"
+            if rel < 1.0 - args.threshold:
+                status = "REGRESSION"
+                failed = True
+            print(f"{pattern}{arg:8s} new-vs-legacy speedup: "
+                  f"baseline {base[arg]:5.2f}x  current {cur[arg]:5.2f}x  "
+                  f"({rel:5.2f} of baseline)  {status}")
     if failed:
         print(f"\nFAIL: speedup dropped beyond {args.threshold:.0%} tolerance",
               file=sys.stderr)

@@ -114,7 +114,10 @@ class CcAlgorithm {
 
   /// In-flight byte cap; only meaningful when uses_window() is true.
   [[nodiscard]] double window_bytes() const { return window_bytes_; }
-  [[nodiscard]] virtual bool uses_window() const { return false; }
+
+  /// Whether the scheme enforces a window. Not virtual: consulted before
+  /// every transmission, so it is a constructor-set flag read inline.
+  [[nodiscard]] bool uses_window() const { return uses_window_; }
 
   /// Set by the QP; algorithms invoke it after asynchronous (timer-driven)
   /// rate increases so a pacing-blocked QP can re-arm earlier.
@@ -130,6 +133,7 @@ class CcAlgorithm {
   CcConfig config_;
   double rate_gbps_ = 0.0;
   double window_bytes_ = 0.0;
+  bool uses_window_ = false;  // set once by window-based schemes' ctors
 };
 
 }  // namespace fncc

@@ -10,7 +10,7 @@
 
 namespace fncc {
 
-class DcqcnAlgorithm : public CcAlgorithm {
+class DcqcnAlgorithm final : public CcAlgorithm {
  public:
   DcqcnAlgorithm(const CcConfig& config, Simulator* sim);
   ~DcqcnAlgorithm() override;

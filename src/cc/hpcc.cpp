@@ -17,6 +17,7 @@ HpccAlgorithm::HpccAlgorithm(const CcConfig& config) : CcAlgorithm(config) {
   window_bytes_ = bdp;
   wc_bytes_ = bdp;
   rate_gbps_ = config_.line_rate_gbps;
+  uses_window_ = true;
 }
 
 double HpccAlgorithm::MeasureInFlight(
@@ -58,63 +59,6 @@ double HpccAlgorithm::MeasureInFlight(
   const double f = ToSeconds(tau) / t_sec;
   u_ewma_ = (1.0 - f) * u_ewma_ + f * u_max;
   return u_ewma_;
-}
-
-void HpccAlgorithm::ComputeWind(double u, bool update_wc, const Packet& ack,
-                                const IntView& view,
-                                const std::array<double, kMaxIntHops>& link_u) {
-  // FNCC LHCS hook; no-op in HPCC. A trigger pins the window to the fair
-  // share for this ACK, bypassing the multiplicative branch (which would
-  // divide the just-set fair share by the still-high U).
-  if (UpdateWc(ack, view, link_u, view.hops())) {
-    window_bytes_ = wc_bytes_;
-    if (update_wc) inc_stage_ = 0;
-    SetRateFromWindow();
-    return;
-  }
-
-  double w = 0.0;
-  if (u >= config_.eta || inc_stage_ >= config_.max_stage) {
-    // Multiplicative adjustment toward eta plus additive increase.
-    w = wc_bytes_ / (u / config_.eta) + wai_bytes_;
-    if (update_wc) {
-      inc_stage_ = 0;
-      wc_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
-    }
-  } else {
-    w = wc_bytes_ + wai_bytes_;
-    if (update_wc) {
-      ++inc_stage_;
-      wc_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
-    }
-  }
-  window_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
-  SetRateFromWindow();
-}
-
-void HpccAlgorithm::OnAck(const Packet& ack, std::uint64_t snd_nxt) {
-  const IntView view(ack);
-  if (view.empty()) return;  // no telemetry yet
-
-  if (!have_prev_ || prev_hops_ != view.hops()) {
-    // First sample (or path change): just record L.
-    for (std::size_t i = 0; i < view.hops(); ++i) prev_l_[i] = view.hop(i);
-    prev_hops_ = view.hops();
-    have_prev_ = true;
-    return;
-  }
-
-  std::array<double, kMaxIntHops> link_u{};
-  const double u = MeasureInFlight(view, link_u);
-
-  // Per-RTT vs per-ACK: only the first ACK covering data sent with the
-  // current W^c commits the reference window (Alg. 3 lines 41-46).
-  const bool update_wc = ack.seq > last_update_seq_;
-  ComputeWind(u, update_wc, ack, view, link_u);
-  if (update_wc) last_update_seq_ = snd_nxt;
-
-  for (std::size_t i = 0; i < view.hops(); ++i) prev_l_[i] = view.hop(i);
-  prev_hops_ = view.hops();
 }
 
 void HpccAlgorithm::SetRateFromWindow() {

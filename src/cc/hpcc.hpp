@@ -1,8 +1,15 @@
 // HPCC (Li et al., SIGCOMM'19) sender algorithm, following Alg. 3 of the
 // FNCC paper (which is HPCC's reaction point plus the FNCC hooks). FNCC
-// derives from this class and overrides the reference-window hook.
+// derives from this class and shadows the reference-window hook.
+//
+// The per-ACK path is devirtualized: OnAckImpl<Self> resolves the UpdateWc
+// hook statically (Self = HpccAlgorithm or the final FnccAlgorithm), so an
+// ACK processed through OnAckFast() makes no virtual calls. The virtual
+// OnAck override simply forwards, keeping the CcAlgorithm interface intact
+// for tests and extensions.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 
@@ -15,38 +22,50 @@ class HpccAlgorithm : public CcAlgorithm {
  public:
   explicit HpccAlgorithm(const CcConfig& config);
 
-  void OnAck(const Packet& ack, std::uint64_t snd_nxt) override;
-  [[nodiscard]] bool uses_window() const override { return true; }
+  void OnAck(const Packet& ack, std::uint64_t snd_nxt) override {
+    OnAckFast(ack, snd_nxt);
+  }
+  /// Devirtualized per-ACK entry (the flow-table hot path).
+  void OnAckFast(const Packet& ack, std::uint64_t snd_nxt) {
+    OnAckImpl<HpccAlgorithm>(ack, snd_nxt);
+  }
   [[nodiscard]] const char* name() const override { return "HPCC"; }
 
   /// Normalized in-flight estimate U (EWMA), exposed for tests.
   [[nodiscard]] double utilization_estimate() const { return u_ewma_; }
   [[nodiscard]] double reference_window() const { return wc_bytes_; }
 
- protected:
   /// FNCC's LHCS hook (Alg. 3 line 30 calls UpdateWc before the window
   /// computation). `view` is this ACK's INT in request-path order and
   /// `link_u` holds per-hop U_j with an instantaneous queue term plus an
   /// EWMA-filtered rate term (per-packet ACKs make the raw tx-rate term
-  /// 0-or-2x noisy). Returns
-  /// true when the reference window was snapped to the fair share — the
-  /// window then adopts it directly ("directly set to the final
-  /// convergence value", §3.2.2) instead of the MI/AI branches.
-  virtual bool UpdateWc(const Packet& /*ack*/, const IntView& /*view*/,
-                        const std::array<double, kMaxIntHops>& /*link_u*/,
-                        std::size_t /*hops*/) {
+  /// 0-or-2x noisy). Returns true when the reference window was snapped to
+  /// the fair share — the window then adopts it directly ("directly set to
+  /// the final convergence value", §3.2.2) instead of the MI/AI branches.
+  /// Not virtual: FnccAlgorithm shadows it and OnAckImpl<Self> selects the
+  /// shadow statically.
+  bool UpdateWc(const Packet& /*ack*/, const IntView& /*view*/,
+                const std::array<double, kMaxIntHops>& /*link_u*/,
+                std::size_t /*hops*/) {
     return false;
   }
+
+ protected:
+  /// Alg. 3 OnAck body, shared by HPCC and FNCC; `Self` statically selects
+  /// the UpdateWc hook.
+  template <class Self>
+  void OnAckImpl(const Packet& ack, std::uint64_t snd_nxt);
+
+  /// Alg. 3 ComputeWind; updates window_bytes_ (and wc on per-RTT ACKs).
+  template <class Self>
+  void ComputeWind(double u, bool update_wc, const Packet& ack,
+                   const IntView& view,
+                   const std::array<double, kMaxIntHops>& link_u);
 
   /// Alg. 3 MeasureInFlight. Returns the EWMA-filtered U and fills
   /// `link_u` with this ACK's per-hop instantaneous values.
   double MeasureInFlight(const IntView& view,
                          std::array<double, kMaxIntHops>& link_u);
-
-  /// Alg. 3 ComputeWind; updates window_bytes_ (and wc on per-RTT ACKs).
-  void ComputeWind(double u, bool update_wc, const Packet& ack,
-                   const IntView& view,
-                   const std::array<double, kMaxIntHops>& link_u);
 
   [[nodiscard]] double wai_bytes() const { return wai_bytes_; }
   [[nodiscard]] double max_window() const { return max_window_bytes_; }
@@ -73,5 +92,65 @@ class HpccAlgorithm : public CcAlgorithm {
   std::size_t prev_hops_ = 0;
   bool have_prev_ = false;
 };
+
+template <class Self>
+void HpccAlgorithm::ComputeWind(double u, bool update_wc, const Packet& ack,
+                                const IntView& view,
+                                const std::array<double, kMaxIntHops>& link_u) {
+  // FNCC LHCS hook; no-op in HPCC. A trigger pins the window to the fair
+  // share for this ACK, bypassing the multiplicative branch (which would
+  // divide the just-set fair share by the still-high U).
+  if (static_cast<Self*>(this)->Self::UpdateWc(ack, view, link_u,
+                                               view.hops())) {
+    window_bytes_ = wc_bytes_;
+    if (update_wc) inc_stage_ = 0;
+    SetRateFromWindow();
+    return;
+  }
+
+  double w = 0.0;
+  if (u >= config_.eta || inc_stage_ >= config_.max_stage) {
+    // Multiplicative adjustment toward eta plus additive increase.
+    w = wc_bytes_ / (u / config_.eta) + wai_bytes_;
+    if (update_wc) {
+      inc_stage_ = 0;
+      wc_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
+    }
+  } else {
+    w = wc_bytes_ + wai_bytes_;
+    if (update_wc) {
+      ++inc_stage_;
+      wc_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
+    }
+  }
+  window_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
+  SetRateFromWindow();
+}
+
+template <class Self>
+void HpccAlgorithm::OnAckImpl(const Packet& ack, std::uint64_t snd_nxt) {
+  const IntView view(ack);
+  if (view.empty()) return;  // no telemetry yet
+
+  if (!have_prev_ || prev_hops_ != view.hops()) {
+    // First sample (or path change): just record L.
+    for (std::size_t i = 0; i < view.hops(); ++i) prev_l_[i] = view.hop(i);
+    prev_hops_ = view.hops();
+    have_prev_ = true;
+    return;
+  }
+
+  std::array<double, kMaxIntHops> link_u{};
+  const double u = MeasureInFlight(view, link_u);
+
+  // Per-RTT vs per-ACK: only the first ACK covering data sent with the
+  // current W^c commits the reference window (Alg. 3 lines 41-46).
+  const bool update_wc = ack.seq > last_update_seq_;
+  ComputeWind<Self>(u, update_wc, ack, view, link_u);
+  if (update_wc) last_update_seq_ = snd_nxt;
+
+  for (std::size_t i = 0; i < view.hops(); ++i) prev_l_[i] = view.hop(i);
+  prev_hops_ = view.hops();
+}
 
 }  // namespace fncc

@@ -8,7 +8,7 @@
 
 namespace fncc {
 
-class RoccAlgorithm : public CcAlgorithm {
+class RoccAlgorithm final : public CcAlgorithm {
  public:
   RoccAlgorithm(const CcConfig& config, Simulator* sim)
       : CcAlgorithm(config), sim_(sim) {

@@ -13,6 +13,7 @@ SwiftAlgorithm::SwiftAlgorithm(const CcConfig& config, Simulator* sim,
   min_window_bytes_ = params_.min_window_mtus * config_.mtu_bytes;
   window_bytes_ = config_.BdpBytesValue();
   rate_gbps_ = config_.line_rate_gbps;
+  uses_window_ = true;
 }
 
 void SwiftAlgorithm::OnAck(const Packet& ack, std::uint64_t) {

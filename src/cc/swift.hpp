@@ -20,13 +20,12 @@ struct SwiftParams {
   double min_window_mtus = 0.1;
 };
 
-class SwiftAlgorithm : public CcAlgorithm {
+class SwiftAlgorithm final : public CcAlgorithm {
  public:
   SwiftAlgorithm(const CcConfig& config, Simulator* sim,
                  SwiftParams params = {});
 
   void OnAck(const Packet& ack, std::uint64_t snd_nxt) override;
-  [[nodiscard]] bool uses_window() const override { return true; }
   [[nodiscard]] const char* name() const override { return "Swift"; }
 
   [[nodiscard]] Time target_delay() const { return target_delay_; }

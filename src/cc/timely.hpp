@@ -7,7 +7,7 @@
 
 namespace fncc {
 
-class TimelyAlgorithm : public CcAlgorithm {
+class TimelyAlgorithm final : public CcAlgorithm {
  public:
   TimelyAlgorithm(const CcConfig& config, Simulator* sim)
       : CcAlgorithm(config), sim_(sim) {

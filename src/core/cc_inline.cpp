@@ -1,0 +1,60 @@
+#include "core/cc_inline.hpp"
+
+namespace fncc {
+
+void InlineCc::Emplace(const CcConfig& config, Simulator* sim) {
+  assert(!engaged() && "InlineCc already holds an algorithm");
+  assert(config.base_rtt > 0 && "base_rtt must be resolved per flow");
+  mode_ = config.mode;
+  switch (mode_) {
+    case CcMode::kFncc:
+      base_ = ::new (&u_.fncc) FnccAlgorithm(config, /*enable_lhcs=*/true);
+      break;
+    case CcMode::kFnccNoLhcs:
+      base_ = ::new (&u_.fncc) FnccAlgorithm(config, /*enable_lhcs=*/false);
+      break;
+    case CcMode::kHpcc:
+      base_ = ::new (&u_.hpcc) HpccAlgorithm(config);
+      break;
+    case CcMode::kDcqcn:
+      base_ = ::new (&u_.dcqcn) DcqcnAlgorithm(config, sim);
+      break;
+    case CcMode::kRocc:
+      base_ = ::new (&u_.rocc) RoccAlgorithm(config, sim);
+      break;
+    case CcMode::kTimely:
+      base_ = ::new (&u_.timely) TimelyAlgorithm(config, sim);
+      break;
+    case CcMode::kSwift:
+      base_ = ::new (&u_.swift) SwiftAlgorithm(config, sim);
+      break;
+  }
+}
+
+void InlineCc::Destroy() {
+  if (!engaged()) return;
+  switch (mode_) {
+    case CcMode::kFncc:
+    case CcMode::kFnccNoLhcs:
+      u_.fncc.~FnccAlgorithm();
+      break;
+    case CcMode::kHpcc:
+      u_.hpcc.~HpccAlgorithm();
+      break;
+    case CcMode::kDcqcn:
+      u_.dcqcn.~DcqcnAlgorithm();
+      break;
+    case CcMode::kRocc:
+      u_.rocc.~RoccAlgorithm();
+      break;
+    case CcMode::kTimely:
+      u_.timely.~TimelyAlgorithm();
+      break;
+    case CcMode::kSwift:
+      u_.swift.~SwiftAlgorithm();
+      break;
+  }
+  base_ = nullptr;
+}
+
+}  // namespace fncc

@@ -1,0 +1,122 @@
+// InlineCc: per-flow congestion-control state laid out inline, dispatched
+// by CcMode tag instead of vtable.
+//
+// The CC set is closed and known at config time (CcMode enumerates all
+// seven built-in algorithms), so the per-ACK update does not need virtual
+// dispatch: InlineCc stores the concrete algorithm in a tagged union and
+// every hot entry point (OnAck / OnCnp / OnBytesSent) is a switch over the
+// mode calling the `final` concrete method directly. Combined with the
+// flow table (transport/flow_table.hpp) this puts the CC state in the same
+// cache lines as the rest of the flow's slot — no unique_ptr indirection
+// between an ACK arriving and the window/rate it updates.
+//
+// The polymorphic CcAlgorithm interface survives untouched: base() exposes
+// the contained algorithm as a CcAlgorithm& (it IS one — the union members
+// all derive from it), so tests, stats and dynamic_cast probes keep
+// working. This lives in core/ (not cc/) because FNCC — the paper's
+// contribution — is among the constructed types, mirroring cc_factory.
+#pragma once
+
+#include <cassert>
+#include <new>
+
+#include "cc/cc_algorithm.hpp"
+#include "cc/dcqcn.hpp"
+#include "cc/hpcc.hpp"
+#include "cc/rocc.hpp"
+#include "cc/swift.hpp"
+#include "cc/timely.hpp"
+#include "core/fncc.hpp"
+
+namespace fncc {
+
+class InlineCc {
+ public:
+  InlineCc() {}
+  ~InlineCc() { Destroy(); }
+  InlineCc(const InlineCc&) = delete;
+  InlineCc& operator=(const InlineCc&) = delete;
+
+  /// Constructs the algorithm for `config.mode` in place. Must be called
+  /// exactly once before any dispatch (Destroy() allows re-Emplace).
+  void Emplace(const CcConfig& config, Simulator* sim);
+
+  /// Destroys the contained algorithm (no-op when empty).
+  void Destroy();
+
+  [[nodiscard]] bool engaged() const { return base_ != nullptr; }
+  [[nodiscard]] CcMode mode() const { return mode_; }
+
+  /// The contained algorithm through the classic polymorphic interface —
+  /// cold-path consumers only (stats, tests, name(), on_update wiring).
+  [[nodiscard]] CcAlgorithm& base() { return *base_; }
+  [[nodiscard]] const CcAlgorithm& base() const { return *base_; }
+
+  // -- Hot dispatch: mode-tagged, no virtual calls -------------------------
+
+  void OnAck(const Packet& ack, std::uint64_t snd_nxt) {
+    switch (mode_) {
+      case CcMode::kFncc:
+      case CcMode::kFnccNoLhcs:
+        u_.fncc.OnAckFast(ack, snd_nxt);
+        return;
+      case CcMode::kHpcc:
+        u_.hpcc.OnAckFast(ack, snd_nxt);
+        return;
+      case CcMode::kDcqcn:
+        return;  // DCQCN reacts to CNPs and timers only (OnAck is a no-op)
+      case CcMode::kRocc:
+        u_.rocc.RoccAlgorithm::OnAck(ack, snd_nxt);
+        return;
+      case CcMode::kTimely:
+        u_.timely.TimelyAlgorithm::OnAck(ack, snd_nxt);
+        return;
+      case CcMode::kSwift:
+        u_.swift.SwiftAlgorithm::OnAck(ack, snd_nxt);
+        return;
+    }
+  }
+
+  // Cold entries stay virtual on purpose: OnCnp fires at most once per
+  // cnp_interval and Shutdown once per flow, so devirtualizing them buys
+  // nothing — and a virtual call picks up any future override for free,
+  // where a hardcoded mode check would silently skip it (e.g. a scheme
+  // that grows a DCQCN-style timer to stop).
+  void OnCnp() { base_->OnCnp(); }
+  void Shutdown() { base_->Shutdown(); }
+
+  void OnBytesSent(std::uint64_t bytes) {
+    // Hot (once per transmitted packet), so this one IS tag-dispatched:
+    // DCQCN is the only scheme metering sent bytes (its byte-counter
+    // increase stage). A future OnBytesSent override must extend this
+    // switch — the cc tests pin the overrider set.
+    if (mode_ == CcMode::kDcqcn) u_.dcqcn.DcqcnAlgorithm::OnBytesSent(bytes);
+  }
+
+  // -- Hot consultation (non-virtual field reads on the base) --------------
+
+  [[nodiscard]] double rate_gbps() const { return base_->rate_gbps(); }
+  [[nodiscard]] double window_bytes() const { return base_->window_bytes(); }
+  [[nodiscard]] bool uses_window() const { return base_->uses_window(); }
+  [[nodiscard]] const CcConfig& config() const { return base_->config(); }
+
+ private:
+  // Non-trivial members: lifetime is managed manually via placement new in
+  // Emplace() and explicit destructor calls in Destroy().
+  union Storage {
+    Storage() {}
+    ~Storage() {}
+    FnccAlgorithm fncc;
+    HpccAlgorithm hpcc;
+    DcqcnAlgorithm dcqcn;
+    RoccAlgorithm rocc;
+    TimelyAlgorithm timely;
+    SwiftAlgorithm swift;
+  };
+
+  Storage u_;
+  CcAlgorithm* base_ = nullptr;  // points into u_; null when empty
+  CcMode mode_ = CcMode::kFncc;
+};
+
+}  // namespace fncc

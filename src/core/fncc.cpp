@@ -7,6 +7,9 @@ namespace fncc {
 FnccAlgorithm::FnccAlgorithm(const CcConfig& config, bool enable_lhcs)
     : HpccAlgorithm(config), lhcs_enabled_(enable_lhcs) {}
 
+// (UpdateWc is a non-virtual shadow of the HpccAlgorithm hook; see
+// OnAckImpl<Self> in cc/hpcc.hpp for the static dispatch.)
+
 bool FnccAlgorithm::UpdateWc(const Packet& ack, const IntView& view,
                              const std::array<double, kMaxIntHops>& link_u,
                              std::size_t hops) {

@@ -14,11 +14,20 @@
 
 namespace fncc {
 
-class FnccAlgorithm : public HpccAlgorithm {
+class FnccAlgorithm final : public HpccAlgorithm {
  public:
   /// `enable_lhcs` = false gives the "FNCC without LHCS" ablation of
   /// Fig. 13 (fast notification only).
   explicit FnccAlgorithm(const CcConfig& config, bool enable_lhcs = true);
+
+  void OnAck(const Packet& ack, std::uint64_t snd_nxt) override {
+    OnAckFast(ack, snd_nxt);
+  }
+  /// Devirtualized per-ACK entry: statically binds the LHCS UpdateWc hook
+  /// below (the class is final, so nothing can re-virtualize it).
+  void OnAckFast(const Packet& ack, std::uint64_t snd_nxt) {
+    OnAckImpl<FnccAlgorithm>(ack, snd_nxt);
+  }
 
   [[nodiscard]] const char* name() const override {
     return lhcs_enabled_ ? "FNCC" : "FNCC-noLHCS";
@@ -28,11 +37,11 @@ class FnccAlgorithm : public HpccAlgorithm {
   /// Number of times LHCS snapped the window to the fair share (tests).
   [[nodiscard]] std::uint64_t lhcs_triggers() const { return lhcs_triggers_; }
 
- protected:
-  /// Alg. 2: hop detection + fair-share jump.
+  /// Alg. 2: hop detection + fair-share jump. Shadows the HpccAlgorithm
+  /// hook; selected statically by OnAckImpl<FnccAlgorithm>.
   bool UpdateWc(const Packet& ack, const IntView& view,
                 const std::array<double, kMaxIntHops>& link_u,
-                std::size_t hops) override;
+                std::size_t hops);
 
  private:
   bool lhcs_enabled_;

@@ -34,7 +34,8 @@ MicroRunResult RunMicro(const MicroRunConfig& config, Network& net,
   for (std::size_t i = 0; i < config.flows.size(); ++i) {
     const LongFlow& lf = config.flows[i];
     FlowSpec spec;
-    spec.id = static_cast<FlowId>(i + 1);
+    // spec.id is minted by the flow table at launch (registration order =
+    // launch order, so flow i still gets id i+1).
     spec.src = sender_ids.at(lf.sender_index);
     spec.dst = receiver_id;
     spec.sport = static_cast<std::uint16_t>(10'000 + 2 * i);

@@ -49,8 +49,14 @@ CcConfig MakeCcConfig(const ScenarioConfig& sc, double line_rate_gbps,
 
 HostFactory MakeHostFactory(const ScenarioConfig& sc) {
   const HostConfig host_config = MakeHostConfig(sc);
-  return [host_config](Simulator* sim, NodeId id, const std::string& name) {
-    return std::make_unique<Host>(sim, id, name, host_config);
+  // One flow table per factory = per fabric: every host the factory builds
+  // shares it, so a FlowId minted at the sender resolves to the same slot
+  // at the receiver (see flow_table.hpp). A factory must therefore not be
+  // reused across topologies — each runner builds a fresh one per run.
+  auto flow_table = std::make_shared<FlowTable>();
+  return [host_config, flow_table](Simulator* sim, NodeId id,
+                                   const std::string& name) {
+    return std::make_unique<Host>(sim, id, name, host_config, flow_table);
   };
 }
 

@@ -9,6 +9,7 @@ EgressPort::EgressPort(EgressPort&& other) noexcept
     : on_transmit_start(std::move(other.on_transmit_start)),
       sim_(other.sim_),
       peer_(std::exchange(other.peer_, Peer{})),
+      deliver_(std::exchange(other.deliver_, nullptr)),
       bandwidth_gbps_(other.bandwidth_gbps_),
       prop_delay_(other.prop_delay_),
       data_q_(std::exchange(other.data_q_, Fifo{})),
@@ -35,6 +36,11 @@ void EgressPort::Connect(Peer peer, double bandwidth_gbps,
   assert(!connected() && "port connected twice");
   assert(peer.node != nullptr && bandwidth_gbps > 0.0);
   peer_ = peer;
+  // Devirtualized delivery: a final-class trampoline when the peer has one,
+  // else the generic virtual-call fallback.
+  deliver_ = peer.node->deliver_event() != nullptr
+                 ? peer.node->deliver_event()
+                 : &EgressPort::DeliverEvent;
   bandwidth_gbps_ = bandwidth_gbps;
   prop_delay_ = propagation_delay;
 }
@@ -115,7 +121,7 @@ void EgressPort::FinishTransmit() {
   // propagation delay is constant.
   Packet* raw = ReleaseToRaw(std::move(tx_pkt_));
   sim_->Schedule(prop_delay_,
-                 TypedEvent{.run = &EgressPort::DeliverEvent,
+                 TypedEvent{.run = deliver_,
                             .drop = &EgressPort::DropPacketEvent,
                             .p0 = peer_.node,
                             .p1 = raw,

@@ -6,6 +6,12 @@
 // and both the serialization-complete and the propagation-delivery events
 // are TypedEvent records (function pointer + POD words) — no closure is
 // constructed or destroyed anywhere on the per-packet path.
+//
+// Delivery is also devirtualized: Connect() snapshots the peer node's
+// final-class deliver trampoline (Node::deliver_event), so the propagation
+// event lands directly in Switch::ReceivePacket / Host::ReceivePacket with
+// no virtual dispatch. Nodes without a trampoline (test sinks, custom
+// extensions) fall back to the generic virtual-call trampoline here.
 #pragma once
 
 #include <cstdint>
@@ -109,7 +115,9 @@ class EgressPort {
     }
   };
 
-  // TypedEvent trampolines for the two per-packet events.
+  // TypedEvent trampolines for the two per-packet events. DeliverEvent is
+  // the generic (virtual-call) fallback used only when the peer node did
+  // not install a final-class trampoline.
   static void TxDoneEvent(void* port, void* unused, std::uint64_t arg);
   static void DeliverEvent(void* node, void* pkt, std::uint64_t port);
   static void DropPacketEvent(void* unused, void* pkt, std::uint64_t arg);
@@ -121,6 +129,7 @@ class EgressPort {
 
   Simulator* sim_;
   Peer peer_;
+  Node::DeliverFn deliver_ = nullptr;  // resolved once at Connect()
   double bandwidth_gbps_ = 0.0;
   Time prop_delay_ = 0;
 

@@ -1,6 +1,16 @@
 // Base classes for network entities: switches and end hosts.
+//
+// Per-packet delivery is devirtualized: every node carries a NodeKind tag
+// and an optional deliver trampoline (a bare function pointer installed by
+// the concrete `final` class — Switch or transport::Host). Link delivery
+// events call the trampoline, which static_casts to the final type and
+// calls its ReceivePacket directly, so the simulation loop never makes a
+// virtual call per hop. The virtual ReceivePacket interface remains for
+// tests and extensions: nodes that do not install a trampoline (e.g. test
+// sinks) are delivered through the generic virtual path.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "net/packet.hpp"
@@ -10,28 +20,52 @@ namespace fncc {
 
 class EgressPort;
 
+/// Static tag of a node's concrete role, assigned at construction. Used by
+/// topology/routing code in place of a virtual IsSwitch() query.
+enum class NodeKind : std::uint8_t {
+  kHost,    // an Endpoint (transport host or test stand-in)
+  kSwitch,  // a Switch
+};
+
 /// A network entity that can receive packets on numbered ports.
 class Node {
  public:
-  Node(Simulator* sim, NodeId id, std::string name)
-      : sim_(sim), id_(id), name_(std::move(name)) {}
+  /// Devirtualized delivery trampoline: (node, raw packet, in_port).
+  /// Signature matches TypedEvent::Fn so it can be scheduled directly.
+  using DeliverFn = void (*)(void* node, void* pkt, std::uint64_t in_port);
+
+  Node(Simulator* sim, NodeId id, std::string name, NodeKind kind)
+      : sim_(sim), id_(id), name_(std::move(name)), kind_(kind) {}
   virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
   /// Delivers a packet that finished propagation on the link into `in_port`.
+  /// Interface for tests/extensions; the sim loop uses deliver_event().
   virtual void ReceivePacket(PacketPtr pkt, int in_port) = 0;
 
-  [[nodiscard]] virtual bool IsSwitch() const = 0;
+  [[nodiscard]] NodeKind kind() const { return kind_; }
+  [[nodiscard]] bool IsSwitch() const { return kind_ == NodeKind::kSwitch; }
+
+  /// The final-class delivery trampoline, or nullptr when the node relies
+  /// on the generic virtual path. Snapshotted by EgressPort::Connect.
+  [[nodiscard]] DeliverFn deliver_event() const { return deliver_event_; }
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Simulator* sim() const { return sim_; }
 
+ protected:
+  /// Installed by `final` subclasses in their constructor. The function
+  /// must assume `node` is exactly that subclass.
+  void set_deliver_event(DeliverFn fn) { deliver_event_ = fn; }
+
  private:
   Simulator* sim_;
   NodeId id_;
   std::string name_;
+  NodeKind kind_;
+  DeliverFn deliver_event_ = nullptr;
 };
 
 /// A single-NIC end host. The transport layer lives in the concrete
@@ -39,8 +73,8 @@ class Node {
 /// for wiring and PFC.
 class Endpoint : public Node {
  public:
-  using Node::Node;
-  [[nodiscard]] bool IsSwitch() const override { return false; }
+  Endpoint(Simulator* sim, NodeId id, std::string name)
+      : Node(sim, id, std::move(name), NodeKind::kHost) {}
 
   /// The host's single egress port (NIC), port number 0.
   virtual EgressPort& nic() = 0;

@@ -11,6 +11,11 @@
 namespace fncc {
 
 using NodeId = std::uint16_t;
+
+/// Structured handle minted by the transport flow table:
+/// (generation << 20) | (slot + 1), id 0 = "no flow" — see
+/// transport/flow_table.hpp for the slot/generation rule. The net layer
+/// treats it as opaque.
 using FlowId = std::uint32_t;
 
 inline constexpr NodeId kInvalidNode = 0xFFFF;

@@ -10,7 +10,10 @@ namespace fncc {
 
 Switch::Switch(Simulator* sim, NodeId id, std::string name,
                SwitchConfig config, Rng* rng)
-    : Node(sim, id, std::move(name)), config_(config), rng_(rng) {
+    : Node(sim, id, std::move(name), NodeKind::kSwitch),
+      config_(config),
+      rng_(rng) {
+  set_deliver_event(&Switch::DeliverPacketEvent);
   assert(config_.num_ports > 0);
   ports_.reserve(config_.num_ports);
   for (int i = 0; i < config_.num_ports; ++i) {
@@ -49,6 +52,13 @@ void Switch::RefreshIntEvent(void* sw, void* /*unused*/, std::uint64_t /*arg*/) 
 
 void Switch::RoccUpdateEvent(void* sw, void* /*unused*/, std::uint64_t /*arg*/) {
   static_cast<Switch*>(sw)->UpdateRocc();
+}
+
+void Switch::DeliverPacketEvent(void* sw, void* pkt, std::uint64_t in_port) {
+  // Qualified call: Switch is final, so this resolves (and inlines) without
+  // a vtable load — the per-hop delivery fast path.
+  static_cast<Switch*>(sw)->Switch::ReceivePacket(
+      WrapRawPacket(static_cast<Packet*>(pkt)), static_cast<int>(in_port));
 }
 
 void Switch::ConfigureSpanningTrees(int num_trees, std::uint32_t salt) {

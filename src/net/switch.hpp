@@ -70,8 +70,6 @@ class Switch final : public Node {
   Switch(Simulator* sim, NodeId id, std::string name, SwitchConfig config,
          Rng* rng);
 
-  [[nodiscard]] bool IsSwitch() const override { return true; }
-
   [[nodiscard]] int num_ports() const {
     return static_cast<int>(ports_.size());
   }
@@ -97,6 +95,11 @@ class Switch final : public Node {
   }
 
   void ReceivePacket(PacketPtr pkt, int in_port) override;
+
+  /// Devirtualized delivery trampoline installed as this node's
+  /// Node::deliver_event — link propagation events land here and call
+  /// ReceivePacket through the final class, with no virtual dispatch.
+  static void DeliverPacketEvent(void* sw, void* pkt, std::uint64_t in_port);
 
   /// Picks the egress port a packet with these header fields would take.
   /// Exposed so topologies can compute paths without sending traffic.

@@ -1,0 +1,80 @@
+#include "transport/flow_table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "transport/host.hpp"
+
+namespace fncc {
+
+namespace {
+
+/// Cancels the QP's pending events and destroys it in place.
+void DestroyQp(FlowSlot& slot) {
+  SenderQp* qp = slot.qp();
+  if (qp == nullptr) return;
+  if (!qp->complete()) qp->Abort();  // cancels start/pace/RTO, stops CC timers
+  qp->~SenderQp();
+  slot.qp_live = false;
+}
+
+}  // namespace
+
+FlowTable::~FlowTable() {
+  for (std::uint32_t slot = 0; slot < next_unused_; ++slot) {
+    DestroyQp(SlotRef(slot));
+  }
+}
+
+SenderQp* FlowTable::Register(Host* host, FlowSpec spec,
+                              const CcConfig& cc_config) {
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    // Hard capacity check, not assert-only: overflowing the 20-bit slot
+    // field would silently alias earlier FlowIds in Release builds —
+    // corrupt CC state is far worse than a loud stop. Register is cold.
+    if (next_unused_ >= kFlowSlotMask) {
+      std::fprintf(stderr,
+                   "fncc: FlowTable full (%u slots minted, none released); "
+                   "FlowId's 20-bit slot field cannot address more — "
+                   "Release() finished flows or shard the scenario\n",
+                   next_unused_);
+      std::abort();
+    }
+    slot = next_unused_++;
+    if (slot / kSlotsPerBlock == blocks_.size()) {
+      blocks_.push_back(std::make_unique<Block>());
+    }
+  }
+  FlowSlot& s = SlotRef(slot);
+  assert(!s.qp_live && "free slot still holds a QP");
+  s.recv = RecvCtx{};  // fresh receiver state for the new tenant
+  spec.id = MakeFlowId(slot, s.generation);
+  SenderQp* qp = ::new (s.qp_mem) SenderQp(host, spec, cc_config);
+  s.qp_live = true;
+  return qp;
+}
+
+void FlowTable::Release(FlowId id) {
+  FlowSlot* s = Lookup(id);
+  if (s == nullptr) return;  // stale or never minted: idempotent
+  // Keep both ends of the flow consistent before the slot is wiped. (Not
+  // done in ~FlowTable: at teardown the hosts are already gone and no
+  // stat is read afterwards.)
+  if (SenderQp* qp = s->qp()) qp->host()->ForgetQp(qp);
+  if (s->recv.claimed && !s->recv.done && s->recv.claimed_by != nullptr) {
+    s->recv.claimed_by->DropInboundClaim();
+  }
+  DestroyQp(*s);
+  s->recv = RecvCtx{};
+  // Bump the generation: every outstanding id to this slot is now stale,
+  // before the slot can be handed to a new flow.
+  s->generation = (s->generation + 1) & kFlowGenMask;
+  free_.push_back((id & kFlowSlotMask) - 1);
+}
+
+}  // namespace fncc

@@ -1,0 +1,178 @@
+// Dense, generation-checked flow table: the per-packet receive path's
+// replacement for per-host unordered_map flow lookup.
+//
+// Invariants and ownership contract (mirrors packet_pool.hpp):
+//   - Slot/generation rule: a FlowId packs (generation << 20) | (slot + 1),
+//     mirroring the EventId scheme of sim/event_queue.hpp. Id 0 is never
+//     minted and acts as "no flow". ACK/data lookup is one indexed load
+//     plus a generation compare — no hashing, no pointer chasing.
+//   - Flows register at start: Register() mints the FlowId and constructs
+//     the SenderQp in place. Callers must treat the minted spec().id as
+//     authoritative; any caller-filled FlowSpec::id is overwritten. Ids are
+//     minted in registration order starting at 1, so scenarios that never
+//     release slots see the same dense 1..N ids the harness historically
+//     assigned — recorded FCT CSVs are unchanged.
+//   - One table per fabric: every Host of a simulation shares the same
+//     FlowTable (the harness host factory injects one shared instance), so
+//     a data packet's FlowId resolves to the same slot at the sender (QP)
+//     and the receiver (RecvCtx). A Host constructed without a table makes
+//     its own — an escape hatch for single-host tests only; two hosts with
+//     separate tables cannot exchange registered flows.
+//   - Inline state: the slot embeds the SenderQp (which embeds its
+//     InlineCc congestion-control state — see core/cc_inline.hpp) and the
+//     receiver-side RecvCtx. OnAck and the window/rate consultation that
+//     follows touch one slot, not three heap objects.
+//   - Slot stability: slots live in fixed-size blocks that are never
+//     reallocated, so SenderQp*/RecvCtx* remain valid for the table's
+//     lifetime (pending TypedEvents hold raw SenderQp pointers).
+//   - Release() bumps the slot's generation before recycling, so a stale
+//     FlowId (late ACK/CNP of a released flow) fails the generation check
+//     instead of aliasing the slot's new tenant — no ABA. The generation
+//     field is 12 bits: a slot must be released and re-registered 4096
+//     times before an id from that far back could alias (same accepted
+//     horizon argument as EventId's 32-bit generation, scaled to the far
+//     lower flow churn).
+//   - Release() cancels the flow's pending events (via SenderQp::Abort)
+//     before destroying the QP, so no scheduled event outlives it. The
+//     Simulator must outlive the table — satisfied everywhere because
+//     hosts (whose shared_ptr refs keep the table alive) are owned by the
+//     Network, which is destroyed before the stack-owned Simulator.
+//   - The table is single-threaded, like the Simulator that drives it.
+//     Parallel sweeps build one table per job (inside the host factory).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/static_vector.hpp"
+#include "sim/time.hpp"
+#include "transport/sender_qp.hpp"
+
+namespace fncc {
+
+class Host;
+
+/// FlowId layout: low 20 bits = slot + 1, high 12 bits = generation.
+inline constexpr std::uint32_t kFlowSlotBits = 20;
+inline constexpr std::uint32_t kFlowSlotMask = (1u << kFlowSlotBits) - 1;
+inline constexpr std::uint32_t kFlowGenMask =
+    0xFFFFFFFFu >> kFlowSlotBits;  // 12-bit generation
+
+[[nodiscard]] inline constexpr FlowId MakeFlowId(std::uint32_t slot,
+                                                 std::uint32_t generation) {
+  return (generation << kFlowSlotBits) | (slot + 1);
+}
+[[nodiscard]] inline constexpr std::uint32_t FlowIdGeneration(FlowId id) {
+  return id >> kFlowSlotBits;
+}
+
+/// Receiver-side per-flow state (the receive half of a flow's slot).
+struct RecvCtx {
+  std::uint64_t rcv_nxt = 0;
+  std::uint64_t total_bytes = 0;  // learned from the last_of_flow packet
+  int pkts_since_ack = 0;
+  // "Long ago" but safe to subtract from Now() (never -kTimeInfinity:
+  // Now() - last_cnp must not overflow).
+  Time last_cnp = -kSecond;
+  // First data packet seen: `claimed_by` counted this flow into its
+  // active-inbound N (the try_emplace "inserted" signal, made explicit).
+  // Release() uses it to undo the claim when a flow is torn down before
+  // its last byte arrived, so N never leaks upward.
+  Host* claimed_by = nullptr;
+  bool claimed = false;
+  bool done = false;
+  // HPCC: latest INT stack observed on this flow's data packets.
+  StaticVector<IntEntry, kMaxIntHops> last_int;
+  // Fig. 7 pathID of the request path, echoed into ACKs so the sender
+  // can verify path symmetry.
+  std::uint16_t last_path_id = 0;
+};
+
+/// One flow's slot: generation + sender QP (in-place) + receiver context.
+/// Field order is the ACK path's access order — generation check, then the
+/// QP head — so the hot lookup stays within adjacent cache lines; the
+/// receiver context (touched only by data packets at the other end) sits
+/// behind the QP.
+struct FlowSlot {
+  std::uint32_t generation = 0;  // always kept masked to kFlowGenMask
+  bool qp_live = false;
+  alignas(SenderQp) unsigned char qp_mem[sizeof(SenderQp)];
+  RecvCtx recv;
+
+  [[nodiscard]] SenderQp* qp() {
+    return qp_live ? std::launder(reinterpret_cast<SenderQp*>(qp_mem))
+                   : nullptr;
+  }
+  [[nodiscard]] const SenderQp* qp() const {
+    return qp_live ? std::launder(reinterpret_cast<const SenderQp*>(qp_mem))
+                   : nullptr;
+  }
+};
+
+class FlowTable {
+ public:
+  /// Power of two; slot -> block/offset is a shift + mask.
+  static constexpr std::uint32_t kSlotsPerBlock = 64;
+
+  FlowTable() = default;
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+  ~FlowTable();
+
+  /// Mints spec.id, constructs the flow's SenderQp in a free slot and
+  /// returns it (owned by the table; stable address). The QP schedules its
+  /// own Start() at spec.start_time.
+  SenderQp* Register(Host* host, FlowSpec spec, const CcConfig& cc_config);
+
+  /// The slot a FlowId resolves to, or nullptr when the id is stale (its
+  /// slot was released and possibly re-registered) or was never minted.
+  /// The receive-path hot lookup: one indexed load + generation compare.
+  [[nodiscard]] FlowSlot* Lookup(FlowId id) {
+    const std::uint32_t idx = id & kFlowSlotMask;
+    if (idx == 0 || idx > next_unused_) return nullptr;
+    FlowSlot& s = SlotRef(idx - 1);
+    return s.generation == FlowIdGeneration(id) ? &s : nullptr;
+  }
+
+  /// After a failed Lookup: true when the id names a once-minted slot
+  /// (generation mismatch — the flow was released), false when it was
+  /// never minted by this table. Receivers drop late data of released
+  /// flows instead of resurrecting them through the overflow map.
+  [[nodiscard]] bool IsStale(FlowId id) const {
+    const std::uint32_t idx = id & kFlowSlotMask;
+    return idx != 0 && idx <= next_unused_;
+  }
+
+  /// Tears the flow down (cancelling its pending events), bumps the slot
+  /// generation — outstanding FlowIds to it go stale — and recycles the
+  /// slot. Both hosts are kept consistent: the sender forgets the QP
+  /// (Host::qps() never dangles into a recycled slot) and an unfinished
+  /// receiver claim is undone (active_inbound_flows never leaks).
+  /// Idempotent: a stale id is ignored. Not called by the harness runners
+  /// (they read QP stats until the end of the run); meant for long-lived
+  /// scenarios that churn through more flows than they keep.
+  void Release(FlowId id);
+
+  [[nodiscard]] std::size_t live_flows() const {
+    return next_unused_ - free_.size();
+  }
+  [[nodiscard]] std::size_t slots_allocated() const { return next_unused_; }
+
+ private:
+  struct Block {
+    FlowSlot slots[kSlotsPerBlock];
+  };
+
+  [[nodiscard]] FlowSlot& SlotRef(std::uint32_t slot) {
+    return blocks_[slot / kSlotsPerBlock]->slots[slot % kSlotsPerBlock];
+  }
+
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<std::uint32_t> free_;  // LIFO: deterministic reuse order
+  std::uint32_t next_unused_ = 0;
+};
+
+}  // namespace fncc

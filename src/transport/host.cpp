@@ -7,27 +7,40 @@
 
 namespace fncc {
 
-Host::Host(Simulator* sim, NodeId id, std::string name, HostConfig config)
-    : Endpoint(sim, id, std::move(name)), config_(config), nic_(sim) {}
+Host::Host(Simulator* sim, NodeId id, std::string name, HostConfig config,
+           std::shared_ptr<FlowTable> flows)
+    : Endpoint(sim, id, std::move(name)),
+      config_(config),
+      nic_(sim),
+      flows_(flows != nullptr ? std::move(flows)
+                              : std::make_shared<FlowTable>()) {
+  set_deliver_event(&Host::DeliverPacketEvent);
+}
+
+void Host::DeliverPacketEvent(void* host, void* pkt, std::uint64_t in_port) {
+  // Qualified call: Host is final, so this resolves (and inlines) without
+  // a vtable load — the per-delivery fast path.
+  static_cast<Host*>(host)->Host::ReceivePacket(
+      WrapRawPacket(static_cast<Packet*>(pkt)), static_cast<int>(in_port));
+}
 
 SenderQp* Host::StartFlow(const FlowSpec& spec, const CcConfig& cc_config) {
   assert(spec.src == this->id() && "flow must originate here");
-  auto qp = std::make_unique<SenderQp>(this, spec, cc_config);
-  SenderQp* ptr = qp.get();
-  const auto [it, inserted] = qps_.emplace(spec.id, std::move(qp));
-  assert(inserted && "duplicate flow id on host");
-  (void)it;
-  qp_list_.push_back(ptr);
-  sim()->ScheduleAt(spec.start_time, [ptr] { ptr->Start(); });
-  return ptr;
+  SenderQp* qp = flows_->Register(this, spec, cc_config);
+  qp_list_.push_back(qp);
+  return qp;
 }
 
 SenderQp* Host::qp(FlowId flow) const {
-  const auto it = qps_.find(flow);
-  return it == qps_.end() ? nullptr : it->second.get();
+  FlowSlot* s = flows_->Lookup(flow);
+  if (s == nullptr) return nullptr;
+  SenderQp* q = s->qp();
+  return (q != nullptr && q->host() == this) ? q : nullptr;
 }
 
 void Host::TransmitFromQp(PacketPtr pkt) { nic_.Enqueue(std::move(pkt)); }
+
+void Host::ForgetQp(SenderQp* qp) { std::erase(qp_list_, qp); }
 
 void Host::ReceivePacket(PacketPtr pkt, int /*in_port*/) {
   switch (pkt->type) {
@@ -41,6 +54,7 @@ void Host::ReceivePacket(PacketPtr pkt, int /*in_port*/) {
       HandleData(std::move(pkt));
       return;
     case PacketType::kAck: {
+      // One indexed load: slot -> in-place QP -> inline CC state.
       if (SenderQp* q = qp(pkt->flow)) q->HandleAck(*pkt);
       return;
     }
@@ -52,9 +66,27 @@ void Host::ReceivePacket(PacketPtr pkt, int /*in_port*/) {
 }
 
 void Host::HandleData(PacketPtr pkt) {
-  auto [it, inserted] = recv_.try_emplace(pkt->flow);
-  RecvCtx& ctx = it->second;
-  if (inserted) ++active_inbound_;  // a new inbound QP connection
+  // Registered flows resolve to their slot's receiver half; ids whose
+  // slot index the table never minted (hand-crafted test traffic) use the
+  // overflow map. Data that names a minted slot but fails the generation
+  // check is treated as late data of a *released* flow and dropped:
+  // resurrecting it as an overflow tenant would re-count it into N
+  // forever (the sender is gone — there is nothing useful to ACK).
+  RecvCtx* ctx_ptr;
+  if (FlowSlot* s = flows_->Lookup(pkt->flow)) {
+    ctx_ptr = &s->recv;
+  } else if (flows_->IsStale(pkt->flow)) {
+    ++stale_flow_packets_;
+    return;
+  } else {
+    ctx_ptr = &overflow_recv_[pkt->flow];
+  }
+  RecvCtx& ctx = *ctx_ptr;
+  if (!ctx.claimed) {
+    ctx.claimed = true;
+    ctx.claimed_by = this;
+    ++active_inbound_;  // a new inbound QP connection
+  }
 
   if (pkt->seq == ctx.rcv_nxt) {
     ctx.rcv_nxt += pkt->payload_bytes;

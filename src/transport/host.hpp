@@ -1,6 +1,11 @@
 // End host: one NIC, sender QPs, and the receiver logic that generates
 // (cumulative) ACKs — including FNCC's concurrent-flow count N and HPCC's
 // INT echo — plus DCQCN CNPs.
+//
+// Flow state lives in the fabric-shared FlowTable (one indexed load per
+// ACK/data packet — see flow_table.hpp for the slot/generation rule).
+// Data packets whose FlowId was never registered (hand-crafted test
+// traffic) fall back to a per-host overflow map, off the hot path.
 #pragma once
 
 #include <functional>
@@ -11,6 +16,7 @@
 #include "net/egress_port.hpp"
 #include "net/node.hpp"
 #include "transport/flow.hpp"
+#include "transport/flow_table.hpp"
 #include "transport/sender_qp.hpp"
 
 namespace fncc {
@@ -42,13 +48,24 @@ struct HostConfig {
 
 class Host final : public Endpoint {
  public:
-  Host(Simulator* sim, NodeId id, std::string name, HostConfig config);
+  /// `flows` is the fabric-shared flow table; every host of a simulation
+  /// must share one instance (the harness host factory injects it). A null
+  /// table makes the host create its own — single-host tests only (two
+  /// hosts with separate tables cannot exchange registered flows).
+  Host(Simulator* sim, NodeId id, std::string name, HostConfig config,
+       std::shared_ptr<FlowTable> flows = nullptr);
 
   [[nodiscard]] EgressPort& nic() override { return nic_; }
   void ReceivePacket(PacketPtr pkt, int in_port) override;
 
-  /// Registers a flow and schedules its start. The CcConfig must be fully
-  /// resolved (line rate, base RTT). Returns the QP (owned by the host).
+  /// Devirtualized delivery trampoline installed as this node's
+  /// Node::deliver_event — link propagation events land here and call
+  /// ReceivePacket through the final class, with no virtual dispatch.
+  static void DeliverPacketEvent(void* host, void* pkt, std::uint64_t in_port);
+
+  /// Registers a flow (minting its FlowId — see flow_table.hpp) and
+  /// schedules its start. The CcConfig must be fully resolved (line rate,
+  /// base RTT). Returns the QP (owned by the shared flow table).
   SenderQp* StartFlow(const FlowSpec& spec, const CcConfig& cc_config);
 
   /// Invoked when a flow's last byte is acknowledged.
@@ -65,40 +82,50 @@ class Host final : public Endpoint {
   [[nodiscard]] std::uint64_t out_of_order_packets() const {
     return out_of_order_;
   }
+  /// Data packets dropped because their flow was already released from
+  /// the table (late arrivals racing FlowTable::Release).
+  [[nodiscard]] std::uint64_t stale_flow_packets() const {
+    return stale_flow_packets_;
+  }
+  /// This host's QP for `flow`, or nullptr when the id is stale, unknown,
+  /// or belongs to another host.
   [[nodiscard]] SenderQp* qp(FlowId flow) const;
   [[nodiscard]] const std::vector<SenderQp*>& qps() const { return qp_list_; }
+
+  /// The fabric-shared flow table (tests use it for release/reuse checks).
+  [[nodiscard]] FlowTable& flow_table() { return *flows_; }
+  [[nodiscard]] const std::shared_ptr<FlowTable>& flow_table_ptr() const {
+    return flows_;
+  }
 
   // Internal (called by SenderQp).
   void NotifyFlowComplete(SenderQp* qp);
   void TransmitFromQp(PacketPtr pkt);
 
- private:
-  struct RecvCtx {
-    std::uint64_t rcv_nxt = 0;
-    std::uint64_t total_bytes = 0;  // learned from the last_of_flow packet
-    int pkts_since_ack = 0;
-    // "Long ago" but safe to subtract from Now() (never -kTimeInfinity:
-    // Now() - last_cnp must not overflow).
-    Time last_cnp = -kSecond;
-    bool done = false;
-    // HPCC: latest INT stack observed on this flow's data packets.
-    StaticVector<IntEntry, kMaxIntHops> last_int;
-    // Fig. 7 pathID of the request path, echoed into ACKs so the sender
-    // can verify path symmetry.
-    std::uint16_t last_path_id = 0;
-  };
+  // Internal (called by FlowTable::Release to keep this host consistent).
+  void ForgetQp(SenderQp* qp);
+  void DropInboundClaim() { --active_inbound_; }
 
+ private:
   void HandleData(PacketPtr pkt);
   void SendAck(const Packet& data, RecvCtx& ctx);
   void MaybeSendCnp(const Packet& data, RecvCtx& ctx);
 
   HostConfig config_;
   EgressPort nic_;
-  std::unordered_map<FlowId, std::unique_ptr<SenderQp>> qps_;
+  std::shared_ptr<FlowTable> flows_;
   std::vector<SenderQp*> qp_list_;
-  std::unordered_map<FlowId, RecvCtx> recv_;
+  /// Receiver state for data whose FlowId names a slot the shared table
+  /// never minted — an escape hatch for hand-crafted test traffic only,
+  /// never touched by registered flows. (An id that names a minted slot
+  /// but fails the generation check counts as a released flow's late data
+  /// and is dropped, not parked here.) Crafting ids that later collide
+  /// with table-minted ones is unsupported: the flow-id space belongs to
+  /// the table.
+  std::unordered_map<FlowId, RecvCtx> overflow_recv_;
   int active_inbound_ = 0;
   std::uint64_t out_of_order_ = 0;
+  std::uint64_t stale_flow_packets_ = 0;
 };
 
 }  // namespace fncc

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "core/cc_factory.hpp"
 #include "net/packet_pool.hpp"
 #include "sim/log.hpp"
 #include "transport/host.hpp"
@@ -12,24 +11,41 @@ namespace fncc {
 
 SenderQp::SenderQp(Host* host, const FlowSpec& spec,
                    const CcConfig& cc_config)
-    : host_(host), spec_(spec) {
-  cc_ = MakeCcAlgorithm(cc_config, host_->sim());
-  cc_->on_update = [this] {
+    : host_(host), sim_(host->sim()), spec_(spec) {
+  cc_.Emplace(cc_config, sim_);
+  cc_.base().on_update = [this] {
     if (started_ && !complete_) TrySend();
   };
+  // Self-scheduled start keeps the event cancellable from this object
+  // (Abort/Complete/flow-table Release), so no pending event can outlive
+  // the QP. Scheduled last: the CC's own timers (DCQCN) enqueue first,
+  // preserving the pre-flow-table event order exactly.
+  start_event_ =
+      sim_->ScheduleAt(spec_.start_time,
+                               TypedEvent{.run = &SenderQp::StartEvent,
+                                          .drop = nullptr,
+                                          .p0 = this,
+                                          .p1 = nullptr,
+                                          .arg = 0});
+}
+
+void SenderQp::StartEvent(void* qp, void* /*unused*/, std::uint64_t /*arg*/) {
+  auto* self = static_cast<SenderQp*>(qp);
+  self->start_event_ = kInvalidEventId;
+  self->Start();
 }
 
 void SenderQp::Start() {
   assert(!started_);
   started_ = true;
-  next_send_time_ = host_->sim()->Now();
+  next_send_time_ = sim_->Now();
   ArmRto();
   TrySend();
 }
 
 bool SenderQp::WindowBlocked() const {
-  return cc_->uses_window() &&
-         static_cast<double>(inflight_bytes()) >= cc_->window_bytes();
+  return cc_.uses_window() &&
+         static_cast<double>(inflight_bytes()) >= cc_.window_bytes();
 }
 
 void SenderQp::PaceEvent(void* qp, void* /*unused*/, std::uint64_t /*arg*/) {
@@ -47,7 +63,7 @@ void SenderQp::RtoEvent(void* qp, void* /*unused*/, std::uint64_t /*arg*/) {
 void SenderQp::TrySend() {
   if (in_try_send_) return;  // re-entrant via CC on_update callbacks
   in_try_send_ = true;
-  Simulator* sim = host_->sim();
+  Simulator* sim = sim_;
   while (!complete_ && snd_nxt_ < spec_.size_bytes && !WindowBlocked()) {
     const Time now = sim->Now();
     if (now < next_send_time_) {
@@ -67,8 +83,8 @@ void SenderQp::TrySend() {
 }
 
 void SenderQp::SendOnePacket() {
-  Simulator* sim = host_->sim();
-  const std::uint32_t mtu = cc_->config().mtu_bytes;
+  Simulator* sim = sim_;
+  const std::uint32_t mtu = cc_.config().mtu_bytes;
   const std::uint32_t bytes = static_cast<std::uint32_t>(
       std::min<std::uint64_t>(mtu, spec_.size_bytes - snd_nxt_));
 
@@ -94,11 +110,11 @@ void SenderQp::SendOnePacket() {
 
   // Pace at the CC rate: the next packet may leave once this one has
   // serialized at rate R (token-bucket with one-packet depth).
-  const double rate = std::max(cc_->rate_gbps(), 1e-3);
+  const double rate = std::max(cc_.rate_gbps(), 1e-3);
   next_send_time_ =
       std::max(sim->Now(), next_send_time_) + SerializationDelay(bytes, rate);
 
-  cc_->OnBytesSent(bytes);
+  cc_.OnBytesSent(bytes);
 }
 
 void SenderQp::HandleAck(const Packet& ack) {
@@ -112,7 +128,7 @@ void SenderQp::HandleAck(const Packet& ack) {
     snd_una_ = std::min<std::uint64_t>(ack.seq, snd_nxt_);
     ArmRto();
   }
-  cc_->OnAck(ack, snd_nxt_);
+  cc_.OnAck(ack, snd_nxt_);
   if (snd_una_ >= spec_.size_bytes) {
     Complete();
     return;
@@ -122,7 +138,7 @@ void SenderQp::HandleAck(const Packet& ack) {
 
 void SenderQp::HandleCnp() {
   if (complete_) return;
-  cc_->OnCnp();
+  cc_.OnCnp();
 }
 
 void SenderQp::ArmRto() {
@@ -134,7 +150,7 @@ void SenderQp::ArmRto() {
 }
 
 void SenderQp::ArmRtoAt(Time delay) {
-  Simulator* sim = host_->sim();
+  Simulator* sim = sim_;
   // Fused cancel + schedule keeps the slot and the typed payload; only when
   // the timer already fired (or was never armed) is a fresh event needed.
   rto_event_ = sim->Reschedule(rto_event_, delay);
@@ -157,37 +173,40 @@ void SenderQp::OnRto() {
   // backoff: long PFC pause chains can stall a flow well beyond one RTO
   // without any loss — re-blasting on a fixed period would only add load.
   ++rto_count_;
-  Log(LogLevel::kWarn, host_->sim()->Now(),
+  Log(LogLevel::kWarn, sim_->Now(),
       "flow %u: RTO, go-back-N from %llu", spec_.id,
       static_cast<unsigned long long>(snd_una_));
   snd_nxt_ = snd_una_;
-  next_send_time_ = host_->sim()->Now();
+  next_send_time_ = sim_->Now();
   if (rto_backoff_ < 64) rto_backoff_ *= 2;
   ArmRtoAt(host_->config().rto * rto_backoff_);
   TrySend();
 }
 
+void SenderQp::CancelTimers() {
+  Simulator* sim = sim_;
+  sim->Cancel(start_event_);
+  sim->Cancel(send_event_);
+  sim->Cancel(rto_event_);
+  start_event_ = kInvalidEventId;
+  send_event_ = kInvalidEventId;
+  rto_event_ = kInvalidEventId;
+}
+
 void SenderQp::Abort() {
   if (complete_) return;
   complete_ = true;
-  completion_time_ = host_->sim()->Now();
-  host_->sim()->Cancel(send_event_);
-  host_->sim()->Cancel(rto_event_);
-  send_event_ = kInvalidEventId;
-  rto_event_ = kInvalidEventId;
-  cc_->Shutdown();
+  completion_time_ = sim_->Now();
+  CancelTimers();
+  cc_.Shutdown();
 }
 
 void SenderQp::Complete() {
   complete_ = true;
-  completion_time_ = host_->sim()->Now();
-  Simulator* sim = host_->sim();
-  sim->Cancel(send_event_);
-  sim->Cancel(rto_event_);
-  send_event_ = kInvalidEventId;
-  rto_event_ = kInvalidEventId;
+  completion_time_ = sim_->Now();
+  CancelTimers();
   // DCQCN keeps periodic timers; stop them so drained scenarios terminate.
-  cc_->Shutdown();
+  cc_.Shutdown();
   host_->NotifyFlowComplete(this);
 }
 

@@ -1,11 +1,15 @@
 // Sender-side queue pair: segments a flow into MTU packets, enforces the
 // CC algorithm's window and pacing rate, and tracks completion.
+//
+// The CC state lives inline (InlineCc) rather than behind a unique_ptr, so
+// a SenderQp embedded in a flow-table slot keeps the ACK-processing state
+// and the window/rate fields it updates in adjacent cache lines, and the
+// per-ACK CC update dispatches on the CcMode tag with no virtual call.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 
-#include "cc/cc_algorithm.hpp"
+#include "core/cc_inline.hpp"
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "transport/flow.hpp"
@@ -16,11 +20,13 @@ class Host;
 
 class SenderQp {
  public:
+  /// Registers with the simulator: schedules its own Start() at
+  /// spec.start_time. spec.id must already be minted (see FlowTable).
   SenderQp(Host* host, const FlowSpec& spec, const CcConfig& cc_config);
   SenderQp(const SenderQp&) = delete;
   SenderQp& operator=(const SenderQp&) = delete;
 
-  /// Begins transmission (scheduled by Host at spec.start_time).
+  /// Begins transmission (self-scheduled at spec.start_time).
   void Start();
 
   void HandleAck(const Packet& ack);
@@ -30,6 +36,7 @@ class SenderQp {
   /// the Fig. 13e fairness experiment). Does not fire on_flow_complete.
   void Abort();
 
+  [[nodiscard]] Host* host() const { return host_; }
   [[nodiscard]] const FlowSpec& spec() const { return spec_; }
   [[nodiscard]] bool started() const { return started_; }
   [[nodiscard]] bool complete() const { return complete_; }
@@ -43,9 +50,9 @@ class SenderQp {
   }
 
   /// Current pacing rate — the signal Fig. 9/13 plot per sender.
-  [[nodiscard]] double pacing_rate_gbps() const { return cc_->rate_gbps(); }
-  [[nodiscard]] CcAlgorithm& cc() { return *cc_; }
-  [[nodiscard]] const CcAlgorithm& cc() const { return *cc_; }
+  [[nodiscard]] double pacing_rate_gbps() const { return cc_.rate_gbps(); }
+  [[nodiscard]] CcAlgorithm& cc() { return cc_.base(); }
+  [[nodiscard]] const CcAlgorithm& cc() const { return cc_.base(); }
 
   /// Go-back-N retransmissions triggered (0 in a healthy lossless run).
   [[nodiscard]] std::uint64_t retransmit_events() const { return rto_count_; }
@@ -58,7 +65,8 @@ class SenderQp {
   }
 
  private:
-  // TypedEvent trampolines: pacing and RTO fire closure-free.
+  // TypedEvent trampolines: start, pacing and RTO fire closure-free.
+  static void StartEvent(void* qp, void* unused, std::uint64_t arg);
   static void PaceEvent(void* qp, void* unused, std::uint64_t arg);
   static void RtoEvent(void* qp, void* unused, std::uint64_t arg);
 
@@ -71,14 +79,19 @@ class SenderQp {
   void ArmRtoAt(Time delay);
   void OnRto();
   void Complete();
+  void CancelTimers();
 
   Host* host_;
+  // Cached so teardown paths (flow-table destruction cancelling timers via
+  // Abort) never dereference host_ — the owning Host may already be gone
+  // when the last host's table reference destroys the remaining QPs.
+  Simulator* sim_;
   FlowSpec spec_;
-  std::unique_ptr<CcAlgorithm> cc_;
 
   std::uint64_t snd_nxt_ = 0;
   std::uint64_t snd_una_ = 0;
   Time next_send_time_ = 0;
+  EventId start_event_ = kInvalidEventId;
   EventId send_event_ = kInvalidEventId;
   EventId rto_event_ = kInvalidEventId;
   std::uint64_t rto_count_ = 0;
@@ -89,6 +102,9 @@ class SenderQp {
   bool complete_ = false;
   bool in_try_send_ = false;  // re-entrancy guard (CC on_update callbacks)
   Time completion_time_ = 0;
+
+  // Last member: the largest block (the CC union), after the hot scalars.
+  InlineCc cc_;
 };
 
 }  // namespace fncc

@@ -18,6 +18,11 @@ struct PoissonTrafficConfig {
   double link_gbps = 100.0;
   Time start_time = 0;
   int num_flows = 1000;
+  /// First id assigned to the *generated* FlowSpecs — generator-local
+  /// bookkeeping only. Launching a flow re-mints spec.id from the flow
+  /// table (registration order, starting at 1), so recorded FCT ids equal
+  /// the generated ones exactly when the flows are launched in generation
+  /// order on a fresh table with first_flow_id = 1 (the harness default).
   FlowId first_flow_id = 1;
   /// Ephemeral port range for ECMP entropy.
   std::uint16_t port_base = 10'000;

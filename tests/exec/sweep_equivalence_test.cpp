@@ -7,6 +7,8 @@
 
 #include <bit>
 #include <cstdint>
+#include <iterator>
+#include <string>
 #include <vector>
 
 #include "harness/dumbbell_runner.hpp"
@@ -107,6 +109,65 @@ TEST(SweepEquivalenceTest, RepeatedParallelRunsAreStable) {
   for (std::size_t i = 0; i < first.size(); ++i) {
     SCOPED_TRACE("point=" + std::to_string(i));
     ExpectMicroResultsIdentical(first[i], second[i]);
+  }
+}
+
+// All seven CcModes — the receive-path devirtualization acceptance check:
+// the fig13-style dumbbell series and the fat-tree FCT records must be
+// bit-identical at 1 and 4 threads for every built-in algorithm, i.e. the
+// dense flow table + tagged CC dispatch changed the arithmetic of nothing.
+// (The before/after half of the check was run against the pre-change tree
+// when this PR landed: identical output, see README "Performance".)
+constexpr CcMode kAllModes[] = {
+    CcMode::kFncc,  CcMode::kFnccNoLhcs, CcMode::kHpcc,  CcMode::kDcqcn,
+    CcMode::kRocc,  CcMode::kTimely,     CcMode::kSwift,
+};
+
+TEST(SweepEquivalenceTest, DumbbellAllSevenModesBitIdentical1v4Threads) {
+  std::vector<MicroSweepPoint> points;
+  for (std::size_t m = 0; m < std::size(kAllModes); ++m) {
+    MicroSweepPoint point;
+    point.config.scenario.mode = kAllModes[m];
+    point.config.scenario.seed = m + 1;
+    point.config.flows = {{0, 0}, {1, Microseconds(40)}};
+    point.config.duration = Microseconds(150);
+    points.push_back(point);
+  }
+  const std::vector<MicroRunResult> serial = RunMicroSweep(points, 1);
+  const std::vector<MicroRunResult> parallel = RunMicroSweep(points, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(std::string("mode=") + CcModeName(kAllModes[i]));
+    ExpectMicroResultsIdentical(serial[i], parallel[i]);
+  }
+}
+
+TEST(SweepEquivalenceTest, FatTreeAllSevenModesBitIdentical1v4Threads) {
+  std::vector<FatTreeRunConfig> configs(std::size(kAllModes));
+  for (std::size_t m = 0; m < std::size(kAllModes); ++m) {
+    configs[m].scenario.mode = kAllModes[m];
+    configs[m].k = 4;
+    configs[m].num_flows = 40;
+    configs[m].cdf = SizeCdf::WebSearch();
+    configs[m].load = 0.5;
+  }
+  const std::vector<FatTreeRunResult> serial = RunFatTreeSweep(configs, 1);
+  const std::vector<FatTreeRunResult> parallel = RunFatTreeSweep(configs, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(std::string("mode=") + CcModeName(kAllModes[i]));
+    const FatTreeRunResult& a = serial[i];
+    const FatTreeRunResult& b = parallel[i];
+    EXPECT_EQ(a.flows_completed, b.flows_completed);
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    ASSERT_EQ(a.fct.count(), b.fct.count());
+    for (std::size_t f = 0; f < a.fct.count(); ++f) {
+      const FlowResult& fa = a.fct.results()[f];
+      const FlowResult& fb = b.fct.results()[f];
+      EXPECT_EQ(fa.spec.id, fb.spec.id) << "flow " << f;
+      EXPECT_EQ(fa.fct, fb.fct) << "flow " << f;
+      EXPECT_TRUE(SameBits(fa.slowdown, fb.slowdown)) << "flow " << f;
+    }
   }
 }
 

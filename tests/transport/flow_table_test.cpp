@@ -1,0 +1,271 @@
+// Dense flow table: slot reuse after release, generation-mismatch
+// rejection of stale FlowIds, and an ABA stress loop modeled on the
+// event-queue stress in tests/sim/ (random register/release churn with a
+// shadow model).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "transport/flow_table.hpp"
+#include "transport/host.hpp"
+
+namespace fncc {
+namespace {
+
+CcConfig TestCcConfig(CcMode mode = CcMode::kFncc) {
+  CcConfig cc;
+  cc.mode = mode;
+  cc.line_rate_gbps = 100.0;
+  cc.base_rtt = Microseconds(12);
+  return cc;
+}
+
+/// A host wired to a sink, plus direct access to its (self-owned) table.
+class FlowTableHostTest : public ::testing::Test {
+ protected:
+  FlowTableHostTest()
+      : host_(&sim_, 0, "tx", HostConfig{}), sink_(&sim_, 1, "rx") {
+    host_.nic().Connect({&sink_, 0}, 100.0, Nanoseconds(10));
+    sink_.nic().Connect({&host_, 0}, 100.0, Nanoseconds(10));
+  }
+
+  SenderQp* Launch(std::uint64_t bytes) {
+    FlowSpec spec;
+    spec.src = 0;
+    spec.dst = 1;
+    spec.sport = 1000;
+    spec.dport = 1001;
+    spec.size_bytes = bytes;
+    return host_.StartFlow(spec, TestCcConfig());
+  }
+
+  Simulator sim_;
+  Host host_;
+  test::SinkEndpoint sink_;
+};
+
+TEST_F(FlowTableHostTest, MintsDenseIdsInRegistrationOrder) {
+  // The compatibility guarantee behind bit-identical FCT CSVs: with no
+  // releases, minted ids are the dense 1..N the harness used to assign.
+  for (FlowId expected = 1; expected <= 5; ++expected) {
+    EXPECT_EQ(Launch(1518)->spec().id, expected);
+  }
+}
+
+TEST_F(FlowTableHostTest, SlotReusedAfterRelease) {
+  SenderQp* first = Launch(1518);
+  const FlowId first_id = first->spec().id;
+  host_.flow_table().Release(first_id);
+
+  SenderQp* second = Launch(1518);
+  const FlowId second_id = second->spec().id;
+  // Same slot (low bits), new generation (high bits) -> different id.
+  EXPECT_EQ(second_id & kFlowSlotMask, first_id & kFlowSlotMask);
+  EXPECT_NE(second_id, first_id);
+  EXPECT_EQ(FlowIdGeneration(second_id), FlowIdGeneration(first_id) + 1);
+  // The table resolves only the new tenant.
+  EXPECT_EQ(host_.qp(first_id), nullptr);
+  EXPECT_EQ(host_.qp(second_id), second);
+}
+
+TEST_F(FlowTableHostTest, StaleAckAndCnpIgnoredAfterReuse) {
+  SenderQp* first = Launch(100 * 1518);
+  const FlowId stale = first->spec().id;
+  sim_.RunUntil(Microseconds(5));  // let it start and send a little
+  host_.flow_table().Release(stale);
+
+  SenderQp* second = Launch(100 * 1518);
+  sim_.RunUntil(Microseconds(5));
+  const std::uint64_t una_before = second->snd_una();
+
+  // A late ACK/CNP addressed to the released flow must not leak into the
+  // slot's new tenant: the generation check rejects it.
+  PacketPtr ack = test::MakeAck(1, 0, stale);
+  ack->seq = 50 * 1518;
+  host_.ReceivePacket(std::move(ack), 0);
+  PacketPtr cnp = MakePacket();
+  cnp->type = PacketType::kCnp;
+  cnp->flow = stale;
+  cnp->size_bytes = kCnpBytes;
+  host_.ReceivePacket(std::move(cnp), 0);
+
+  EXPECT_EQ(second->snd_una(), una_before);
+  EXPECT_FALSE(second->complete());
+}
+
+TEST_F(FlowTableHostTest, ReleaseForgetsQpAndUndoesReceiverClaim) {
+  // Release must keep both ends consistent: the sender's qps() list loses
+  // the destroyed QP (no dangling pointer into a recycled slot), and a
+  // receiver that counted the flow into N but never saw its last byte
+  // un-counts it.
+  SenderQp* qp = Launch(100 * 1518);
+  const FlowId id = qp->spec().id;
+  ASSERT_EQ(host_.qps().size(), 1u);
+
+  // Simulate the receiver half on the same (table-sharing) host: a data
+  // packet claims the slot's RecvCtx and bumps active_inbound_flows.
+  PacketPtr data = test::MakeData(1, 0, 1518, id);
+  host_.ReceivePacket(std::move(data), 0);
+  ASSERT_EQ(host_.active_inbound_flows(), 1);
+
+  host_.flow_table().Release(id);
+  EXPECT_TRUE(host_.qps().empty());
+  EXPECT_EQ(host_.active_inbound_flows(), 0);
+}
+
+TEST_F(FlowTableHostTest, StaleDataDroppedNotResurrected) {
+  // Late data racing a Release must not resurrect the flow through the
+  // overflow map: it would re-claim into N forever (the sender is gone).
+  SenderQp* qp = Launch(100 * 1518);
+  const FlowId stale = qp->spec().id;
+  host_.flow_table().Release(stale);
+
+  PacketPtr data = test::MakeData(1, 0, 1518, stale);
+  host_.ReceivePacket(std::move(data), 0);
+  sim_.RunUntil(Microseconds(2));
+  EXPECT_EQ(host_.active_inbound_flows(), 0);
+  EXPECT_EQ(host_.stale_flow_packets(), 1u);
+  EXPECT_TRUE(sink_.received.empty());  // no ACK for a dead flow
+}
+
+TEST_F(FlowTableHostTest, ReleaseIsIdempotentOnStaleIds) {
+  SenderQp* qp = Launch(1518);
+  const FlowId id = qp->spec().id;
+  host_.flow_table().Release(id);
+  const std::size_t live = host_.flow_table().live_flows();
+  host_.flow_table().Release(id);  // stale now: must be a no-op
+  EXPECT_EQ(host_.flow_table().live_flows(), live);
+}
+
+TEST_F(FlowTableHostTest, ReleaseCancelsPendingStart) {
+  // A flow released before its scheduled start must never fire Start()
+  // on the recycled slot.
+  FlowSpec spec;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.sport = 1000;
+  spec.dport = 1001;
+  spec.size_bytes = 10 * 1518;
+  spec.start_time = Microseconds(100);
+  SenderQp* qp = host_.StartFlow(spec, TestCcConfig());
+  host_.flow_table().Release(qp->spec().id);
+  SenderQp* next = Launch(10 * 1518);  // reuses the slot
+  sim_.RunUntil(Milliseconds(1));
+  EXPECT_TRUE(next->complete() || next->started());
+  EXPECT_EQ(sink_.received.empty(), false);
+}
+
+TEST(FlowTableTest, GenerationWrapAliasesAfterHorizon) {
+  // Documents the accepted ABA horizon: the 12-bit generation wraps after
+  // 4096 release/register cycles of one slot, at which point the original
+  // id aliases the slot's current tenant again.
+  Simulator sim;
+  FlowTable table;
+  Host host(&sim, 0, "tx", HostConfig{}, nullptr);
+
+  FlowSpec spec;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size_bytes = 1518;
+  spec.start_time = kTimeInfinity;  // never starts: pure table churn
+
+  FlowTable& t = host.flow_table();
+  const FlowId first = t.Register(&host, spec, TestCcConfig())->spec().id;
+  // kFlowGenMask + 1 = 4096 release/register cycles walk the generation
+  // counter all the way around.
+  for (int cycle = 0; cycle < static_cast<int>(kFlowGenMask) + 1; ++cycle) {
+    t.Release(t.Lookup(first) != nullptr
+                  ? first  // only the final cycle resolves `first` again
+                  : MakeFlowId(0, static_cast<std::uint32_t>(cycle)));
+    t.Register(&host, spec, TestCcConfig());
+  }
+  // 4096 generations later the counter wrapped to 0: `first` resolves.
+  EXPECT_NE(t.Lookup(first), nullptr);
+}
+
+TEST(FlowTableTest, AbaStressRandomChurn) {
+  // Modeled on the event-queue ABA stress: random register/release churn
+  // with a shadow map. Every live id must resolve to its own QP; every
+  // released (stale) id must resolve to nothing, even after its slot was
+  // re-registered arbitrarily often.
+  Simulator sim;
+  Host host(&sim, 0, "tx", HostConfig{}, nullptr);
+  FlowTable& table = host.flow_table();
+
+  FlowSpec spec;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size_bytes = 1518;
+  spec.start_time = kTimeInfinity;  // pure table churn, no traffic
+
+  std::unordered_map<FlowId, SenderQp*> live;
+  std::vector<FlowId> stale;
+  std::uint64_t lcg = 12345;
+  const auto next_rand = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(lcg >> 33);
+  };
+
+  for (int step = 0; step < 20'000; ++step) {
+    const bool do_release = !live.empty() && next_rand() % 3 == 0;
+    if (do_release) {
+      auto it = live.begin();
+      std::advance(it, next_rand() % live.size());
+      table.Release(it->first);
+      stale.push_back(it->first);
+      live.erase(it);
+    } else {
+      SenderQp* qp = table.Register(&host, spec, TestCcConfig());
+      const FlowId id = qp->spec().id;
+      ASSERT_EQ(live.count(id), 0u) << "minted id collides with a live one";
+      live.emplace(id, qp);
+    }
+  }
+
+  EXPECT_EQ(table.live_flows(), live.size());
+  for (const auto& [id, qp] : live) {
+    FlowSlot* slot = table.Lookup(id);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(slot->qp(), qp);
+    EXPECT_EQ(slot->qp()->spec().id, id);
+  }
+  // Spot-check the stale set (all of it: lookups are cheap).
+  for (FlowId id : stale) {
+    EXPECT_EQ(table.Lookup(id), nullptr) << "stale id resolved: " << id;
+  }
+}
+
+TEST(FlowTableTest, SharedTableResolvesAcrossHosts) {
+  // The fabric-sharing contract: the id minted at the sender's StartFlow
+  // resolves at any host holding the same table (the receiver indexes the
+  // same slot for its RecvCtx).
+  Simulator sim;
+  auto table = std::make_shared<FlowTable>();
+  Host a(&sim, 0, "a", HostConfig{}, table);
+  Host b(&sim, 1, "b", HostConfig{}, table);
+  test::SinkEndpoint sink_a(&sim, 2, "sa"), sink_b(&sim, 3, "sb");
+  a.nic().Connect({&sink_a, 0}, 100.0, Nanoseconds(10));
+  sink_a.nic().Connect({&a, 0}, 100.0, Nanoseconds(10));
+  b.nic().Connect({&sink_b, 0}, 100.0, Nanoseconds(10));
+  sink_b.nic().Connect({&b, 0}, 100.0, Nanoseconds(10));
+
+  FlowSpec spec;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size_bytes = 1518;
+  SenderQp* qp = a.StartFlow(spec, TestCcConfig());
+  const FlowId id = qp->spec().id;
+
+  // Owner host resolves its QP; the other host sees the slot but not the
+  // QP (it is not the flow's source).
+  EXPECT_EQ(a.qp(id), qp);
+  EXPECT_EQ(b.qp(id), nullptr);
+  EXPECT_NE(b.flow_table().Lookup(id), nullptr);
+  EXPECT_EQ(b.flow_table_ptr().get(), a.flow_table_ptr().get());
+}
+
+}  // namespace
+}  // namespace fncc
