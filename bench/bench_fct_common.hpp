@@ -1,7 +1,10 @@
 // Shared driver for the Fig. 14/15 large-scale FCT-slowdown benchmarks.
-// The per-CC-mode scenario points run as one parallel sweep (exec/
-// SweepRunner, FNCC_THREADS threads); outputs are bit-identical to the
-// serial run, only wall time changes.
+// Each figure is one declarative ExperimentSpec (fat-tree + poisson with
+// sweep.mode over the three schemes) executed on the unified experiment
+// engine — the same code path `fncc_run specs/fig14_websearch.exp` drives.
+// Points run as one parallel sweep (exec/SweepRunner, FNCC_THREADS
+// threads); outputs are bit-identical to the serial run, only wall time
+// changes.
 #pragma once
 
 #include <cstdio>
@@ -11,14 +14,14 @@
 
 #include "bench_util.hpp"
 #include "exec/thread_pool.hpp"
-#include "harness/fat_tree_runner.hpp"
+#include "harness/experiment_runner.hpp"
 
 namespace fncc::bench {
 
 struct FctBenchSetup {
   const char* figure;           // "fig14" / "fig15"
   const char* workload_name;    // "WebSearch" / "FB_Hadoop"
-  SizeCdf cdf = SizeCdf::WebSearch();
+  const char* cdf = "web_search";  // SizeCdf registry name
   std::vector<std::uint64_t> edges;
   int default_flows = 800;
 };
@@ -28,30 +31,29 @@ inline void RunFctBench(const FctBenchSetup& setup) {
           " at 50% load, fat-tree k=8 (128 hosts)")
              .c_str());
 
-  FatTreeRunConfig config;
-  config.k = static_cast<int>(EnvLong("FNCC_K", 8));
-  config.cdf = setup.cdf;
-  config.load = 0.5;
-  config.num_flows =
+  ExperimentSpec spec;
+  spec.name = setup.figure;
+  spec.topology = "fat_tree";
+  spec.topo.k = static_cast<int>(EnvLong("FNCC_K", 8));
+  spec.workload = "poisson";
+  spec.cdf = setup.cdf;
+  spec.wl.load = 0.5;
+  spec.wl.num_flows =
       static_cast<int>(EnvLong("FNCC_FLOWS", setup.default_flows));
-  config.scenario.seed = static_cast<std::uint64_t>(EnvLong("FNCC_SEED", 1));
-
+  spec.scenario.seed = static_cast<std::uint64_t>(EnvLong("FNCC_SEED", 1));
+  spec.run.duration = 0;  // run until every flow completes
   const CcMode modes[] = {CcMode::kDcqcn, CcMode::kHpcc, CcMode::kFncc};
-  std::vector<FatTreeRunConfig> configs;
-  for (CcMode mode : modes) {
-    config.scenario.mode = mode;
-    configs.push_back(config);
-  }
+  spec.sweep.modes.assign(std::begin(modes), std::end(modes));
 
   const int threads = ThreadPool::DefaultThreadCount();  // FNCC_THREADS-aware
   WallTimer sweep_timer;
-  std::vector<FatTreeRunResult> sweep = RunFatTreeSweep(configs, threads);
+  std::vector<ExperimentPointResult> sweep = RunExperiment(spec, threads);
   const double sweep_seconds = sweep_timer.Seconds();
 
-  std::map<CcMode, FatTreeRunResult> results;
+  std::map<CcMode, ExperimentPointResult> results;
   std::vector<SweepPointMeta> point_meta;
   for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const FatTreeRunResult& r = sweep[i];
+    const ExperimentPointResult& r = sweep[i];
     std::printf("%s: %zu/%zu flows, %llu pauses, %llu drops, %llu rtx, "
                 "%llu asym-acks, %llu events, %.2fs\n",
                 CcModeName(modes[i]), r.flows_completed, r.flows_total,

@@ -2,26 +2,17 @@
 // chain (Fig. 11 topologies). Reports queue depth and utilization for FNCC
 // vs HPCC, the LHCS ablation on the last hop, and the last-hop flow-rate
 // trajectories showing the fair*beta snap.
+//
+// One declarative spec: chain_merge + elephants with sweep.mode x
+// sweep.merge_switch — the same nine points `fncc_run specs/fig13_hops.exp`
+// runs, executed on the same unified engine.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "exec/thread_pool.hpp"
-#include "harness/dumbbell_runner.hpp"
-
-namespace {
-
-fncc::MicroSweepPoint Point(fncc::CcMode mode, int merge_switch) {
-  fncc::MicroSweepPoint point;
-  point.config.scenario.mode = mode;
-  point.config.num_switches = 3;
-  point.config.flows = {{0, 0}, {1, fncc::Microseconds(300)}};
-  point.config.duration = fncc::Microseconds(800);
-  point.merge_switch = merge_switch;
-  return point;
-}
-
-}  // namespace
+#include "harness/experiment_runner.hpp"
 
 int main() {
   using namespace fncc;
@@ -29,31 +20,41 @@ int main() {
 
   Banner("Fig 13: congestion location study (first/middle/last hop)");
 
-  // All nine (hop, mode) points as one parallel sweep; results come back
-  // in point order, bit-identical to the serial run.
+  ExperimentSpec spec;
+  spec.name = "fig13_hops";
+  spec.topology = "chain_merge";
+  spec.topo.num_switches = 3;
+  spec.wl.long_flows = {{0, 0, kTimeInfinity},
+                       {1, Microseconds(300), kTimeInfinity}};
+  spec.run.duration = Microseconds(800);
   const CcMode modes[] = {CcMode::kHpcc, CcMode::kFnccNoLhcs, CcMode::kFncc};
-  std::vector<MicroSweepPoint> points;
-  for (int hop = 0; hop < 3; ++hop) {
-    for (CcMode mode : modes) points.push_back(Point(mode, hop));
-  }
+  spec.sweep.modes.assign(std::begin(modes), std::end(modes));
+  spec.sweep.merge_switches = {0, 1, 2};
+
+  // All nine (hop, mode) points as one parallel sweep; results come back
+  // in expansion order (mode outer, merge_switch inner), bit-identical to
+  // the serial run.
   const int threads = ThreadPool::DefaultThreadCount();
   WallTimer sweep_timer;
-  const std::vector<MicroRunResult> sweep = RunMicroSweep(points, threads);
+  const std::vector<ExperimentPointResult> sweep =
+      RunExperiment(spec, threads);
   const double sweep_seconds = sweep_timer.Seconds();
+  const auto at = [&sweep](int hop, int mode) -> const ExperimentPointResult& {
+    return sweep[static_cast<std::size_t>(3 * mode + hop)];
+  };
 
   const char* hop_names[] = {"first", "middle", "last"};
   double reduction[4] = {};  // first, middle, last-noLHCS, last-LHCS
 
   std::vector<SweepPointMeta> point_meta;
   for (int hop = 0; hop < 3; ++hop) {
-    const auto& hpcc = sweep[static_cast<std::size_t>(3 * hop)];
-    const auto& fncc_no = sweep[static_cast<std::size_t>(3 * hop + 1)];
-    const auto& fncc_full = sweep[static_cast<std::size_t>(3 * hop + 2)];
+    const auto& hpcc = at(hop, 0);
+    const auto& fncc_no = at(hop, 1);
+    const auto& fncc_full = at(hop, 2);
     for (int m = 0; m < 3; ++m) {
-      const auto& r = sweep[static_cast<std::size_t>(3 * hop + m)];
       point_meta.push_back({std::string(hop_names[hop]) + "/" +
                                 CcModeName(modes[m]),
-                            r.wall_time_seconds});
+                            at(hop, m).wall_time_seconds});
     }
 
     const Time from = Microseconds(300), to = Microseconds(800);
@@ -76,8 +77,8 @@ int main() {
       reduction[3] = 100.0 * (q_hpcc - q_full) / q_hpcc;
       // Fig. 13d: flow-rate trajectories on the last hop.
       for (const auto& [label, run] :
-           {std::pair<const char*, const MicroRunResult*>{"FNCC+LHCS",
-                                                          &fncc_full},
+           {std::pair<const char*, const ExperimentPointResult*>{
+                "FNCC+LHCS", &fncc_full},
             {"FNCC-noLHCS", &fncc_no},
             {"HPCC", &hpcc}}) {
         PrintSeries("fig13d_flow0", label, run->flows[0].pacing_gbps, 1.0,

@@ -10,7 +10,7 @@
 
 #include "bench_util.hpp"
 #include "exec/thread_pool.hpp"
-#include "harness/dumbbell_runner.hpp"
+#include "harness/experiment_runner.hpp"
 #include "stats/percentile.hpp"
 
 int main() {
@@ -22,25 +22,28 @@ int main() {
 
   Banner("Fig 13e: fairness with staggered long-lived flows");
 
-  MicroSweepPoint point;
-  MicroRunConfig& config = point.config;
-  config.scenario.mode = CcMode::kFncc;
-  config.num_senders = 4;
-  config.flows = {{0, 0 * stage, 8 * stage},
-                  {1, 1 * stage, 7 * stage},
-                  {2, 2 * stage, 6 * stage},
-                  {3, 3 * stage, 5 * stage}};
-  config.duration = 8 * stage + Microseconds(50);
-  config.rate_sample_interval = stage / 100;
+  ExperimentSpec spec;
+  spec.name = "fig13e_fairness";
+  spec.topology = "dumbbell";
+  spec.topo.num_senders = 4;
+  spec.workload = "elephants";
+  spec.wl.long_flows = {{0, 0 * stage, 8 * stage},
+                        {1, 1 * stage, 7 * stage},
+                        {2, 2 * stage, 6 * stage},
+                        {3, 3 * stage, 5 * stage}};
+  spec.run.duration = 8 * stage + Microseconds(50);
+  spec.run.rate_sample_interval = stage / 100;
+  const std::vector<LongFlow>& flows = spec.wl.long_flows;
   const int threads = ThreadPool::DefaultThreadCount();
   WallTimer sweep_timer;
-  const MicroRunResult r = RunMicroSweep({point}, threads).front();
+  const ExperimentPointResult r = RunExperiment(spec, threads).front();
   WriteSweepMeta("fig13e", threads, sweep_timer.Seconds(),
                  {{"fncc_staircase", r.wall_time_seconds}});
 
   for (int i = 0; i < 4; ++i) {
     PrintSeries("fig13e", "flow" + std::to_string(i),
-                r.flows[i].goodput_gbps, 1.0, 0, config.duration, stage / 20);
+                r.flows[i].goodput_gbps, 1.0, 0, spec.run.duration,
+                stage / 20);
   }
 
   // Jain index per stage over the active flows (sampled mid-stage).
@@ -53,7 +56,7 @@ int main() {
     std::vector<double> shares;
     std::string share_str;
     for (int i = 0; i < 4; ++i) {
-      const LongFlow& lf = config.flows[i];
+      const LongFlow& lf = flows[i];
       if (lf.start <= from && lf.stop >= to) {
         const double g = r.flows[i].goodput_gbps.MeanOver(from, to);
         shares.push_back(g);

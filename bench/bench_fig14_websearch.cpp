@@ -9,7 +9,7 @@ int main() {
   FctBenchSetup setup;
   setup.figure = "fig14";
   setup.workload_name = "WebSearch";
-  setup.cdf = SizeCdf::WebSearch();
+  setup.cdf = "web_search";
   setup.edges = WebSearchBucketEdges();
   setup.default_flows = 1000;
   RunFctBench(setup);

@@ -9,7 +9,7 @@ int main() {
   FctBenchSetup setup;
   setup.figure = "fig15";
   setup.workload_name = "FB_Hadoop";
-  setup.cdf = SizeCdf::FbHadoop();
+  setup.cdf = "fb_hadoop";
   setup.edges = HadoopBucketEdges();
   setup.default_flows = 20000;
   RunFctBench(setup);

@@ -2,66 +2,95 @@
 // mix at 50% load, reporting FCT slowdown per flow-size bucket — a small
 // interactive version of the paper's §5.5 evaluation.
 //
-//   ./fat_tree_fct [FNCC|HPCC|DCQCN|ALL] [num_flows] [k]
+//   ./fat_tree_fct [FNCC|HPCC|DCQCN|ALL] [num_flows] [k] [key=value ...]
 //
-// ALL runs the three schemes as one parallel sweep (FNCC_THREADS threads)
-// and prints each table; a single scheme still goes through the same batch
-// path, so the output is identical either way.
+// Defaults come from ExperimentSpec; ALL sweeps the three schemes as one
+// parallel run (FNCC_THREADS threads) with output identical to serial.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
-#include "harness/fat_tree_runner.hpp"
+#include "harness/experiment_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace fncc;
 
-  std::vector<CcMode> modes = {CcMode::kFncc};
-  if (argc > 1) {
-    const std::string m = argv[1];
-    if (m == "HPCC") modes = {CcMode::kHpcc};
-    if (m == "DCQCN") modes = {CcMode::kDcqcn};
-    if (m == "ALL") modes = {CcMode::kFncc, CcMode::kHpcc, CcMode::kDcqcn};
-  }
+  ExperimentSpec spec;
+  spec.name = "fat_tree_fct";
+  spec.topology = "fat_tree";
+  spec.topo.k = 4;
+  spec.workload = "poisson";
+  spec.cdf = "fb_hadoop";
+  spec.wl.load = 0.5;
+  spec.wl.num_flows = 500;
+  spec.run.duration = 0;  // run until every flow completes
 
-  FatTreeRunConfig config;
-  config.k = argc > 3 ? std::atoi(argv[3]) : 4;
-  config.cdf = SizeCdf::FbHadoop();
-  config.num_flows = argc > 2 ? std::atoi(argv[2]) : 500;
-  config.load = 0.5;
-
-  std::vector<FatTreeRunConfig> configs;
-  for (CcMode mode : modes) {
-    config.scenario.mode = mode;
-    configs.push_back(config);
-  }
-  const int threads = ThreadPool::DefaultThreadCount();
-  std::printf("fat-tree k=%d (%d hosts), %d Hadoop flows at %.0f%% load, "
-              "%zu scheme(s) on %d thread(s)\n",
-              config.k, config.k * config.k * config.k / 4, config.num_flows,
-              config.load * 100, configs.size(), threads);
-
-  const std::vector<FatTreeRunResult> sweep =
-      RunFatTreeSweep(configs, threads);
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const FatTreeRunResult& r = sweep[i];
-    std::printf("\n%s: completed %zu/%zu flows, %llu pause frames, "
-                "%llu drops (%.2fs)\n",
-                CcModeName(modes[i]), r.flows_completed, r.flows_total,
-                static_cast<unsigned long long>(r.pause_frames),
-                static_cast<unsigned long long>(r.drops),
-                r.wall_time_seconds);
-
-    std::printf("%12s %8s %8s %8s %8s %8s\n", "size<=", "count", "avg",
-                "p50", "p95", "p99");
-    for (const BucketStats& b : r.fct.Bucketed(HadoopBucketEdges())) {
-      if (b.count == 0) continue;
-      std::printf("%12llu %8zu %8.2f %8.2f %8.2f %8.2f\n",
-                  static_cast<unsigned long long>(b.max_size_bytes), b.count,
-                  b.avg, b.p50, b.p95, b.p99);
+  try {
+    std::vector<std::string> overrides;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.find('=') != std::string::npos) {
+        overrides.push_back(arg);
+        continue;
+      }
+      CcMode mode;
+      if (positional == 0) {
+        if (arg == "ALL") {
+          spec.sweep.modes = {CcMode::kFncc, CcMode::kHpcc, CcMode::kDcqcn};
+        } else if (ParseCcMode(arg, &mode)) {
+          spec.scenario.mode = mode;
+        } else {
+          std::fprintf(stderr,
+                       "fat_tree_fct: unknown scheme '%s' (use ALL or a CC "
+                       "mode name)\n",
+                       arg.c_str());
+          return 1;
+        }
+      } else if (positional == 1) {
+        spec.wl.num_flows = std::atoi(arg.c_str());
+      } else if (positional == 2) {
+        spec.topo.k = std::atoi(arg.c_str());
+      }
+      ++positional;
     }
+    ApplySpecOverrides(spec, overrides);
+    ValidateSpec(spec);
+
+    const std::vector<ExperimentSpec> points = ExpandSweep(spec);
+    const int threads = ThreadPool::DefaultThreadCount();
+    std::printf("fat-tree k=%d (%d hosts), %d Hadoop flows at %.0f%% load, "
+                "%zu scheme(s) on %d thread(s)\n",
+                spec.topo.k, spec.topo.k * spec.topo.k * spec.topo.k / 4,
+                spec.wl.num_flows, spec.wl.load * 100, points.size(),
+                threads);
+
+    const std::vector<ExperimentPointResult> sweep =
+        RunExperimentPoints(points, threads);
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const ExperimentPointResult& r = sweep[i];
+      std::printf("\n%s: completed %zu/%zu flows, %llu pause frames, "
+                  "%llu drops (%.2fs)\n",
+                  CcModeName(points[i].scenario.mode), r.flows_completed,
+                  r.flows_total,
+                  static_cast<unsigned long long>(r.pause_frames),
+                  static_cast<unsigned long long>(r.drops),
+                  r.wall_time_seconds);
+
+      std::printf("%12s %8s %8s %8s %8s %8s\n", "size<=", "count", "avg",
+                  "p50", "p95", "p99");
+      for (const BucketStats& b : r.fct.Bucketed(HadoopBucketEdges())) {
+        if (b.count == 0) continue;
+        std::printf("%12llu %8zu %8.2f %8.2f %8.2f %8.2f\n",
+                    static_cast<unsigned long long>(b.max_size_bytes),
+                    b.count, b.avg, b.p50, b.p95, b.p99);
+      }
+    }
+    return 0;
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "fat_tree_fct: %s\n", e.what());
+    return 1;
   }
-  return 0;
 }

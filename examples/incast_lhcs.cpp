@@ -1,90 +1,76 @@
 // Incast + Last-Hop Congestion Speedup demo: N senders blast one receiver
 // (the classic last-hop congestion pattern, Observation 4). Shows how the
 // receiver-reported flow count N lets FNCC snap every sender straight to
-// B*RTT*beta/N, and compares against FNCC without LHCS and HPCC.
+// B*RTT*beta/N, and compares against FNCC without LHCS, HPCC and DCQCN.
 //
-//   ./incast_lhcs [num_senders]
+//   ./incast_lhcs [num_senders] [key=value ...]
+//
+// Defaults come from ExperimentSpec: a one-switch dumbbell (every sender's
+// last and only hop is the receiver link) running the `incast` workload,
+// four schemes as one parallel sweep.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
-#include "core/fncc.hpp"
-#include "harness/scenario.hpp"
-#include "net/topology.hpp"
+#include "exec/thread_pool.hpp"
+#include "harness/experiment_runner.hpp"
 #include "stats/percentile.hpp"
-#include "workload/traffic_gen.hpp"
-
-namespace {
-
-struct IncastResult {
-  double peak_queue_kb = 0.0;
-  double makespan_us = 0.0;  // all flows done
-  double jain = 0.0;
-  std::uint64_t pauses = 0;
-  std::uint64_t lhcs = 0;
-};
-
-IncastResult RunIncast(fncc::CcMode mode, int num_senders) {
-  using namespace fncc;
-  ScenarioConfig sc;
-  sc.mode = mode;
-
-  Simulator sim;
-  Rng rng(sc.seed);
-  // Dumbbell with one switch: every sender's last (and only) hop is the
-  // receiver link.
-  auto topo = BuildDumbbell(&sim, MakeHostFactory(sc), MakeSwitchConfig(sc),
-                            &rng, num_senders, /*switches=*/1, sc.link());
-  topo.net.ComputeRoutes(sc.ecmp_salt, sc.symmetric_ecmp);
-
-  const auto flows = GenerateIncast(topo.senders, topo.receiver,
-                                    /*size=*/2'000'000, /*start=*/0);
-  std::vector<SenderQp*> qps;
-  for (const auto& f : flows) qps.push_back(LaunchFlow(topo.net, sc, f));
-
-  EgressPort& cport = topo.congestion_switch()->port(topo.congestion_port());
-  double peak = 0.0;
-  Time done = 0;
-  while (sim.events_pending() > 0 && sim.Now() < 100 * kMillisecond) {
-    sim.RunUntil(sim.Now() + Microseconds(1));
-    peak = std::max(peak, static_cast<double>(cport.qlen_bytes()));
-    bool all = true;
-    for (auto* qp : qps) all &= qp->complete();
-    if (all) {
-      done = sim.Now();
-      break;
-    }
-  }
-
-  IncastResult r;
-  r.peak_queue_kb = peak / 1e3;
-  r.makespan_us = ToMicroseconds(done);
-  std::vector<double> fcts;
-  for (auto* qp : qps) fcts.push_back(ToMicroseconds(qp->fct()));
-  r.jain = JainFairnessIndex(fcts);
-  r.pauses = topo.net.TotalPauseFrames();
-  for (auto* qp : qps) {
-    if (const auto* f = dynamic_cast<const FnccAlgorithm*>(&qp->cc())) {
-      r.lhcs += f->lhcs_triggers();
-    }
-  }
-  return r;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace fncc;
-  const int n = argc > 1 ? std::atoi(argv[1]) : 8;
-  std::printf("%d-to-1 incast, 2 MB per sender, 100 Gbps\n\n", n);
-  std::printf("%-14s %14s %14s %8s %8s %8s\n", "scheme", "peak queue(KB)",
-              "makespan(us)", "Jain", "pauses", "LHCS");
-  for (CcMode mode : {CcMode::kFncc, CcMode::kFnccNoLhcs, CcMode::kHpcc,
-                      CcMode::kDcqcn}) {
-    const IncastResult r = RunIncast(mode, n);
-    std::printf("%-14s %14.1f %14.1f %8.3f %8llu %8llu\n", CcModeName(mode),
-                r.peak_queue_kb, r.makespan_us, r.jain,
-                static_cast<unsigned long long>(r.pauses),
-                static_cast<unsigned long long>(r.lhcs));
+
+  ExperimentSpec spec;
+  spec.name = "incast_lhcs";
+  spec.topology = "dumbbell";
+  spec.topo.num_senders = 8;
+  spec.topo.num_switches = 1;
+  spec.workload = "incast";  // default burst size: 2 MB per sender
+  spec.run.duration = 0;     // run until every flow completes
+  spec.run.max_sim_time = 100 * kMillisecond;
+  spec.sweep.modes = {CcMode::kFncc, CcMode::kFnccNoLhcs, CcMode::kHpcc,
+                      CcMode::kDcqcn};
+
+  try {
+    std::vector<std::string> overrides;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.find('=') == std::string::npos) {
+        spec.topo.num_senders = std::atoi(arg.c_str());
+      } else {
+        overrides.push_back(arg);
+      }
+    }
+    ApplySpecOverrides(spec, overrides);
+    ValidateSpec(spec);
+
+    std::printf("%d-to-1 incast, 2 MB per sender, %.0f Gbps\n\n",
+                spec.topo.num_senders, spec.scenario.link_gbps);
+    std::printf("%-14s %14s %14s %8s %8s %8s\n", "scheme", "peak queue(KB)",
+                "makespan(us)", "Jain", "pauses", "LHCS");
+
+    const std::vector<ExperimentSpec> points = ExpandSweep(spec);
+    const std::vector<ExperimentPointResult> sweep =
+        RunExperimentPoints(points, ThreadPool::DefaultThreadCount());
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const ExperimentPointResult& r = sweep[i];
+      Time makespan = 0;
+      std::vector<double> fcts;
+      for (const FlowResult& f : r.fct.results()) {
+        makespan = std::max(makespan, f.spec.start_time + f.fct);
+        fcts.push_back(ToMicroseconds(f.fct));
+      }
+      std::printf("%-14s %14.1f %14.1f %8.3f %8llu %8llu\n",
+                  CcModeName(points[i].scenario.mode),
+                  r.queue_bytes.Max() / 1e3, ToMicroseconds(makespan),
+                  JainFairnessIndex(fcts),
+                  static_cast<unsigned long long>(r.pause_frames),
+                  static_cast<unsigned long long>(r.lhcs_triggers));
+    }
+    return 0;
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "incast_lhcs: %s\n", e.what());
+    return 1;
   }
-  return 0;
 }

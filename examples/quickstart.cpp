@@ -1,73 +1,71 @@
 // Quickstart: build the paper's Fig. 10 dumbbell, run two competing elephant
 // flows under FNCC, and print the congestion-point queue and per-flow rates.
 //
-//   ./quickstart [FNCC|HPCC|DCQCN|RoCC|Timely|Swift] [out.csv]
+//   ./quickstart [MODE] [key=value ...]
 //
-// With a second argument, the full queue/rate/utilization time series are
-// written as plotting-ready CSV.
+//   ./quickstart HPCC
+//   ./quickstart scenario.mode=Swift output.timeseries_csv=out.csv
+//
+// Every default comes from ExperimentSpec (the declarative layer behind
+// fncc_run); arguments are spec overrides, plus a bare CC-mode name as the
+// first positional for convenience. Setting output.timeseries_csv writes
+// the full queue/rate/utilization series as plotting-ready CSV.
 #include <cstdio>
-#include <cstring>
 #include <string>
+#include <vector>
 
-#include "harness/dumbbell_runner.hpp"
-#include "stats/csv.hpp"
-
-namespace {
-
-fncc::CcMode ParseMode(const char* arg) {
-  using fncc::CcMode;
-  const std::string s = arg;
-  if (s == "HPCC") return CcMode::kHpcc;
-  if (s == "DCQCN") return CcMode::kDcqcn;
-  if (s == "RoCC") return CcMode::kRocc;
-  if (s == "Timely") return CcMode::kTimely;
-  if (s == "FNCC-noLHCS") return CcMode::kFnccNoLhcs;
-  if (s == "Swift") return CcMode::kSwift;
-  return CcMode::kFncc;
-}
-
-}  // namespace
+#include "harness/experiment_runner.hpp"
 
 int main(int argc, char** argv) {
   using namespace fncc;
 
-  MicroRunConfig config;
-  config.scenario.mode = argc > 1 ? ParseMode(argv[1]) : CcMode::kFncc;
-  config.num_senders = 2;
-  config.num_switches = 3;
-  // flow0 from t=0; flow1 joins at 300 us (§5.1).
-  config.flows = {{0, 0}, {1, Microseconds(300)}};
-  config.duration = Microseconds(800);
+  ExperimentSpec spec;  // dumbbell + two elephants (flow1 joins at 300 us)
+  spec.name = "quickstart";
+  spec.run.duration = Microseconds(800);
 
-  std::printf("FNCC quickstart: 2 elephants on the Fig. 10 dumbbell (%s)\n",
-              CcModeName(config.scenario.mode));
-  const MicroRunResult result = RunDumbbell(config);
+  try {
+    std::vector<std::string> overrides;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      CcMode mode;
+      if (arg.find('=') == std::string::npos && ParseCcMode(arg, &mode)) {
+        spec.scenario.mode = mode;
+      } else {
+        overrides.push_back(arg);
+      }
+    }
+    ApplySpecOverrides(spec, overrides);
+    ValidateSpec(spec);
 
-  std::printf("\n%10s %12s %12s %12s %12s\n", "time(us)", "queue(KB)",
-              "flow0(Gbps)", "flow1(Gbps)", "util");
-  for (double t_us = 250; t_us <= 700; t_us += 25) {
-    const Time t = Microseconds(t_us);
-    std::printf("%10.0f %12.1f %12.1f %12.1f %12.2f\n", t_us,
-                result.queue_bytes.ValueAt(t) / 1e3,
-                result.flows[0].pacing_gbps.ValueAt(t),
-                result.flows[1].pacing_gbps.ValueAt(t),
-                result.utilization.ValueAt(t));
+    std::printf("FNCC quickstart: 2 elephants on the Fig. 10 dumbbell (%s)\n",
+                CcModeName(spec.scenario.mode));
+    const ExperimentPointResult result = RunExperimentPoint(spec);
+
+    std::printf("\n%10s %12s %12s %12s %12s\n", "time(us)", "queue(KB)",
+                "flow0(Gbps)", "flow1(Gbps)", "util");
+    for (double t_us = 250; t_us <= 700; t_us += 25) {
+      const Time t = Microseconds(t_us);
+      std::printf("%10.0f %12.1f %12.1f %12.1f %12.2f\n", t_us,
+                  result.queue_bytes.ValueAt(t) / 1e3,
+                  result.flows[0].pacing_gbps.ValueAt(t),
+                  result.flows[1].pacing_gbps.ValueAt(t),
+                  result.utilization.ValueAt(t));
+    }
+    std::printf("\npeak queue: %.1f KB   pause frames: %llu   drops: %llu   "
+                "events: %llu\n",
+                result.queue_bytes.Max() / 1e3,
+                static_cast<unsigned long long>(result.pause_frames),
+                static_cast<unsigned long long>(result.drops),
+                static_cast<unsigned long long>(result.events_processed));
+
+    const ExperimentArtifacts artifacts = WriteExperimentOutputs(
+        spec, {spec}, {result}, /*threads=*/1, result.wall_time_seconds);
+    for (const std::string& file : artifacts.files) {
+      std::printf("wrote %s\n", file.c_str());
+    }
+    return 0;
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 1;
   }
-  std::printf("\npeak queue: %.1f KB   pause frames: %llu   drops: %llu   "
-              "events: %llu\n",
-              result.queue_bytes.Max() / 1e3,
-              static_cast<unsigned long long>(result.pause_frames),
-              static_cast<unsigned long long>(result.drops),
-              static_cast<unsigned long long>(result.events_processed));
-
-  if (argc > 2) {
-    const bool ok = WriteTimeSeriesCsv(
-        argv[2], {{"queue_bytes", &result.queue_bytes},
-                  {"utilization", &result.utilization},
-                  {"flow0_gbps", &result.flows[0].pacing_gbps},
-                  {"flow1_gbps", &result.flows[1].pacing_gbps}});
-    std::printf("%s %s\n", ok ? "wrote" : "FAILED to write", argv[2]);
-    return ok ? 0 : 1;
-  }
-  return 0;
 }

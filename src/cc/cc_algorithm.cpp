@@ -22,4 +22,14 @@ const char* CcModeName(CcMode mode) {
   return "?";
 }
 
+bool ParseCcMode(const std::string& name, CcMode* mode) {
+  for (CcMode m : kAllCcModes) {
+    if (name == CcModeName(m)) {
+      *mode = m;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace fncc

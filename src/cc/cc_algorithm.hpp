@@ -26,6 +26,17 @@ enum class CcMode {
 
 [[nodiscard]] const char* CcModeName(CcMode mode);
 
+/// Every implemented algorithm, in the canonical comparison order the
+/// examples and sweeps use.
+inline constexpr CcMode kAllCcModes[] = {
+    CcMode::kFncc, CcMode::kFnccNoLhcs, CcMode::kHpcc,  CcMode::kDcqcn,
+    CcMode::kRocc, CcMode::kTimely,     CcMode::kSwift,
+};
+
+/// Inverse of CcModeName (exact match). Returns false on an unknown name,
+/// leaving *mode untouched.
+[[nodiscard]] bool ParseCcMode(const std::string& name, CcMode* mode);
+
 struct DcqcnParams {
   double g = 1.0 / 256.0;
   Time alpha_timer = 55 * kMicrosecond;

@@ -1,149 +1,78 @@
 #include "harness/dumbbell_runner.hpp"
 
-#include <memory>
-
-#include "core/fncc.hpp"
 #include "exec/sweep_runner.hpp"
-#include "exec/wall_timer.hpp"
-#include "net/packet_pool.hpp"
 
 namespace fncc {
 
 namespace {
 
-/// Everything common to the dumbbell and chain-merge runs once the
-/// topology exists: launch flows, attach monitors, run, reduce.
-MicroRunResult RunMicro(const MicroRunConfig& config, Network& net,
-                        Simulator& sim, Switch* congestion_switch,
-                        int congestion_port,
-                        const std::vector<NodeId>& sender_ids,
-                        NodeId receiver_id) {
-  const ScenarioConfig& sc = config.scenario;
-  MicroRunResult result;
-  result.flows.resize(config.flows.size());
+MicroRunResult FromPoint(ExperimentPointResult&& r) {
+  MicroRunResult out;
+  out.queue_bytes = std::move(r.queue_bytes);
+  out.utilization = std::move(r.utilization);
+  out.flows = std::move(r.flows);
+  out.pause_frames = r.pause_frames;
+  out.resume_frames = r.resume_frames;
+  out.drops = r.drops;
+  out.out_of_order = r.out_of_order;
+  out.asymmetric_acks = r.asymmetric_acks;
+  out.lhcs_triggers = r.lhcs_triggers;
+  out.events_processed = r.events_processed;
+  out.pool_packets_created = r.pool_packets_created;
+  out.pool_packets_acquired = r.pool_packets_acquired;
+  out.wall_time_seconds = r.wall_time_seconds;
+  return out;
+}
 
-  // Auto flow budget: line rate for the entire duration, rounded up.
-  const std::uint64_t flow_bytes =
-      config.flow_bytes > 0
-          ? config.flow_bytes
-          : static_cast<std::uint64_t>(
-                BytesPerSecond(sc.link_gbps) * ToSeconds(config.duration)) +
-                10 * sc.mtu_bytes;
-
-  std::vector<SenderQp*> qps;
-  for (std::size_t i = 0; i < config.flows.size(); ++i) {
-    const LongFlow& lf = config.flows[i];
-    FlowSpec spec;
-    // spec.id is minted by the flow table at launch (registration order =
-    // launch order, so flow i still gets id i+1).
-    spec.src = sender_ids.at(lf.sender_index);
-    spec.dst = receiver_id;
-    spec.sport = static_cast<std::uint16_t>(10'000 + 2 * i);
-    spec.dport = static_cast<std::uint16_t>(10'001 + 2 * i);
-    spec.size_bytes = flow_bytes;
-    spec.start_time = lf.start;
-    SenderQp* qp = LaunchFlow(net, sc, spec);
-    qps.push_back(qp);
-    if (lf.stop < kTimeInfinity) {
-      sim.ScheduleAt(lf.stop, [qp] { qp->Abort(); });
-    }
-  }
-
-  // Monitors. Their lifetimes must cover sim.RunUntil below.
-  EgressPort& cport = congestion_switch->port(congestion_port);
-  PeriodicSampler queue_sampler(
-      &sim, config.queue_sample_interval,
-      [&cport] { return static_cast<double>(cport.qlen_bytes()); },
-      &result.queue_bytes);
-
-  auto util_meter = std::make_shared<RateMeter>();
-  PeriodicSampler util_sampler(
-      &sim, config.util_sample_interval,
-      [&cport, util_meter, &sim, &sc] {
-        return util_meter->SampleGbps(sim.Now(), cport.tx_bytes()) /
-               sc.link_gbps;
-      },
-      &result.utilization);
-
-  std::vector<std::unique_ptr<PeriodicSampler>> rate_samplers;
-  std::vector<std::shared_ptr<RateMeter>> goodput_meters;
-  for (std::size_t i = 0; i < qps.size(); ++i) {
-    SenderQp* qp = qps[i];
-    rate_samplers.push_back(std::make_unique<PeriodicSampler>(
-        &sim, config.rate_sample_interval,
-        [qp] { return qp->complete() ? 0.0 : qp->pacing_rate_gbps(); },
-        &result.flows[i].pacing_gbps));
-    auto meter = std::make_shared<RateMeter>();
-    goodput_meters.push_back(meter);
-    rate_samplers.push_back(std::make_unique<PeriodicSampler>(
-        &sim, config.rate_sample_interval,
-        [qp, meter, &sim] { return meter->SampleGbps(sim.Now(), qp->snd_una()); },
-        &result.flows[i].goodput_gbps));
-  }
-
-  sim.RunUntil(config.duration);
-
-  for (Switch* sw : net.switches()) {
-    result.pause_frames += sw->pause_frames_sent();
-    result.resume_frames += sw->resume_frames_sent();
-  }
-  result.drops = net.TotalDrops();
-  for (Endpoint* ep : net.hosts()) {
-    result.out_of_order += static_cast<Host*>(ep)->out_of_order_packets();
-  }
-  for (SenderQp* qp : qps) {
-    result.asymmetric_acks += qp->asymmetric_acks();
-    if (const auto* fncc = dynamic_cast<const FnccAlgorithm*>(&qp->cc())) {
-      result.lhcs_triggers += fncc->lhcs_triggers();
-    }
-  }
-  result.events_processed = sim.events_processed();
-  result.pool_packets_created = sim.packet_pool().total_created();
-  result.pool_packets_acquired = sim.packet_pool().acquires();
-  return result;
+MicroRunResult RunMicroPoint(const MicroRunConfig& config, int merge_switch) {
+  const ExperimentSpec spec = MicroSpec(config, merge_switch);
+  // Trusted programmatic path: params come straight from the config (the
+  // spec's cdf name is irrelevant for elephants).
+  return FromPoint(RunResolvedPoint(spec, ResolveTopologyParams(spec),
+                                    ResolveWorkloadParams(spec)));
 }
 
 }  // namespace
 
+ExperimentSpec MicroSpec(const MicroRunConfig& config, int merge_switch) {
+  ExperimentSpec spec;
+  if (merge_switch == kDumbbellPoint) {
+    spec.topology = "dumbbell";
+  } else {
+    spec.topology = "chain_merge";
+    spec.topo.merge_switch = merge_switch;
+  }
+  spec.topo.num_senders = config.num_senders;
+  spec.topo.num_switches = config.num_switches;
+  spec.workload = "elephants";
+  spec.wl.long_flows = config.flows;
+  spec.wl.size_bytes = config.flow_bytes;
+  spec.scenario = config.scenario;
+  spec.run.duration = config.duration;
+  spec.run.queue_sample_interval = config.queue_sample_interval;
+  spec.run.rate_sample_interval = config.rate_sample_interval;
+  spec.run.util_sample_interval = config.util_sample_interval;
+  spec.run.monitor = true;
+  return spec;
+}
+
 MicroRunResult RunDumbbell(const MicroRunConfig& config) {
-  Simulator sim;
-  Rng rng(config.scenario.seed);
-  DumbbellTopology topo = BuildDumbbell(
-      &sim, MakeHostFactory(config.scenario),
-      MakeSwitchConfig(config.scenario), &rng, config.num_senders,
-      config.num_switches, config.scenario.link());
-  topo.net.ComputeRoutes(config.scenario.ecmp_salt,
-                         config.scenario.symmetric_ecmp);
-  return RunMicro(config, topo.net, sim, topo.congestion_switch(),
-                  topo.congestion_port(), topo.senders, topo.receiver);
+  return RunMicroPoint(config, kDumbbellPoint);
 }
 
 MicroRunResult RunChainMerge(const MicroRunConfig& config, int merge_switch) {
-  Simulator sim;
-  Rng rng(config.scenario.seed);
-  ChainMergeTopology topo = BuildChainMerge(
-      &sim, MakeHostFactory(config.scenario),
-      MakeSwitchConfig(config.scenario), &rng, config.num_switches,
-      merge_switch, config.scenario.link());
-  topo.net.ComputeRoutes(config.scenario.ecmp_salt,
-                         config.scenario.symmetric_ecmp);
-  const std::vector<NodeId> senders{topo.sender0, topo.sender1};
-  return RunMicro(config, topo.net, sim, topo.congestion_switch(),
-                  topo.congestion_port(), senders, topo.receiver);
+  return RunMicroPoint(config, merge_switch);
 }
 
 std::vector<MicroRunResult> RunMicroSweep(
     const std::vector<MicroSweepPoint>& points, int num_threads) {
   SweepRunner runner(num_threads);
+  // wall_time_seconds comes from the engine (RunResolvedPoint).
   return runner.Map<MicroRunResult>(points.size(), [&](std::size_t i) {
     const MicroSweepPoint& point = points[i];
-    const WallTimer timer;
-    MicroRunResult result =
-        point.merge_switch == kDumbbellPoint
-            ? RunDumbbell(point.config)
-            : RunChainMerge(point.config, point.merge_switch);
-    result.wall_time_seconds = timer.Seconds();
-    return result;
+    return point.merge_switch == kDumbbellPoint
+               ? RunDumbbell(point.config)
+               : RunChainMerge(point.config, point.merge_switch);
   });
 }
 

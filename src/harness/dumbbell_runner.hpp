@@ -1,27 +1,31 @@
 // Runners for the micro-benchmark topologies: the Fig. 10 dumbbell
 // (Figs. 1, 3, 9, 13e) and the Fig. 11 merge-at-hop chains (Fig. 13a-d).
 // Each run produces the time series the corresponding figure plots.
+//
+// These are thin adapters now: a MicroRunConfig maps onto a declarative
+// ExperimentSpec (topology dumbbell/chain_merge + workload elephants) and
+// executes on the unified engine in harness/experiment_runner.hpp — the
+// same code path fncc_run drives from spec files.
 #pragma once
 
 #include <vector>
 
+#include "harness/experiment_runner.hpp"
 #include "harness/scenario.hpp"
 #include "stats/timeseries.hpp"
+#include "workload/traffic_gen.hpp"
 
 namespace fncc {
-
-/// One long-lived flow in a micro-benchmark. `stop` < infinity aborts the
-/// flow at that time (fairness experiment); size is effectively unbounded.
-struct LongFlow {
-  int sender_index = 0;
-  Time start = 0;
-  Time stop = kTimeInfinity;
-};
 
 struct MicroRunConfig {
   ScenarioConfig scenario;
   int num_senders = 2;
   int num_switches = 3;  // M in Fig. 10
+  /// Long-lived flows (LongFlow lives in workload/traffic_gen.hpp — the
+  /// `elephants` workload's native input). Deliberate behavior change from
+  /// the pre-registry runner: an EMPTY list no longer means "no flows" —
+  /// the elephants workload substitutes its default two-elephant pattern
+  /// (flow1 joining at 300 us). Pass explicit flows for anything else.
   std::vector<LongFlow> flows;
   Time duration = Microseconds(1300);
 
@@ -31,11 +35,6 @@ struct MicroRunConfig {
 
   /// Per-flow byte budget; large enough to outlast `duration` at line rate.
   std::uint64_t flow_bytes = 0;  // 0 = auto from duration
-};
-
-struct FlowSeries {
-  TimeSeries pacing_gbps;   // the CC algorithm's instantaneous rate
-  TimeSeries goodput_gbps;  // acknowledged bytes per sample interval
 };
 
 struct MicroRunResult {
@@ -81,6 +80,11 @@ struct MicroSweepPoint {
   MicroRunConfig config;
   int merge_switch = kDumbbellPoint;
 };
+
+/// The declarative equivalent of a MicroSweepPoint — what the adapter
+/// feeds the unified engine. Exposed so callers can migrate piecemeal.
+[[nodiscard]] ExperimentSpec MicroSpec(const MicroRunConfig& config,
+                                       int merge_switch = kDumbbellPoint);
 
 /// Runs every point as an independent job on a SweepRunner (exec/): one
 /// Simulator + PacketPool + seeded RNG per point, results returned in

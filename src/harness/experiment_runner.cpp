@@ -1,0 +1,332 @@
+#include "harness/experiment_runner.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+
+#include "core/fncc.hpp"
+#include "exec/sweep_runner.hpp"
+#include "exec/wall_timer.hpp"
+#include "net/packet_pool.hpp"
+#include "sim/log.hpp"
+#include "stats/csv.hpp"
+
+namespace fncc {
+
+ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
+                                       const TopologyParams& topo_params,
+                                       const WorkloadParams& wl_params) {
+  const WallTimer timer;
+  const ScenarioConfig& sc = point.scenario;
+  ExperimentPointResult result;
+  result.label = point.label;
+
+  Simulator sim;
+  Rng rng(sc.seed);
+  BuiltTopology topo =
+      TopologyRegistry::Build(point.topology, &sim, MakeHostFactory(sc),
+                              MakeSwitchConfig(sc), &rng, topo_params);
+  topo.net.ComputeRoutes(sc.ecmp_salt, sc.symmetric_ecmp);
+  Network& net = topo.net;
+
+  WorkloadHosts roles{topo.hosts, topo.senders, topo.receiver};
+  std::vector<GeneratedFlow> flows =
+      WorkloadRegistry::Generate(point.workload, rng, roles, wl_params);
+  result.flows_total = flows.size();
+
+  // Completion hook before launch (records only — schedules nothing, so
+  // the event stream is untouched).
+  for (Endpoint* ep : net.hosts()) {
+    auto* host = static_cast<Host*>(ep);
+    host->on_flow_complete = [&result](const SenderQp& qp) {
+      result.fct.Record(qp.spec(), qp.fct());
+      ++result.flows_completed;
+      result.retransmits += qp.retransmit_events();
+    };
+  }
+
+  // Unbounded flows (size 0): line rate for the entire duration, rounded
+  // up — large enough to outlast the run.
+  const std::uint64_t auto_budget =
+      point.run.duration > 0
+          ? static_cast<std::uint64_t>(BytesPerSecond(sc.link_gbps) *
+                                       ToSeconds(point.run.duration)) +
+                10 * sc.mtu_bytes
+          : 0;
+
+  std::vector<SenderQp*> qps;
+  qps.reserve(flows.size());
+  for (GeneratedFlow& gf : flows) {
+    if (gf.spec.size_bytes == 0) gf.spec.size_bytes = auto_budget;
+    SenderQp* qp = LaunchFlow(net, sc, gf.spec);
+    qps.push_back(qp);
+    if (gf.stop < kTimeInfinity) {
+      sim.ScheduleAt(gf.stop, [qp] { qp->Abort(); });
+    }
+  }
+
+  // Monitors; their lifetimes must cover the run loop below. Creation
+  // order (queue, utilization, then per-flow pacing/goodput pairs) is the
+  // historical micro-runner order — it fixes the (time, seq) order of
+  // simultaneous sampler events and therefore the exact event stream.
+  const bool monitored = point.run.monitor && topo.has_congestion_point();
+  std::unique_ptr<PeriodicSampler> queue_sampler;
+  std::unique_ptr<PeriodicSampler> util_sampler;
+  std::shared_ptr<RateMeter> util_meter;
+  std::vector<std::unique_ptr<PeriodicSampler>> rate_samplers;
+  std::vector<std::shared_ptr<RateMeter>> goodput_meters;
+  // Sized whether or not the monitors run, so callers can index per-flow
+  // series unconditionally (empty series when unmonitored).
+  result.flows.resize(flows.size());
+  if (monitored) {
+    EgressPort* cport =
+        &topo.congestion_switch()->port(topo.congestion_port);
+    queue_sampler = std::make_unique<PeriodicSampler>(
+        &sim, point.run.queue_sample_interval,
+        [cport] { return static_cast<double>(cport->qlen_bytes()); },
+        &result.queue_bytes);
+    util_meter = std::make_shared<RateMeter>();
+    util_sampler = std::make_unique<PeriodicSampler>(
+        &sim, point.run.util_sample_interval,
+        [cport, util_meter, &sim, link_gbps = sc.link_gbps] {
+          return util_meter->SampleGbps(sim.Now(), cport->tx_bytes()) /
+                 link_gbps;
+        },
+        &result.utilization);
+    for (std::size_t i = 0; i < qps.size(); ++i) {
+      SenderQp* qp = qps[i];
+      rate_samplers.push_back(std::make_unique<PeriodicSampler>(
+          &sim, point.run.rate_sample_interval,
+          [qp] { return qp->complete() ? 0.0 : qp->pacing_rate_gbps(); },
+          &result.flows[i].pacing_gbps));
+      auto meter = std::make_shared<RateMeter>();
+      goodput_meters.push_back(meter);
+      rate_samplers.push_back(std::make_unique<PeriodicSampler>(
+          &sim, point.run.rate_sample_interval,
+          [qp, meter, &sim] {
+            return meter->SampleGbps(sim.Now(), qp->snd_una());
+          },
+          &result.flows[i].goodput_gbps));
+    }
+  }
+
+  if (point.run.duration > 0) {
+    sim.RunUntil(point.run.duration);
+  } else {
+    // Run in chunks until every flow finishes (or the wall is hit — only
+    // possible with a broken configuration, thanks to the RTO).
+    const Time chunk = 2 * kMillisecond;
+    while (result.flows_completed < result.flows_total &&
+           sim.Now() < point.run.max_sim_time) {
+      if (sim.events_pending() == 0) break;
+      sim.RunUntil(sim.Now() + chunk);
+    }
+    if (result.flows_completed < result.flows_total) {
+      Log(LogLevel::kWarn, sim.Now(), "experiment run incomplete: %zu/%zu flows",
+          result.flows_completed, result.flows_total);
+    }
+  }
+
+  for (Switch* sw : net.switches()) {
+    result.pause_frames += sw->pause_frames_sent();
+    result.resume_frames += sw->resume_frames_sent();
+  }
+  result.drops = net.TotalDrops();
+  for (Endpoint* ep : net.hosts()) {
+    result.out_of_order += static_cast<Host*>(ep)->out_of_order_packets();
+  }
+  // asymmetric_acks sums over *every* QP. SenderQp freezes its counters at
+  // completion, so for completed flows this equals the value the legacy
+  // fat-tree runner captured in its completion hook; incomplete (timed-out
+  // or aborted) flows are additionally counted, where the old hook-only
+  // accounting silently dropped them.
+  for (SenderQp* qp : qps) {
+    result.asymmetric_acks += qp->asymmetric_acks();
+    if (const auto* fncc = dynamic_cast<const FnccAlgorithm*>(&qp->cc())) {
+      result.lhcs_triggers += fncc->lhcs_triggers();
+    }
+  }
+  result.events_processed = sim.events_processed();
+  result.pool_packets_created = sim.packet_pool().total_created();
+  result.pool_packets_acquired = sim.packet_pool().acquires();
+  result.wall_time_seconds = timer.Seconds();
+  return result;
+}
+
+ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point) {
+  if (!point.sweep.empty()) {
+    throw SpecError(
+        "spec still has sweep axes (" + std::to_string(point.sweep.size()) +
+        " points); expand with ExpandSweep/RunExperiment instead of running "
+        "it as a single point");
+  }
+  ValidateSpec(point);
+  return RunResolvedPoint(point, ResolveTopologyParams(point),
+                          ResolveWorkloadParams(point));
+}
+
+std::vector<ExperimentPointResult> RunExperimentPoints(
+    const std::vector<ExperimentSpec>& points, int num_threads) {
+  SweepRunner runner(num_threads);
+  // wall_time_seconds is stamped inside RunResolvedPoint — one source of
+  // truth whether a point runs through a sweep or standalone.
+  return runner.Map<ExperimentPointResult>(
+      points.size(), [&](std::size_t i) { return RunExperimentPoint(points[i]); });
+}
+
+std::vector<ExperimentPointResult> RunExperiment(const ExperimentSpec& spec,
+                                                 int num_threads) {
+  return RunExperimentPoints(ExpandSweep(spec), num_threads);
+}
+
+// ---------------------------------------------------------------- outputs
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// fct.csv + label "FNCC-seed2" -> fct.FNCC-seed2.csv.
+std::string InsertTag(const std::string& filename, const std::string& tag) {
+  if (tag.empty()) return filename;
+  const std::size_t dot = filename.rfind('.');
+  if (dot == std::string::npos || dot == 0) return filename + "." + tag;
+  return filename.substr(0, dot) + "." + tag + filename.substr(dot);
+}
+
+}  // namespace
+
+ExperimentArtifacts WriteExperimentOutputs(
+    const ExperimentSpec& spec, const std::vector<ExperimentSpec>& points,
+    const std::vector<ExperimentPointResult>& results, int threads,
+    double wall_time_seconds) {
+  ExperimentArtifacts artifacts;
+  const std::filesystem::path dir =
+      spec.output.dir.empty() ? "." : spec.output.dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw SpecError("cannot create output.dir '" + dir.string() + "': " +
+                    ec.message());
+  }
+
+  // Per-point artifact tags: the sweep label, made unique if a sweep lists
+  // the same axis value twice; single points use the plain filename.
+  std::vector<std::string> tags(results.size());
+  std::set<std::string> used;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results.size() == 1) break;
+    std::string tag = results[i].label;
+    if (tag.empty()) tag = "p";
+    if (results[i].label.empty()) tag += std::to_string(i);
+    if (!used.insert(tag).second) {
+      tag += '-';
+      tag += std::to_string(i);
+      used.insert(tag);
+    }
+    tags[i] = tag;
+  }
+
+  std::vector<std::string> fct_files(results.size());
+  std::vector<std::string> series_files(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (!spec.output.fct_csv.empty()) {
+      const std::string path =
+          (dir / InsertTag(spec.output.fct_csv, tags[i])).string();
+      if (!WriteFctCsv(path, results[i].fct)) {
+        throw SpecError("failed to write " + path);
+      }
+      fct_files[i] = path;
+      artifacts.files.push_back(path);
+    }
+    if (!spec.output.timeseries_csv.empty()) {
+      std::vector<std::pair<std::string, const TimeSeries*>> series;
+      series.emplace_back("queue_bytes", &results[i].queue_bytes);
+      series.emplace_back("utilization", &results[i].utilization);
+      for (std::size_t f = 0; f < results[i].flows.size(); ++f) {
+        series.emplace_back("flow" + std::to_string(f) + "_pacing_gbps",
+                            &results[i].flows[f].pacing_gbps);
+        series.emplace_back("flow" + std::to_string(f) + "_goodput_gbps",
+                            &results[i].flows[f].goodput_gbps);
+      }
+      const std::string path =
+          (dir / InsertTag(spec.output.timeseries_csv, tags[i])).string();
+      if (!WriteTimeSeriesCsv(path, series)) {
+        throw SpecError("failed to write " + path);
+      }
+      series_files[i] = path;
+      artifacts.files.push_back(path);
+    }
+  }
+
+  if (!spec.output.manifest.empty()) {
+    const std::string path = (dir / spec.output.manifest).string();
+    std::ofstream out(path);
+    if (!out) throw SpecError("failed to write " + path);
+    out << "{\n";
+    out << "  \"name\": \"" << JsonEscape(spec.name) << "\",\n";
+    out << "  \"threads\": " << threads << ",\n";
+    out << "  \"wall_time_seconds\": " << wall_time_seconds << ",\n";
+    out << "  \"spec\": \"" << JsonEscape(SpecToText(spec)) << "\",\n";
+    out << "  \"points\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const ExperimentPointResult& r = results[i];
+      out << "    {\"index\": " << i << ", \"label\": \""
+          << JsonEscape(r.label) << "\",\n";
+      out << "     \"topology\": \"" << JsonEscape(points[i].topology)
+          << "\", \"workload\": \"" << JsonEscape(points[i].workload)
+          << "\",\n";
+      out << "     \"mode\": \"" << CcModeName(points[i].scenario.mode)
+          << "\", \"seed\": " << points[i].scenario.seed << ",\n";
+      out << "     \"files\": {";
+      bool first = true;
+      if (!fct_files[i].empty()) {
+        out << "\"fct\": \"" << JsonEscape(fct_files[i]) << "\"";
+        first = false;
+      }
+      if (!series_files[i].empty()) {
+        out << (first ? "" : ", ") << "\"timeseries\": \""
+            << JsonEscape(series_files[i]) << "\"";
+      }
+      out << "},\n";
+      out << "     \"flows_completed\": " << r.flows_completed
+          << ", \"flows_total\": " << r.flows_total << ",\n";
+      out << "     \"pause_frames\": " << r.pause_frames
+          << ", \"drops\": " << r.drops
+          << ", \"retransmits\": " << r.retransmits
+          << ", \"out_of_order\": " << r.out_of_order << ",\n";
+      out << "     \"asymmetric_acks\": " << r.asymmetric_acks
+          << ", \"lhcs_triggers\": " << r.lhcs_triggers
+          << ", \"events_processed\": " << r.events_processed << ",\n";
+      out << "     \"wall_time_seconds\": " << r.wall_time_seconds << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    if (!out.good()) throw SpecError("failed to write " + path);
+    artifacts.files.push_back(path);
+  }
+  return artifacts;
+}
+
+}  // namespace fncc

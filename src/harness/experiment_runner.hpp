@@ -1,0 +1,103 @@
+// The unified experiment engine behind fncc_run and every harness batch
+// API. One code path executes any registered topology x workload point:
+// build fabric (registry) -> generate flows (registry) -> launch in order
+// -> optional congestion-point monitors -> run -> collect FCTs + counters.
+// It subsumes the old dumbbell/chain-merge micro runner (duration-bounded
+// elephants with samplers) and the fat-tree runner (run-to-completion flow
+// lists) — those survive as thin adapters over RunResolvedPoint, so their
+// outputs are unchanged.
+//
+// Determinism: a point is a pure function of its spec. RunExperiment fans
+// expanded points over exec/SweepRunner with one Simulator + PacketPool +
+// seeded RNG per point, so results are bit-identical at every thread count
+// (wall_time_seconds excepted — host telemetry).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment_spec.hpp"
+#include "stats/fct.hpp"
+#include "stats/timeseries.hpp"
+
+namespace fncc {
+
+/// Per-flow rate series, sampled while monitoring: the CC algorithm's
+/// instantaneous pacing rate and acknowledged goodput.
+struct FlowSeries {
+  TimeSeries pacing_gbps;
+  TimeSeries goodput_gbps;
+};
+
+/// Everything one executed point produces. FCT records are always
+/// collected; the time series fill only when the topology exposes a
+/// congestion point and run.monitor is on.
+struct ExperimentPointResult {
+  std::string label;  // from ExperimentSpec::label ("" for single points)
+
+  FctRecorder fct;
+  std::size_t flows_completed = 0;
+  std::size_t flows_total = 0;
+
+  TimeSeries queue_bytes;   // congestion-point egress queue
+  TimeSeries utilization;   // congestion-point link utilization, 0..1
+  std::vector<FlowSeries> flows;  // indexed like the generated flow list
+
+  std::uint64_t pause_frames = 0;
+  std::uint64_t resume_frames = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t out_of_order = 0;  // receiver-side sequence gaps
+  std::uint64_t asymmetric_acks = 0;  // Fig. 7 pathID mismatches
+  std::uint64_t lhcs_triggers = 0;  // summed over FNCC senders
+  std::uint64_t events_processed = 0;
+
+  // Packet-pool telemetry: see MicroRunResult's original comment — created
+  // is the warm-up high-water mark; acquired - created are allocation-free
+  // packet services.
+  std::uint64_t pool_packets_created = 0;
+  std::uint64_t pool_packets_acquired = 0;
+
+  /// Host wall-clock seconds (telemetry only; excluded from the
+  /// determinism guarantee and equivalence comparisons).
+  double wall_time_seconds = 0.0;
+};
+
+/// Validates `point` (which must have no sweep axes left) and runs it in
+/// the calling thread.
+ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point);
+
+/// The trusted core: runs `point` with already-resolved topology/workload
+/// params (no validation, no cdf-name lookup). The adapters the legacy
+/// harness APIs are built on use this to inject programmatic params (e.g.
+/// a custom SizeCdf object).
+ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
+                                       const TopologyParams& topo_params,
+                                       const WorkloadParams& wl_params);
+
+/// Runs every point as an independent SweepRunner job (per-job Simulator,
+/// PacketPool and RNG), results in point order. num_threads = 0 picks
+/// FNCC_THREADS / hardware concurrency; 1 is the serial reference path.
+std::vector<ExperimentPointResult> RunExperimentPoints(
+    const std::vector<ExperimentSpec>& points, int num_threads = 0);
+
+/// ExpandSweep(spec) + RunExperimentPoints.
+std::vector<ExperimentPointResult> RunExperiment(const ExperimentSpec& spec,
+                                                 int num_threads = 0);
+
+/// Files written by WriteExperimentOutputs, in emission order.
+struct ExperimentArtifacts {
+  std::vector<std::string> files;
+};
+
+/// Emits the artifacts spec.output asks for: per-point FCT CSV and
+/// time-series CSV (multi-point sweeps insert the point label before the
+/// extension), plus a run-manifest JSON recording the resolved spec text,
+/// thread count, per-point counters, wall times and file map. Directories
+/// are created as needed. Throws SpecError on I/O failure.
+ExperimentArtifacts WriteExperimentOutputs(
+    const ExperimentSpec& spec, const std::vector<ExperimentSpec>& points,
+    const std::vector<ExperimentPointResult>& results, int threads,
+    double wall_time_seconds);
+
+}  // namespace fncc

@@ -1,72 +1,47 @@
 #include "harness/fat_tree_runner.hpp"
 
 #include "exec/sweep_runner.hpp"
-#include "exec/wall_timer.hpp"
-#include "sim/log.hpp"
 
 namespace fncc {
 
 FatTreeRunResult RunFatTree(const FatTreeRunConfig& config) {
-  const ScenarioConfig& sc = config.scenario;
-  Simulator sim;
-  Rng rng(sc.seed);
+  ExperimentSpec spec;
+  spec.topology = "fat_tree";
+  spec.topo.k = config.k;
+  spec.workload = "poisson";
+  spec.wl.load = config.load;
+  spec.wl.num_flows = config.num_flows;
+  spec.scenario = config.scenario;
+  spec.run.duration = 0;  // run until every flow completes
+  spec.run.max_sim_time = config.max_sim_time;
 
-  FatTreeTopology topo =
-      BuildFatTree(&sim, MakeHostFactory(sc), MakeSwitchConfig(sc), &rng,
-                   config.k, sc.link());
-  topo.net.ComputeRoutes(sc.ecmp_salt, sc.symmetric_ecmp);
-  Network& net = topo.net;
+  // Trusted programmatic path: inject the config's SizeCdf object directly
+  // (the spec's cdf *name* only matters for text-driven runs).
+  TopologyParams topo = ResolveTopologyParams(spec);
+  WorkloadParams wl = spec.wl;
+  wl.link_gbps = spec.scenario.link_gbps;
+  wl.cdf = config.cdf;
+  ExperimentPointResult r = RunResolvedPoint(spec, topo, wl);
 
-  FatTreeRunResult result;
-
-  PoissonTrafficConfig traffic;
-  traffic.load = config.load;
-  traffic.link_gbps = sc.link_gbps;
-  traffic.num_flows = config.num_flows;
-  std::vector<FlowSpec> flows =
-      GeneratePoisson(rng, config.cdf, topo.hosts, traffic);
-  result.flows_total = flows.size();
-
-  for (Endpoint* ep : net.hosts()) {
-    auto* host = static_cast<Host*>(ep);
-    host->on_flow_complete = [&result](const SenderQp& qp) {
-      result.fct.Record(qp.spec(), qp.fct());
-      ++result.flows_completed;
-      result.retransmits += qp.retransmit_events();
-      result.asymmetric_acks += qp.asymmetric_acks();
-    };
-  }
-
-  for (FlowSpec& spec : flows) LaunchFlow(net, sc, spec);
-
-  // Run in chunks until every flow finishes (or the wall is hit — only
-  // possible with a broken configuration, thanks to the RTO).
-  const Time chunk = 2 * kMillisecond;
-  while (result.flows_completed < result.flows_total &&
-         sim.Now() < config.max_sim_time) {
-    if (sim.events_pending() == 0) break;
-    sim.RunUntil(sim.Now() + chunk);
-  }
-  if (result.flows_completed < result.flows_total) {
-    Log(LogLevel::kWarn, sim.Now(), "fat-tree run incomplete: %zu/%zu flows",
-        result.flows_completed, result.flows_total);
-  }
-
-  result.pause_frames = net.TotalPauseFrames();
-  result.drops = net.TotalDrops();
-  result.events_processed = sim.events_processed();
-  return result;
+  FatTreeRunResult out;
+  out.fct = std::move(r.fct);
+  out.flows_completed = r.flows_completed;
+  out.flows_total = r.flows_total;
+  out.pause_frames = r.pause_frames;
+  out.drops = r.drops;
+  out.retransmits = r.retransmits;
+  out.asymmetric_acks = r.asymmetric_acks;
+  out.events_processed = r.events_processed;
+  out.wall_time_seconds = r.wall_time_seconds;
+  return out;
 }
 
 std::vector<FatTreeRunResult> RunFatTreeSweep(
     const std::vector<FatTreeRunConfig>& configs, int num_threads) {
   SweepRunner runner(num_threads);
-  return runner.Map<FatTreeRunResult>(configs.size(), [&](std::size_t i) {
-    const WallTimer timer;
-    FatTreeRunResult result = RunFatTree(configs[i]);
-    result.wall_time_seconds = timer.Seconds();
-    return result;
-  });
+  // wall_time_seconds comes from the engine (RunResolvedPoint).
+  return runner.Map<FatTreeRunResult>(
+      configs.size(), [&](std::size_t i) { return RunFatTree(configs[i]); });
 }
 
 }  // namespace fncc

@@ -1,9 +1,15 @@
 // Large-scale workload runner (§5.5): fat-tree k=8, Poisson arrivals from a
 // flow-size CDF at a target load, FCT-slowdown collection (Figs. 14-15).
+//
+// A thin adapter now: a FatTreeRunConfig maps onto a declarative
+// ExperimentSpec (topology fat_tree + workload poisson, run-to-completion)
+// and executes on the unified engine in harness/experiment_runner.hpp —
+// the same code path fncc_run drives from spec files.
 #pragma once
 
 #include <vector>
 
+#include "harness/experiment_runner.hpp"
 #include "harness/scenario.hpp"
 #include "stats/fct.hpp"
 #include "workload/cdf.hpp"

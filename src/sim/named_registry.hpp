@@ -1,0 +1,79 @@
+// A small name -> entry map shared by the topology and workload
+// registries: duplicate-rejecting registration, described entries, sorted
+// name listing, and uniform "unknown <kind> '<name>'" errors.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fncc {
+
+/// Comma-joins names for "(known: a, b, c)" error messages.
+inline std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+template <typename Entry>
+class NamedRegistry {
+ public:
+  /// `kind` names the registry in error messages ("topology", "workload").
+  explicit NamedRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Throws std::invalid_argument on a duplicate name.
+  void Register(const std::string& name, const std::string& description,
+                Entry entry) {
+    const auto [it, inserted] =
+        items_.emplace(name, Item{description, std::move(entry)});
+    (void)it;
+    if (!inserted) {
+      throw std::invalid_argument(kind_ + " '" + name +
+                                  "' already registered");
+    }
+  }
+
+  [[nodiscard]] bool Contains(const std::string& name) const {
+    return items_.count(name) != 0;
+  }
+
+  /// Throws std::invalid_argument for an unknown name.
+  [[nodiscard]] const Entry& At(const std::string& name) const {
+    const auto it = items_.find(name);
+    if (it == items_.end()) {
+      throw std::invalid_argument("unknown " + kind_ + " '" + name + "'");
+    }
+    return it->second.entry;
+  }
+
+  /// Registered names, sorted (std::map order).
+  [[nodiscard]] std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(items_.size());
+    for (const auto& [name, item] : items_) names.push_back(name);
+    return names;
+  }
+
+  /// One-line description, or "" for an unknown name.
+  [[nodiscard]] std::string Describe(const std::string& name) const {
+    const auto it = items_.find(name);
+    return it == items_.end() ? std::string() : it->second.description;
+  }
+
+ private:
+  struct Item {
+    std::string description;
+    Entry entry;
+  };
+
+  std::string kind_;
+  std::map<std::string, Item> items_;
+};
+
+}  // namespace fncc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "stats/percentile.hpp"
 
@@ -63,6 +64,13 @@ std::vector<std::uint64_t> WebSearchBucketEdges() {
 std::vector<std::uint64_t> HadoopBucketEdges() {
   return {75,     250,    350,    1'000,  2'000,   6'000,    10'000,
           15'000, 23'000, 24'000, 25'000, 100'000, 1'000'000};
+}
+
+std::vector<std::uint64_t> BucketEdgesByName(const std::string& name) {
+  if (name == "web_search") return WebSearchBucketEdges();
+  if (name == "fb_hadoop") return HadoopBucketEdges();
+  throw std::invalid_argument("unknown bucket table '" + name +
+                              "' (known: web_search, fb_hadoop)");
 }
 
 }  // namespace fncc

@@ -53,4 +53,10 @@ class FctRecorder {
 std::vector<std::uint64_t> WebSearchBucketEdges();
 std::vector<std::uint64_t> HadoopBucketEdges();
 
+/// Edge-table dispatch by workload name ("web_search" / "fb_hadoop" — the
+/// SizeCdf names). The single source of truth for which bucket tables
+/// exist: the spec layer validates output.buckets against it and fncc_run
+/// prints from it. Throws std::invalid_argument on an unknown name.
+std::vector<std::uint64_t> BucketEdgesByName(const std::string& name);
+
 }  // namespace fncc

@@ -1,19 +1,49 @@
 #include "workload/cdf.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace fncc {
 
+namespace {
+[[noreturn]] void BadCdf(std::size_t index, const std::string& what) {
+  throw std::invalid_argument("SizeCdf: point " + std::to_string(index) +
+                              ": " + what);
+}
+}  // namespace
+
 SizeCdf::SizeCdf(std::vector<std::pair<double, double>> points)
     : points_(std::move(points)) {
-  assert(points_.size() >= 2);
-  assert(std::abs(points_.back().second - 1.0) < 1e-9 &&
-         "CDF must end at probability 1");
-  for (std::size_t i = 1; i < points_.size(); ++i) {
-    assert(points_[i].first > points_[i - 1].first);
-    assert(points_[i].second >= points_[i - 1].second);
+  if (points_.size() < 2) {
+    throw std::invalid_argument("SizeCdf: need at least 2 points, got " +
+                                std::to_string(points_.size()));
+  }
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const auto& [size, prob] = points_[i];
+    if (!(size >= 0.0) || !std::isfinite(size)) {
+      BadCdf(i, "size " + std::to_string(size) + " is not a finite value >= 0");
+    }
+    if (!(prob >= 0.0 && prob <= 1.0)) {
+      BadCdf(i, "cumulative probability " + std::to_string(prob) +
+                    " outside [0, 1]");
+    }
+    if (i > 0 && !(size > points_[i - 1].first)) {
+      BadCdf(i, "size " + std::to_string(size) +
+                    " not strictly greater than previous " +
+                    std::to_string(points_[i - 1].first));
+    }
+    if (i > 0 && prob < points_[i - 1].second) {
+      BadCdf(i, "cumulative probability decreases (" +
+                    std::to_string(points_[i - 1].second) + " -> " +
+                    std::to_string(prob) + ")");
+    }
+  }
+  if (std::abs(points_.back().second - 1.0) > 1e-9) {
+    throw std::invalid_argument(
+        "SizeCdf: distribution not normalized - last cumulative probability "
+        "is " +
+        std::to_string(points_.back().second) + ", must be 1");
   }
   // Mean of the piecewise-linear CDF: each segment contributes
   // (p_i - p_{i-1}) * midpoint(size_{i-1}, size_i).
@@ -81,5 +111,14 @@ SizeCdf SizeCdf::FbHadoop() {
                   {100'000, 0.97},
                   {1'000'000, 1.00}});
 }
+
+SizeCdf SizeCdf::ByName(const std::string& name) {
+  if (name == "web_search") return WebSearch();
+  if (name == "fb_hadoop") return FbHadoop();
+  throw std::invalid_argument("unknown flow-size CDF '" + name +
+                              "' (known: web_search, fb_hadoop)");
+}
+
+std::vector<std::string> SizeCdf::Names() { return {"web_search", "fb_hadoop"}; }
 
 }  // namespace fncc

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -15,8 +16,11 @@ namespace fncc {
 /// with linear interpolation between the given points.
 class SizeCdf {
  public:
-  /// Points must be (size_bytes, cumulative_probability), strictly
-  /// increasing in both coordinates, ending at probability 1.
+  /// Points must be (size_bytes, cumulative_probability): sizes strictly
+  /// increasing, probabilities non-decreasing within [0, 1] and ending at
+  /// exactly 1. Violations throw std::invalid_argument naming the offending
+  /// point — a CDF loader must never accept non-monotonic or
+  /// non-normalized input silently.
   explicit SizeCdf(std::vector<std::pair<double, double>> points);
 
   /// Draws a flow size (>= 1 byte).
@@ -33,6 +37,11 @@ class SizeCdf {
   static SizeCdf WebSearch();
   /// Facebook Hadoop workload (latency-sensitive small flows; Fig. 15).
   static SizeCdf FbHadoop();
+
+  /// Named lookup for the spec layer: "web_search" or "fb_hadoop" (see
+  /// Names()). Throws std::invalid_argument on an unknown name.
+  static SizeCdf ByName(const std::string& name);
+  static std::vector<std::string> Names();
 
  private:
   std::vector<std::pair<double, double>> points_;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <stdexcept>
+
+#include "sim/named_registry.hpp"
 
 namespace fncc {
 
@@ -101,6 +104,252 @@ std::vector<FlowSpec> GeneratePermutation(Rng& rng,
     flows.push_back(f);
   }
   return flows;
+}
+
+std::vector<FlowSpec> GenerateAllToAll(const std::vector<NodeId>& hosts,
+                                       std::uint64_t size_bytes,
+                                       Time start_time, Time stagger,
+                                       FlowId first_flow_id,
+                                       std::uint16_t port_base) {
+  assert(hosts.size() >= 2);
+  std::vector<FlowSpec> flows;
+  flows.reserve(hosts.size() * (hosts.size() - 1));
+  FlowId id = first_flow_id;
+  // Source-major with distinct (sport, dport) per flow so ECMP spreads the
+  // shuffle across paths; ports wrap within the ephemeral range.
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      FlowSpec f;
+      f.id = id++;
+      f.src = hosts[i];
+      f.dst = hosts[j];
+      const std::size_t pair = 2 * (i * hosts.size() + j);
+      f.sport = static_cast<std::uint16_t>(port_base + pair % 40'000);
+      f.dport = static_cast<std::uint16_t>(port_base + (pair + 1) % 40'000);
+      f.size_bytes = size_bytes;
+      f.start_time = start_time + static_cast<Time>(i) * stagger;
+      flows.push_back(f);
+    }
+  }
+  return flows;
+}
+
+std::vector<FlowSpec> GenerateStaggeredIncast(
+    const std::vector<NodeId>& hosts, int groups, std::uint64_t size_bytes,
+    Time start_time, Time group_stagger, Time stagger, FlowId first_flow_id,
+    std::uint16_t port_base) {
+  assert(groups >= 1);
+  assert(hosts.size() >= 2 * static_cast<std::size_t>(groups));
+  const std::size_t per_group = hosts.size() / static_cast<std::size_t>(groups);
+
+  std::vector<FlowSpec> flows;
+  FlowId id = first_flow_id;
+  for (int g = 0; g < groups; ++g) {
+    const std::size_t base = static_cast<std::size_t>(g) * per_group;
+    // The last group absorbs the remainder hosts.
+    const std::size_t end =
+        g + 1 == groups ? hosts.size() : base + per_group;
+    const NodeId dst = hosts[end - 1];
+    const Time group_start = start_time + static_cast<Time>(g) * group_stagger;
+    for (std::size_t j = base; j + 1 < end; ++j) {
+      FlowSpec f;
+      f.id = id;
+      f.src = hosts[j];
+      f.dst = dst;
+      // Flow k uses ports base+2k / base+2k+1, the convention every other
+      // generator follows.
+      const std::size_t pair = 2 * (id++ - first_flow_id);
+      f.sport = static_cast<std::uint16_t>(port_base + pair % 40'000);
+      f.dport = static_cast<std::uint16_t>(port_base + (pair + 1) % 40'000);
+      f.size_bytes = size_bytes;
+      f.start_time = group_start + static_cast<Time>(j - base) * stagger;
+      flows.push_back(f);
+    }
+  }
+  return flows;
+}
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void BadParam(const std::string& what) {
+  throw std::invalid_argument("workload: " + what);
+}
+
+std::vector<GeneratedFlow> Wrap(std::vector<FlowSpec> specs) {
+  std::vector<GeneratedFlow> flows;
+  flows.reserve(specs.size());
+  for (FlowSpec& s : specs) flows.push_back({s, kTimeInfinity});
+  return flows;
+}
+
+void RequirePopulation(const WorkloadHosts& hosts, std::size_t min) {
+  if (hosts.all.size() < min) {
+    BadParam("topology has " + std::to_string(hosts.all.size()) +
+             " hosts, need >= " + std::to_string(min));
+  }
+}
+
+std::vector<GeneratedFlow> BuildElephants(Rng& /*rng*/,
+                                          const WorkloadHosts& hosts,
+                                          const WorkloadParams& p) {
+  if (hosts.receiver == kInvalidNode) {
+    BadParam("elephants needs a topology with a receiver role");
+  }
+  // No explicit flow list: the canonical two-elephant scenario (§5.1 —
+  // flow1 joins 300 us into flow0), or a single elephant on a 1-sender
+  // topology.
+  std::vector<LongFlow> long_flows = p.long_flows;
+  if (long_flows.empty()) {
+    long_flows.push_back({0, 0, kTimeInfinity});
+    if (hosts.senders.size() >= 2) {
+      long_flows.push_back({1, Microseconds(300), kTimeInfinity});
+    }
+  }
+  std::vector<GeneratedFlow> flows;
+  flows.reserve(long_flows.size());
+  for (std::size_t i = 0; i < long_flows.size(); ++i) {
+    const LongFlow& lf = long_flows[i];
+    if (lf.sender_index < 0 ||
+        static_cast<std::size_t>(lf.sender_index) >= hosts.senders.size()) {
+      BadParam("elephants sender_index " + std::to_string(lf.sender_index) +
+               " out of range (topology has " +
+               std::to_string(hosts.senders.size()) + " senders)");
+    }
+    GeneratedFlow f;
+    // spec.id is minted by the flow table at launch (registration order =
+    // launch order, so flow i still gets id i+1).
+    f.spec.src = hosts.senders[static_cast<std::size_t>(lf.sender_index)];
+    f.spec.dst = hosts.receiver;
+    f.spec.sport = static_cast<std::uint16_t>(p.port_base + 2 * i);
+    f.spec.dport = static_cast<std::uint16_t>(p.port_base + 2 * i + 1);
+    f.spec.size_bytes = p.size_bytes;  // 0 = runner's auto duration budget
+    f.spec.start_time = lf.start;
+    f.stop = lf.stop;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+std::vector<GeneratedFlow> BuildPoisson(Rng& rng, const WorkloadHosts& hosts,
+                                        const WorkloadParams& p) {
+  RequirePopulation(hosts, 2);
+  if (!(p.load > 0.0 && p.load <= 1.0)) {
+    BadParam("poisson load must be in (0, 1]");
+  }
+  if (p.num_flows < 1) BadParam("poisson num_flows must be >= 1");
+  PoissonTrafficConfig config;
+  config.load = p.load;
+  config.link_gbps = p.link_gbps;
+  config.start_time = p.start_time;
+  config.num_flows = p.num_flows;
+  config.port_base = p.port_base;
+  return Wrap(GeneratePoisson(rng, p.cdf, hosts.all, config));
+}
+
+std::vector<GeneratedFlow> BuildIncast(Rng& /*rng*/,
+                                       const WorkloadHosts& hosts,
+                                       const WorkloadParams& p) {
+  if (hosts.receiver == kInvalidNode || hosts.senders.empty()) {
+    BadParam("incast needs a topology with sender/receiver roles");
+  }
+  const std::uint64_t size = p.size_bytes != 0 ? p.size_bytes : 2'000'000;
+  return Wrap(GenerateIncast(hosts.senders, hosts.receiver, size,
+                             p.start_time, p.stagger, /*first_flow_id=*/1,
+                             p.port_base));
+}
+
+std::vector<GeneratedFlow> BuildPermutation(Rng& rng,
+                                            const WorkloadHosts& hosts,
+                                            const WorkloadParams& p) {
+  RequirePopulation(hosts, 2);
+  const std::uint64_t size = p.size_bytes != 0 ? p.size_bytes : 1'000'000;
+  return Wrap(GeneratePermutation(rng, hosts.all, size, p.start_time,
+                                  /*first_flow_id=*/1, p.port_base));
+}
+
+std::vector<GeneratedFlow> BuildAllToAll(Rng& /*rng*/,
+                                         const WorkloadHosts& hosts,
+                                         const WorkloadParams& p) {
+  RequirePopulation(hosts, 2);
+  const std::uint64_t size = p.size_bytes != 0 ? p.size_bytes : 100'000;
+  return Wrap(GenerateAllToAll(hosts.all, size, p.start_time, p.stagger,
+                               /*first_flow_id=*/1, p.port_base));
+}
+
+std::vector<GeneratedFlow> BuildStaggeredIncast(Rng& /*rng*/,
+                                                const WorkloadHosts& hosts,
+                                                const WorkloadParams& p) {
+  if (p.groups < 1) BadParam("staggered_incast groups must be >= 1");
+  RequirePopulation(hosts, 2 * static_cast<std::size_t>(p.groups));
+  const std::uint64_t size = p.size_bytes != 0 ? p.size_bytes : 500'000;
+  return Wrap(GenerateStaggeredIncast(hosts.all, p.groups, size,
+                                      p.start_time, p.group_stagger,
+                                      p.stagger, /*first_flow_id=*/1,
+                                      p.port_base));
+}
+
+NamedRegistry<WorkloadBuildFn>& Entries() {
+  static NamedRegistry<WorkloadBuildFn>* entries = [] {
+    auto* r = new NamedRegistry<WorkloadBuildFn>("workload");
+    r->Register("elephants",
+                "long-lived flows from workload.flows "
+                "(sender@start_us[:stop_us]); size 0 = outlast run.duration",
+                BuildElephants);
+    r->Register("poisson",
+                "open-loop Poisson arrivals at workload.load over "
+                "workload.cdf (num_flows flows, uniform src/dst)",
+                BuildPoisson);
+    r->Register("incast",
+                "all topology senders -> receiver, size_bytes each, "
+                "stagger_us apart (default 2 MB)",
+                BuildIncast);
+    r->Register("permutation",
+                "random derangement: every host sends size_bytes to a "
+                "distinct peer (default 1 MB)",
+                BuildPermutation);
+    r->Register("all_to_all",
+                "shuffle: every host sends size_bytes to every other host, "
+                "sources staggered by stagger_us (default 100 KB)",
+                BuildAllToAll);
+    r->Register("staggered_incast",
+                "workload.groups contiguous host groups, each incasting to "
+                "its last host; bursts offset by group_stagger_us "
+                "(default 500 KB)",
+                BuildStaggeredIncast);
+    return r;
+  }();
+  return *entries;
+}
+
+}  // namespace
+
+void WorkloadRegistry::Register(const std::string& name,
+                                const std::string& description,
+                                WorkloadBuildFn build) {
+  Entries().Register(name, description, std::move(build));
+}
+
+bool WorkloadRegistry::Contains(const std::string& name) {
+  return Entries().Contains(name);
+}
+
+std::vector<GeneratedFlow> WorkloadRegistry::Generate(
+    const std::string& name, Rng& rng, const WorkloadHosts& hosts,
+    const WorkloadParams& params) {
+  return Entries().At(name)(rng, hosts, params);
+}
+
+std::vector<std::string> WorkloadRegistry::Names() {
+  return Entries().Names();
+}
+
+std::string WorkloadRegistry::Describe(const std::string& name) {
+  return Entries().Describe(name);
 }
 
 }  // namespace fncc

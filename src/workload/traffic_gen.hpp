@@ -1,9 +1,14 @@
-// Open-loop traffic generation: Poisson arrivals at a target load over a
-// flow-size CDF (the §5.5 methodology), plus incast and permutation
-// patterns for the micro-benchmarks and examples.
+// Traffic generation: open-loop Poisson arrivals at a target load over a
+// flow-size CDF (the §5.5 methodology), incast / permutation / shuffle
+// patterns, and long-lived "elephant" flows — all behind a name-keyed
+// WorkloadRegistry so experiment specs can select any pattern declaratively
+// ("workload.kind = all_to_all"). New workloads register a generator; the
+// experiment runner and fncc_run pick them up with no further wiring.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -51,5 +56,99 @@ std::vector<FlowSpec> GeneratePermutation(Rng& rng,
                                           Time start_time,
                                           FlowId first_flow_id = 1,
                                           std::uint16_t port_base = 10'000);
+
+/// All-to-all shuffle: every host sends `size_bytes` to every other host.
+/// Flows are emitted source-major; source i's flows start at
+/// `start_time + i * stagger` (stagger staggers the reduce wave).
+std::vector<FlowSpec> GenerateAllToAll(const std::vector<NodeId>& hosts,
+                                       std::uint64_t size_bytes,
+                                       Time start_time, Time stagger = 0,
+                                       FlowId first_flow_id = 1,
+                                       std::uint16_t port_base = 10'000);
+
+/// Staggered multi-group incast: hosts are partitioned into `groups`
+/// contiguous groups; within each group every host but the last sends
+/// `size_bytes` to the group's last host. Group g's burst starts at
+/// `start_time + g * group_stagger`; within a group, sender j is offset a
+/// further `j * stagger`. Models several racks' synchronized reduces
+/// landing at staggered times.
+std::vector<FlowSpec> GenerateStaggeredIncast(
+    const std::vector<NodeId>& hosts, int groups, std::uint64_t size_bytes,
+    Time start_time, Time group_stagger, Time stagger = 0,
+    FlowId first_flow_id = 1, std::uint16_t port_base = 10'000);
+
+// --------------------------------------------------------------------------
+// Declarative workload registry
+// --------------------------------------------------------------------------
+
+/// One long-lived flow in a micro-benchmark. `stop` < infinity aborts the
+/// flow at that time (fairness experiment); size is effectively unbounded.
+struct LongFlow {
+  int sender_index = 0;
+  Time start = 0;
+  Time stop = kTimeInfinity;
+};
+
+/// A generated flow plus its optional abort time (kTimeInfinity = run to
+/// completion). Only the `elephants` workload emits finite stops today.
+struct GeneratedFlow {
+  FlowSpec spec;
+  Time stop = kTimeInfinity;
+};
+
+/// The topology roles a generator may target. `all` is every endpoint in
+/// creation order; `senders`/`receiver` are the topology's preferred roles
+/// for sender->sink patterns (see BuiltTopology in net/topology.hpp).
+struct WorkloadHosts {
+  std::vector<NodeId> all;
+  std::vector<NodeId> senders;
+  NodeId receiver = kInvalidNode;
+};
+
+/// Union of every generator's knobs; each registered workload reads the
+/// subset it understands and validates it (std::invalid_argument on bad
+/// values). size_bytes = 0 selects the workload's own default size. The
+/// spec layer (harness/experiment_spec) maps "workload.*" keys here.
+struct WorkloadParams {
+  double load = 0.5;        // poisson
+  double link_gbps = 100.0; // poisson (set by the runner from the scenario)
+  int num_flows = 1000;     // poisson
+  std::uint64_t size_bytes = 0;
+  Time start_time = 0;
+  Time stagger = 0;                   // incast / all_to_all / staggered_incast
+  int groups = 2;                     // staggered_incast
+  Time group_stagger = Microseconds(50);  // staggered_incast
+  std::vector<LongFlow> long_flows;   // elephants
+  SizeCdf cdf = SizeCdf::WebSearch(); // poisson
+  std::uint16_t port_base = 10'000;
+};
+
+using WorkloadBuildFn = std::function<std::vector<GeneratedFlow>(
+    Rng& rng, const WorkloadHosts& hosts, const WorkloadParams& params)>;
+
+/// Process-global name -> generator map. Built-ins (elephants, poisson,
+/// incast, permutation, all_to_all, staggered_incast) are installed
+/// eagerly; extensions may Register before the first Generate. Not
+/// thread-safe for concurrent registration — register before fanning out
+/// sweeps.
+class WorkloadRegistry {
+ public:
+  /// Throws std::invalid_argument on a duplicate name.
+  static void Register(const std::string& name, const std::string& description,
+                       WorkloadBuildFn build);
+
+  [[nodiscard]] static bool Contains(const std::string& name);
+
+  /// Generates `name` (throws std::invalid_argument for an unknown name or
+  /// bad params). Flows come back in launch order; ids are dense from 1.
+  static std::vector<GeneratedFlow> Generate(const std::string& name,
+                                             Rng& rng,
+                                             const WorkloadHosts& hosts,
+                                             const WorkloadParams& params);
+
+  /// Registered names, sorted; and a one-line description per name.
+  [[nodiscard]] static std::vector<std::string> Names();
+  [[nodiscard]] static std::string Describe(const std::string& name);
+};
 
 }  // namespace fncc

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "harness/dumbbell_runner.hpp"
+#include "harness/experiment_runner.hpp"
 #include "harness/fat_tree_runner.hpp"
 
 namespace fncc {
@@ -217,6 +218,62 @@ TEST(SweepEquivalenceTest, FatTreeFctRecordsBitIdenticalAcrossThreadCounts) {
         EXPECT_TRUE(SameBits(fa.slowdown, fb.slowdown)) << "flow " << f;
       }
     }
+  }
+}
+
+// The declarative fncc_run code path (spec text -> ExpandSweep ->
+// RunExperimentPoints) on a *new* registry scenario — leaf-spine +
+// all-to-all shuffle — must keep the same guarantee: FCT records and
+// monitored series bit-identical at 1 vs 4 threads.
+TEST(SweepEquivalenceTest, LeafSpineAllToAllSpecBitIdentical1v4Threads) {
+  const ExperimentSpec spec = ParseSpecText(R"(
+name = leaf_spine_equivalence
+topology.kind = leaf_spine
+topology.leaves = 2
+topology.spines = 2
+topology.hosts_per_leaf = 2
+topology.oversubscription = 2
+workload.kind = all_to_all
+workload.size_bytes = 40000
+workload.stagger_us = 1
+run.duration_us = 0
+run.max_sim_ms = 50
+sweep.mode = FNCC,HPCC,DCQCN
+sweep.seed = 1,2
+)");
+  const std::vector<ExperimentSpec> points = ExpandSweep(spec);
+  ASSERT_EQ(points.size(), 6u);
+  const std::vector<ExperimentPointResult> serial =
+      RunExperimentPoints(points, 1);
+  const std::vector<ExperimentPointResult> parallel =
+      RunExperimentPoints(points, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("point=" + points[i].label);
+    const ExperimentPointResult& a = serial[i];
+    const ExperimentPointResult& b = parallel[i];
+    EXPECT_EQ(a.flows_completed, b.flows_completed);
+    EXPECT_GT(a.flows_total, 0u);
+    EXPECT_EQ(a.flows_total, b.flows_total);
+    EXPECT_EQ(a.pause_frames, b.pause_frames);
+    EXPECT_EQ(a.drops, b.drops);
+    EXPECT_EQ(a.retransmits, b.retransmits);
+    EXPECT_EQ(a.events_processed, b.events_processed);
+    ASSERT_EQ(a.fct.count(), b.fct.count());
+    EXPECT_EQ(a.fct.count(), a.flows_total);  // shuffle ran to completion
+    for (std::size_t f = 0; f < a.fct.count(); ++f) {
+      const FlowResult& fa = a.fct.results()[f];
+      const FlowResult& fb = b.fct.results()[f];
+      EXPECT_EQ(fa.spec.id, fb.spec.id) << "flow " << f;
+      EXPECT_EQ(fa.spec.src, fb.spec.src) << "flow " << f;
+      EXPECT_EQ(fa.spec.dst, fb.spec.dst) << "flow " << f;
+      EXPECT_EQ(fa.fct, fb.fct) << "flow " << f;
+      EXPECT_TRUE(SameBits(fa.slowdown, fb.slowdown)) << "flow " << f;
+    }
+    // leaf_spine exposes a congestion point, so the monitored series run
+    // through the same per-thread-count contract.
+    ExpectSeriesIdentical(a.queue_bytes, b.queue_bytes);
+    ExpectSeriesIdentical(a.utilization, b.utilization);
   }
 }
 

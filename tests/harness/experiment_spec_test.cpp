@@ -1,0 +1,246 @@
+// The declarative spec layer: parse round-trips, strict unknown-key
+// rejection, CLI override precedence, range validation, and sweep-axis
+// expansion — the contracts fncc_run and the examples rely on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment_runner.hpp"
+#include "harness/experiment_spec.hpp"
+
+namespace fncc {
+namespace {
+
+TEST(ExperimentSpecTest, DefaultsAreValid) {
+  ExperimentSpec spec;
+  EXPECT_NO_THROW(ValidateSpec(spec));
+  EXPECT_EQ(spec.topology, "dumbbell");
+  EXPECT_EQ(spec.workload, "elephants");
+}
+
+TEST(ExperimentSpecTest, ParsesSectionedText) {
+  const ExperimentSpec spec = ParseSpecText(R"(
+# a comment
+name = demo
+[topology]
+kind = chain_merge
+num_switches = 5
+merge_switch = 3
+[workload]
+kind = elephants
+flows = 0@0,1@300:700   # inline comment
+[scenario]
+mode = HPCC
+link_gbps = 200
+seed = 42
+[run]
+duration_us = 1.5
+)");
+  EXPECT_EQ(spec.name, "demo");
+  EXPECT_EQ(spec.topology, "chain_merge");
+  EXPECT_EQ(spec.topo.num_switches, 5);
+  EXPECT_EQ(spec.topo.merge_switch, 3);
+  ASSERT_EQ(spec.wl.long_flows.size(), 2u);
+  EXPECT_EQ(spec.wl.long_flows[0].sender_index, 0);
+  EXPECT_EQ(spec.wl.long_flows[0].stop, kTimeInfinity);
+  EXPECT_EQ(spec.wl.long_flows[1].start, Microseconds(300));
+  EXPECT_EQ(spec.wl.long_flows[1].stop, Microseconds(700));
+  EXPECT_EQ(spec.scenario.mode, CcMode::kHpcc);
+  EXPECT_DOUBLE_EQ(spec.scenario.link_gbps, 200.0);
+  EXPECT_EQ(spec.scenario.seed, 42u);
+  EXPECT_EQ(spec.run.duration, Microseconds(1.5));
+}
+
+TEST(ExperimentSpecTest, DottedKeysWorkWithoutSections) {
+  const ExperimentSpec a = ParseSpecText("topology.kind = fat_tree\n"
+                                         "topology.k = 8\n"
+                                         "workload.kind = poisson\n"
+                                         "run.duration_us = 0\n");
+  const ExperimentSpec b = ParseSpecText(
+      "[topology]\nkind = fat_tree\nk = 8\n"
+      "[workload]\nkind = poisson\n[run]\nduration_us = 0\n");
+  EXPECT_EQ(SpecToText(a), SpecToText(b));
+}
+
+TEST(ExperimentSpecTest, TextRoundTripIsExact) {
+  ExperimentSpec spec = ParseSpecText(R"(
+name = round_trip
+[topology]
+kind = leaf_spine
+leaves = 4
+spines = 3
+hosts_per_leaf = 6
+oversubscription = 2.5
+[workload]
+kind = all_to_all
+size_bytes = 123456
+stagger_us = 2.5
+[scenario]
+mode = Swift
+link_gbps = 400
+propagation_delay_us = 0.75
+eta = 0.9
+[run]
+duration_us = 0
+max_sim_ms = 50
+[sweep]
+mode = FNCC,HPCC
+seed = 1,2,3
+load = 0.25,0.75
+[output]
+fct_csv = out.csv
+buckets = fb_hadoop
+)");
+  const std::string text = SpecToText(spec);
+  const ExperimentSpec reparsed = ParseSpecText(text);
+  EXPECT_EQ(text, SpecToText(reparsed));
+  EXPECT_EQ(reparsed.topo.leaves, 4);
+  EXPECT_DOUBLE_EQ(reparsed.topo.oversubscription, 2.5);
+  EXPECT_EQ(reparsed.scenario.propagation_delay, Nanoseconds(750));
+  EXPECT_EQ(reparsed.sweep.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(reparsed.output.buckets, "fb_hadoop");
+}
+
+TEST(ExperimentSpecTest, UnknownKeysRejectedWithContext) {
+  try {
+    ParseSpecText("topology.kindd = dumbbell\n", "bad.exp");
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bad.exp:1"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown key"), std::string::npos) << what;
+  }
+  ExperimentSpec spec;
+  EXPECT_THROW(ApplySpecOverride(spec, "workload.lod", "0.5"), SpecError);
+  EXPECT_THROW(ApplySpecOverrides(spec, {"not-an-assignment"}), SpecError);
+}
+
+TEST(ExperimentSpecTest, MalformedValuesRejected) {
+  ExperimentSpec spec;
+  EXPECT_THROW(ApplySpecOverride(spec, "workload.load", "abc"), SpecError);
+  EXPECT_THROW(ApplySpecOverride(spec, "topology.k", "4.5"), SpecError);
+  EXPECT_THROW(ApplySpecOverride(spec, "scenario.pfc", "maybe"), SpecError);
+  EXPECT_THROW(ApplySpecOverride(spec, "scenario.mode", "TCP"), SpecError);
+  EXPECT_THROW(ApplySpecOverride(spec, "workload.flows", "0-300"), SpecError);
+  EXPECT_THROW(ApplySpecOverride(spec, "workload.size_bytes", "-5"),
+               SpecError);
+  // Overflow is an error, never silent truncation/saturation.
+  EXPECT_THROW(ApplySpecOverride(spec, "topology.num_senders", "4294967298"),
+               SpecError);
+  EXPECT_THROW(ApplySpecOverride(spec, "workload.port_base", "70000"),
+               SpecError);
+  EXPECT_THROW(
+      ApplySpecOverride(spec, "scenario.seed", "99999999999999999999999"),
+      SpecError);
+  EXPECT_THROW(ApplySpecOverride(spec, "run.duration_us", "1e20"), SpecError);
+  // Nonzero times that would round to 0 ps flip run semantics — rejected.
+  EXPECT_THROW(ApplySpecOverride(spec, "run.duration_us", "0.0000001"),
+               SpecError);
+  // '#' would truncate on the manifest's text round-trip.
+  EXPECT_THROW(ApplySpecOverride(spec, "output.dir", "out#1"), SpecError);
+  // An emptied sweep axis is an error, not a silent single-point collapse.
+  EXPECT_THROW(ApplySpecOverride(spec, "sweep.mode", ""), SpecError);
+  EXPECT_THROW(ApplySpecOverride(spec, "sweep.seed", " , "), SpecError);
+}
+
+TEST(ExperimentSpecTest, UnexpandedSweepCannotRunAsSinglePoint) {
+  ExperimentSpec spec;
+  ApplySpecOverride(spec, "sweep.mode", "all");
+  EXPECT_THROW(RunExperimentPoint(spec), SpecError);
+}
+
+TEST(ExperimentSpecTest, RangeValidationFailsLoudly) {
+  const auto expect_invalid = [](const std::string& key,
+                                 const std::string& value) {
+    ExperimentSpec spec;
+    ApplySpecOverride(spec, key, value);
+    EXPECT_THROW(ValidateSpec(spec), SpecError) << key << "=" << value;
+  };
+  expect_invalid("workload.load", "1.5");
+  expect_invalid("workload.load", "0");
+  expect_invalid("workload.num_flows", "0");
+  expect_invalid("topology.k", "5");       // odd
+  expect_invalid("topology.rails", "0");
+  expect_invalid("topology.oversubscription", "0");
+  expect_invalid("scenario.link_gbps", "0");
+  expect_invalid("scenario.eta", "1.25");
+  expect_invalid("scenario.mtu_bytes", "100");
+  expect_invalid("run.queue_sample_us", "0");
+  expect_invalid("workload.cdf", "gaussian");
+  expect_invalid("topology.kind", "torus");
+  expect_invalid("workload.kind", "trace_replay");
+  expect_invalid("output.buckets", "web_searc");  // typos never run a default
+  // chain_merge-specific: merge point must be on the chain.
+  ExperimentSpec chain;
+  ApplySpecOverride(chain, "topology.kind", "chain_merge");
+  ApplySpecOverride(chain, "topology.num_switches", "3");
+  ApplySpecOverride(chain, "topology.merge_switch", "3");
+  EXPECT_THROW(ValidateSpec(chain), SpecError);
+}
+
+TEST(ExperimentSpecTest, CliOverridePrecedence) {
+  ExperimentSpec spec = ParseSpecText(
+      "scenario.mode = FNCC\nscenario.seed = 1\nworkload.load = 0.5\n");
+  // Overrides run after the file, last writer wins.
+  ApplySpecOverrides(spec, {"scenario.mode=HPCC", "scenario.seed=7",
+                            "scenario.seed=9", "workload.load=0.7"});
+  ValidateSpec(spec);
+  EXPECT_EQ(spec.scenario.mode, CcMode::kHpcc);
+  EXPECT_EQ(spec.scenario.seed, 9u);
+  EXPECT_DOUBLE_EQ(spec.wl.load, 0.7);
+}
+
+TEST(ExperimentSpecTest, SweepExpansionCrossProduct) {
+  ExperimentSpec spec;
+  ApplySpecOverrides(spec, {"sweep.mode=FNCC,HPCC", "sweep.seed=1,2,3",
+                            "workload.load=0.5"});
+  EXPECT_EQ(spec.sweep.size(), 6u);
+  const std::vector<ExperimentSpec> points = ExpandSweep(spec);
+  ASSERT_EQ(points.size(), 6u);
+  // Fixed order: mode outermost, then seed.
+  EXPECT_EQ(points[0].scenario.mode, CcMode::kFncc);
+  EXPECT_EQ(points[0].scenario.seed, 1u);
+  EXPECT_EQ(points[2].scenario.mode, CcMode::kFncc);
+  EXPECT_EQ(points[2].scenario.seed, 3u);
+  EXPECT_EQ(points[3].scenario.mode, CcMode::kHpcc);
+  EXPECT_EQ(points[3].scenario.seed, 1u);
+  EXPECT_EQ(points[0].label, "FNCC-seed1");
+  EXPECT_EQ(points[5].label, "HPCC-seed3");
+  for (const ExperimentSpec& p : points) {
+    EXPECT_TRUE(p.sweep.empty());       // points are self-contained
+    EXPECT_DOUBLE_EQ(p.wl.load, 0.5);   // unswept scalars untouched
+  }
+}
+
+TEST(ExperimentSpecTest, SweepModeAllCoversEveryAlgorithm) {
+  ExperimentSpec spec;
+  ApplySpecOverride(spec, "sweep.mode", "all");
+  const std::vector<ExperimentSpec> points = ExpandSweep(spec);
+  ASSERT_EQ(points.size(), std::size(kAllCcModes));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].scenario.mode, kAllCcModes[i]);
+  }
+}
+
+TEST(ExperimentSpecTest, SingleSpecExpandsToOneUnlabeledPoint) {
+  const std::vector<ExperimentSpec> points = ExpandSweep(ExperimentSpec{});
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_TRUE(points[0].label.empty());
+}
+
+TEST(ExperimentSpecTest, ResolveFillsDerivedParams) {
+  ExperimentSpec spec;
+  ApplySpecOverrides(spec, {"scenario.link_gbps=400", "workload.cdf=fb_hadoop",
+                            "scenario.propagation_delay_us=2"});
+  const TopologyParams topo = ResolveTopologyParams(spec);
+  EXPECT_DOUBLE_EQ(topo.link.gbps, 400.0);
+  EXPECT_EQ(topo.link.propagation_delay, Microseconds(2));
+  const WorkloadParams wl = ResolveWorkloadParams(spec);
+  EXPECT_DOUBLE_EQ(wl.link_gbps, 400.0);
+  // fb_hadoop's analytic mean differs from the default web_search mean.
+  EXPECT_NE(wl.cdf.mean_bytes(), SizeCdf::WebSearch().mean_bytes());
+}
+
+}  // namespace
+}  // namespace fncc

@@ -120,6 +120,36 @@ TEST(IncastTest, StaggerSpacesStarts) {
   EXPECT_EQ(flows[2].start_time, Microseconds(10));
 }
 
+TEST(SizeCdfTest, RejectsMalformedInput) {
+  // Non-monotonic sizes.
+  EXPECT_THROW(SizeCdf({{1, 0.0}, {100, 0.5}, {50, 1.0}}),
+               std::invalid_argument);
+  // Decreasing cumulative probability.
+  EXPECT_THROW(SizeCdf({{1, 0.0}, {100, 0.7}, {200, 0.5}, {300, 1.0}}),
+               std::invalid_argument);
+  // Not normalized (doesn't end at 1).
+  EXPECT_THROW(SizeCdf({{1, 0.0}, {100, 0.9}}), std::invalid_argument);
+  // Probability outside [0, 1].
+  EXPECT_THROW(SizeCdf({{1, -0.1}, {100, 1.0}}), std::invalid_argument);
+  // Too few points.
+  EXPECT_THROW(SizeCdf({{1, 1.0}}), std::invalid_argument);
+  // The error message names the defect.
+  try {
+    SizeCdf({{1, 0.0}, {100, 0.7}, {200, 0.5}, {300, 1.0}});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("decreases"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SizeCdfTest, ByNameRoundTrip) {
+  for (const std::string& name : SizeCdf::Names()) {
+    EXPECT_GT(SizeCdf::ByName(name).mean_bytes(), 0.0) << name;
+  }
+  EXPECT_THROW(SizeCdf::ByName("no_such_cdf"), std::invalid_argument);
+}
+
 TEST(PermutationTest, NoSelfFlowsAndAllDistinct) {
   Rng rng(23);
   const std::vector<NodeId> hosts{0, 1, 2, 3, 4, 5, 6, 7};
@@ -131,6 +161,94 @@ TEST(PermutationTest, NoSelfFlowsAndAllDistinct) {
     dsts.insert(f.dst);
   }
   EXPECT_EQ(dsts.size(), hosts.size());  // a permutation
+}
+
+TEST(AllToAllTest, FullMeshWithStagger) {
+  const std::vector<NodeId> hosts{0, 1, 2, 3};
+  const auto flows =
+      GenerateAllToAll(hosts, 50'000, Microseconds(10), Microseconds(5));
+  ASSERT_EQ(flows.size(), hosts.size() * (hosts.size() - 1));
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& f : flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_EQ(f.size_bytes, 50'000u);
+    pairs.insert({f.src, f.dst});
+    // Source i starts at 10 us + i * 5 us.
+    EXPECT_EQ(f.start_time, Microseconds(10) + f.src * Microseconds(5));
+  }
+  EXPECT_EQ(pairs.size(), flows.size());  // every ordered pair exactly once
+}
+
+TEST(StaggeredIncastTest, GroupsTargetTheirOwnReceiver) {
+  const std::vector<NodeId> hosts{0, 1, 2, 3, 4, 5};
+  const auto flows = GenerateStaggeredIncast(
+      hosts, /*groups=*/2, 10'000, /*start=*/0,
+      /*group_stagger=*/Microseconds(100), /*stagger=*/Microseconds(1));
+  // Two groups of 3: two senders each.
+  ASSERT_EQ(flows.size(), 4u);
+  EXPECT_EQ(flows[0].dst, 2);
+  EXPECT_EQ(flows[1].dst, 2);
+  EXPECT_EQ(flows[2].dst, 5);
+  EXPECT_EQ(flows[3].dst, 5);
+  EXPECT_EQ(flows[0].start_time, 0);
+  EXPECT_EQ(flows[1].start_time, Microseconds(1));
+  EXPECT_EQ(flows[2].start_time, Microseconds(100));
+  EXPECT_EQ(flows[3].start_time, Microseconds(101));
+  for (const auto& f : flows) EXPECT_NE(f.src, f.dst);
+}
+
+TEST(WorkloadRegistryTest, NamesAndUnknownRejection) {
+  for (const char* name : {"elephants", "poisson", "incast", "permutation",
+                           "all_to_all", "staggered_incast"}) {
+    EXPECT_TRUE(WorkloadRegistry::Contains(name)) << name;
+    EXPECT_FALSE(WorkloadRegistry::Describe(name).empty()) << name;
+  }
+  EXPECT_FALSE(WorkloadRegistry::Contains("no_such_workload"));
+  Rng rng(1);
+  WorkloadHosts hosts;
+  hosts.all = {0, 1, 2};
+  hosts.senders = {0, 1};
+  hosts.receiver = 2;
+  EXPECT_THROW(
+      WorkloadRegistry::Generate("no_such_workload", rng, hosts, {}),
+      std::invalid_argument);
+  // Bad params are rejected with a message, not silently accepted.
+  WorkloadParams bad_load;
+  bad_load.load = 1.5;
+  EXPECT_THROW(WorkloadRegistry::Generate("poisson", rng, hosts, bad_load),
+               std::invalid_argument);
+  // Elephants without an explicit list default to the canonical
+  // two-elephant pattern (flow1 joins at 300 us).
+  const auto defaults =
+      WorkloadRegistry::Generate("elephants", rng, hosts, WorkloadParams{});
+  ASSERT_EQ(defaults.size(), 2u);
+  EXPECT_EQ(defaults[1].spec.start_time, Microseconds(300));
+  WorkloadParams bad_sender;
+  bad_sender.long_flows = {{7, 0, kTimeInfinity}};
+  EXPECT_THROW(WorkloadRegistry::Generate("elephants", rng, hosts, bad_sender),
+               std::invalid_argument);
+}
+
+TEST(WorkloadRegistryTest, ElephantsMatchHarnessConvention) {
+  Rng rng(1);
+  WorkloadHosts hosts;
+  hosts.all = {10, 11, 12};
+  hosts.senders = {10, 11};
+  hosts.receiver = 12;
+  WorkloadParams p;
+  p.long_flows = {{0, 0, kTimeInfinity}, {1, Microseconds(300), Microseconds(700)}};
+  const auto flows = WorkloadRegistry::Generate("elephants", rng, hosts, p);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0].spec.src, 10);
+  EXPECT_EQ(flows[1].spec.src, 11);
+  EXPECT_EQ(flows[0].spec.sport, 10'000);
+  EXPECT_EQ(flows[0].spec.dport, 10'001);
+  EXPECT_EQ(flows[1].spec.sport, 10'002);
+  EXPECT_EQ(flows[1].spec.dport, 10'003);
+  EXPECT_EQ(flows[1].spec.start_time, Microseconds(300));
+  EXPECT_EQ(flows[0].stop, kTimeInfinity);
+  EXPECT_EQ(flows[1].stop, Microseconds(700));
+  EXPECT_EQ(flows[0].spec.size_bytes, 0u);  // 0 = runner's duration budget
 }
 
 }  // namespace

@@ -1,0 +1,225 @@
+// fncc_run — the single declarative experiment driver.
+//
+//   fncc_run [spec-file] [key=value ...]   run a spec (overrides win)
+//   fncc_run --list                        registered topologies/workloads
+//   fncc_run --print [spec...]             resolve + expand, don't run
+//   fncc_run --smoke                       tiny run of every topology x
+//                                          workload pair (CI gate)
+//
+// With no spec file the built-in defaults (dumbbell + two elephants) run;
+// every knob is a key=value override, e.g.
+//
+//   fncc_run specs/fig14_websearch.exp workload.num_flows=200 topology.k=4
+//   fncc_run topology.kind=leaf_spine workload.kind=all_to_all
+//            run.duration_us=0 sweep.mode=all output.fct_csv=fct.csv
+//
+// Sweeps fan out over FNCC_THREADS threads (default: hardware concurrency)
+// with bit-identical results at any thread count.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "exec/wall_timer.hpp"
+#include "harness/experiment_runner.hpp"
+
+namespace {
+
+using namespace fncc;
+
+void PrintRegistries() {
+  std::printf("topologies:\n");
+  for (const std::string& name : TopologyRegistry::Names()) {
+    std::printf("  %-20s %s\n", name.c_str(),
+                TopologyRegistry::Describe(name).c_str());
+  }
+  std::printf("\nworkloads:\n");
+  for (const std::string& name : WorkloadRegistry::Names()) {
+    std::printf("  %-20s %s\n", name.c_str(),
+                WorkloadRegistry::Describe(name).c_str());
+  }
+  std::printf("\nflow-size CDFs (workload.cdf):");
+  for (const std::string& name : SizeCdf::Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nCC modes (scenario.mode / sweep.mode):");
+  for (CcMode mode : kAllCcModes) std::printf(" %s", CcModeName(mode));
+  std::printf("\n");
+}
+
+void PrintPointSummary(std::size_t index, const ExperimentSpec& point,
+                       const ExperimentPointResult& r) {
+  std::printf("point %zu%s%s: %s/%s, flows %zu/%zu", index,
+              r.label.empty() ? "" : " ", r.label.c_str(),
+              point.topology.c_str(), point.workload.c_str(),
+              r.flows_completed, r.flows_total);
+  if (!r.queue_bytes.empty()) {
+    std::printf(", peakQ %.1f KB", r.queue_bytes.Max() / 1e3);
+  }
+  std::printf(", pauses %llu, drops %llu, rtx %llu, events %llu (%.2fs)\n",
+              static_cast<unsigned long long>(r.pause_frames),
+              static_cast<unsigned long long>(r.drops),
+              static_cast<unsigned long long>(r.retransmits),
+              static_cast<unsigned long long>(r.events_processed),
+              r.wall_time_seconds);
+}
+
+void PrintBucketTable(const std::string& which,
+                      const ExperimentPointResult& r) {
+  // `which` was validated by ValidateSpec against the same dispatch.
+  const std::vector<std::uint64_t> edges = BucketEdgesByName(which);
+  std::printf("%12s %8s %8s %8s %8s %8s\n", "size<=", "count", "avg", "p50",
+              "p95", "p99");
+  for (const BucketStats& b : r.fct.Bucketed(edges)) {
+    if (b.count == 0) continue;
+    std::printf("%12llu %8zu %8.2f %8.2f %8.2f %8.2f\n",
+                static_cast<unsigned long long>(b.max_size_bytes), b.count,
+                b.avg, b.p50, b.p95, b.p99);
+  }
+}
+
+/// One tiny spec per registered topology x workload pair: every pair must
+/// build and run end to end. The ctest tier1 smoke and the CI job call
+/// this; a newly registered topology or workload is covered automatically.
+int RunSmoke() {
+  std::vector<ExperimentSpec> specs;
+  for (const std::string& topo : TopologyRegistry::Names()) {
+    for (const std::string& wl : WorkloadRegistry::Names()) {
+      ExperimentSpec spec;
+      spec.name = topo + "-" + wl;
+      spec.topology = topo;
+      spec.workload = wl;
+      spec.topo.num_senders = 3;
+      spec.topo.num_switches = 2;
+      spec.topo.merge_switch = 1;
+      spec.topo.k = 4;
+      spec.topo.leaves = 2;
+      spec.topo.spines = 2;
+      spec.topo.hosts_per_leaf = 2;
+      spec.topo.rails = 2;
+      spec.wl.num_flows = 12;
+      spec.wl.size_bytes = 20'000;
+      spec.wl.groups = (topo == "chain_merge") ? 1 : 2;
+      spec.cdf = "fb_hadoop";
+      if (wl == "elephants") {
+        spec.run.duration = Microseconds(50);
+      } else {
+        spec.run.duration = 0;  // run to completion
+        spec.run.max_sim_time = 50 * kMillisecond;
+      }
+      ValidateSpec(spec);
+      specs.push_back(std::move(spec));
+    }
+  }
+  const int threads = ThreadPool::DefaultThreadCount();
+  std::printf("smoke: %zu topology x workload pairs on %d thread(s)\n",
+              specs.size(), threads);
+  const std::vector<ExperimentPointResult> results =
+      RunExperimentPoints(specs, threads);
+  int failures = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentPointResult& r = results[i];
+    const bool timeseries_only = specs[i].workload == "elephants";
+    const bool ok = timeseries_only
+                        ? r.events_processed > 0
+                        : r.flows_completed == r.flows_total &&
+                              r.flows_total > 0;
+    std::printf("  %-40s %s (flows %zu/%zu, events %llu)\n",
+                specs[i].name.c_str(), ok ? "OK" : "FAILED",
+                r.flows_completed, r.flows_total,
+                static_cast<unsigned long long>(r.events_processed));
+    if (!ok) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "smoke: %d pair(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("smoke: all pairs OK\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false, print_only = false, smoke = false;
+  std::string spec_file;
+  std::vector<std::string> overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--print") {
+      print_only = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: fncc_run [--list | --smoke | --print] [spec-file] "
+          "[key=value ...]\n");
+      return 0;
+    } else if (arg.find('=') != std::string::npos) {
+      overrides.push_back(arg);
+    } else if (spec_file.empty()) {
+      spec_file = arg;
+    } else {
+      std::fprintf(stderr, "fncc_run: unexpected argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  try {
+    if (list) {
+      PrintRegistries();
+      return 0;
+    }
+    if (smoke) return RunSmoke();
+
+    ExperimentSpec spec =
+        spec_file.empty() ? ExperimentSpec{} : ParseSpecFile(spec_file);
+    ApplySpecOverrides(spec, overrides);
+    ValidateSpec(spec);
+    const std::vector<ExperimentSpec> points = ExpandSweep(spec);
+
+    if (print_only) {
+      std::printf("%s", SpecToText(spec).c_str());
+      std::printf("\n# %zu point(s):", points.size());
+      for (const ExperimentSpec& p : points) {
+        std::printf(" [%s]", p.label.empty() ? "default" : p.label.c_str());
+      }
+      std::printf("\n");
+      return 0;
+    }
+
+    const int threads = ThreadPool::DefaultThreadCount();
+    std::printf("%s: %zu point(s) on %d thread(s)\n", spec.name.c_str(),
+                points.size(), threads);
+    const WallTimer timer;
+    const std::vector<ExperimentPointResult> results =
+        RunExperimentPoints(points, threads);
+    const double wall = timer.Seconds();
+
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      PrintPointSummary(i, points[i], results[i]);
+      if (!spec.output.buckets.empty() && results[i].fct.count() > 0) {
+        PrintBucketTable(spec.output.buckets, results[i]);
+      }
+    }
+    std::printf("total %.2fs\n", wall);
+
+    const ExperimentArtifacts artifacts =
+        WriteExperimentOutputs(spec, points, results, threads, wall);
+    for (const std::string& file : artifacts.files) {
+      std::printf("wrote %s\n", file.c_str());
+    }
+    return 0;
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "fncc_run: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fncc_run: %s\n", e.what());
+    return 1;
+  }
+}
