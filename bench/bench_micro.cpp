@@ -331,7 +331,10 @@ void BM_HostAckPath(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_HostAckPath)->Arg(64)->Arg(1024)->Arg(8192);
+// 65536 is the cache-falloff regime the SoA hot rows target: 64k rows are
+// 4 MB of hot state, far past L2, so the run measures the dense-row layout
+// against DRAM latency rather than cache residency.
+BENCHMARK(BM_HostAckPath)->Arg(64)->Arg(1024)->Arg(8192)->Arg(65536);
 
 void BM_LegacyHostAckPath(benchmark::State& state) {
   const int flows = static_cast<int>(state.range(0));
@@ -356,7 +359,7 @@ void BM_LegacyHostAckPath(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_LegacyHostAckPath)->Arg(64)->Arg(1024)->Arg(8192);
+BENCHMARK(BM_LegacyHostAckPath)->Arg(64)->Arg(1024)->Arg(8192)->Arg(65536);
 
 void BM_SwitchForward(benchmark::State& state) {
   // One data packet through the full switch pipeline: devirtualized
@@ -429,6 +432,38 @@ BENCHMARK(BM_DumbbellSimulation)
     ->Arg(static_cast<int>(CcMode::kHpcc))
     ->Arg(static_cast<int>(CcMode::kDcqcn))
     ->Unit(benchmark::kMillisecond);
+
+void BM_DumbbellManyFlows(benchmark::State& state) {
+  // The 64k-flow dumbbell: tens of thousands of concurrent flows share one
+  // bottleneck, so every delivered batch lands on rows scattered across a
+  // multi-megabyte flow table — the full-simulation counterpart of
+  // BM_HostAckPath/65536. Flows are short (4 MTUs) to keep register /
+  // ACK / complete churn in the mix alongside steady-state pacing.
+  const int flows = static_cast<int>(state.range(0));
+  constexpr int kSenders = 8;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    MicroRunConfig config;
+    config.scenario.mode = CcMode::kFncc;
+    config.num_senders = kSenders;
+    config.flow_bytes = 4ull * config.scenario.mtu_bytes;
+    // Per-flow pacing/goodput sampling is 2 events/flow/us — at 64k flows
+    // that would be ~130M sampler events per simulated ms, drowning the
+    // packet path this bench is about. Aggregate counters are enough here.
+    config.monitor = false;
+    config.flows.clear();
+    config.flows.reserve(flows);
+    for (int i = 0; i < flows; ++i) {
+      config.flows.push_back({i % kSenders, 0, kTimeInfinity});
+    }
+    config.duration = Microseconds(400);
+    const MicroRunResult r = RunDumbbell(config);
+    events += r.events_processed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.SetLabel("items = simulated events");
+}
+BENCHMARK(BM_DumbbellManyFlows)->Arg(65536)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace fncc

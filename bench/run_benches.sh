@@ -54,25 +54,27 @@ case "$BUILD_TYPE" in
     ;;
 esac
 
-"$BENCH" \
-  --benchmark_out="$OUT" \
-  --benchmark_out_format=json \
-  --benchmark_context=fncc_build_type="$BUILD_TYPE" \
-  --benchmark_context=fncc_threads="$FNCC_THREADS" \
-  --benchmark_min_time=0.2
-
-# Debug-benchmark-library assertion (see header comment). Runs after the
-# bench because the library stamps its own build type into the JSON.
-LIB_TYPE="$(sed -n 's/.*"library_build_type": *"\([^"]*\)".*/\1/p' "$OUT" \
+# Debug-benchmark-library assertion (see header comment). A cheap probe
+# run (empty filter) reveals the library's build type BEFORE the real
+# bench, so a refused run costs nothing and an acknowledged one can stamp
+# the acknowledgement into the JSON context — check_bench_regression.py
+# refuses debug-library files that lack this stamp, baselines included.
+PROBE="$BUILD_DIR/.bench_probe.json"
+"$BENCH" --benchmark_filter='^$' --benchmark_out="$PROBE" \
+  --benchmark_out_format=json >/dev/null 2>&1 || true
+LIB_TYPE="$(sed -n 's/.*"library_build_type": *"\([^"]*\)".*/\1/p' "$PROBE" \
   | head -1)"
+rm -f "$PROBE"
+LIB_ACK=0
 if [ "$LIB_TYPE" != "release" ]; then
   if [ "${FNCC_ALLOW_DEBUG_BENCH_LIB:-0}" = "1" ]; then
+    LIB_ACK=1
     echo "warning: google-benchmark library_build_type='$LIB_TYPE' (not" >&2
-    echo "  release); proceeding because FNCC_ALLOW_DEBUG_BENCH_LIB=1." >&2
+    echo "  release); proceeding because FNCC_ALLOW_DEBUG_BENCH_LIB=1 and" >&2
+    echo "  stamping fncc_debug_bench_lib_ack into the JSON." >&2
     echo "  fncc itself is $BUILD_TYPE; ratios are unaffected, but treat" >&2
     echo "  absolute numbers with care." >&2
   else
-    rm -f "$OUT"
     echo "error: the google-benchmark library reports" >&2
     echo "  library_build_type='$LIB_TYPE' (built without NDEBUG)." >&2
     echo "  Refusing to emit $OUT: a debug-stamped JSON reads as if fncc" >&2
@@ -83,6 +85,14 @@ if [ "$LIB_TYPE" != "release" ]; then
     exit 1
   fi
 fi
+
+"$BENCH" \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  --benchmark_context=fncc_build_type="$BUILD_TYPE" \
+  --benchmark_context=fncc_threads="$FNCC_THREADS" \
+  --benchmark_context=fncc_debug_bench_lib_ack="$LIB_ACK" \
+  --benchmark_min_time=0.2
 
 echo ""
 echo "wrote $OUT (fncc_build_type=$BUILD_TYPE, fncc_threads=$FNCC_THREADS)"
@@ -130,7 +140,7 @@ if heap:
     print(f"  make_unique baseline   {heap/1e6:8.1f}M pkts/s")
 
 print("== receive path: flow table + devirtualized dispatch vs map+virtual ==")
-for arg in (64, 1024, 8192):
+for arg in (64, 1024, 8192, 65536):
     new = ips(f"BM_HostAckPath/{arg}")
     old = ips(f"BM_LegacyHostAckPath/{arg}")
     if new and old:

@@ -36,6 +36,12 @@ bench/run_benches.sh); when the two counts differ, wall-time entries are
 dropped from the comparison with a note instead of producing a bogus
 verdict.
 
+Build provenance is checked on BOTH files before any comparison: a file
+whose fncc_build_type is not Release/RelWithDebInfo is always refused,
+and a file recorded against a debug-built google-benchmark library is
+refused unless it carries the fncc_debug_bench_lib_ack stamp (recorded
+via FNCC_ALLOW_DEBUG_BENCH_LIB=1) or --allow-debug-library is given.
+
 This gate reads Google-Benchmark JSON only. The BENCH_<figure>.json
 sweep-meta files the fig benches write (top-level `threads` /
 `wall_time_seconds`, no `benchmarks` array) are pure telemetry with no
@@ -59,7 +65,43 @@ def is_wall_time(name: str) -> bool:
     return "walltime" in lowered or "wall_time" in lowered
 
 
-def load_bench_file(path: str) -> tuple[dict[str, float], str]:
+def check_provenance(path: str, context: dict, allow_debug: bool) -> None:
+    """Refuses files with unusable build provenance, baselines included.
+
+    Two independent stamps (both written by bench/run_benches.sh):
+      - fncc_build_type: how THIS project was compiled. Anything but
+        Release/RelWithDebInfo is meaningless as a baseline or a current
+        run -- hard refusal, no override.
+      - library_build_type: how the system google-benchmark library was
+        compiled. Distro packages are frequently debug; the library is
+        outside the measured loop so within-binary ratios stay valid, but
+        such a file must carry the explicit fncc_debug_bench_lib_ack
+        acknowledgement run_benches.sh stamps under
+        FNCC_ALLOW_DEBUG_BENCH_LIB=1 (or the gate must be run with
+        --allow-debug-library). Unacknowledged debug-library files --
+        including committed baselines -- are refused.
+    """
+    fncc_bt = str(context.get("fncc_build_type", "")).strip()
+    if fncc_bt not in ("Release", "RelWithDebInfo"):
+        raise SystemExit(
+            f"error: {path} has fncc_build_type={fncc_bt or 'missing'!r}; "
+            f"only Release/RelWithDebInfo runs are gateable -- regenerate "
+            f"with bench/run_benches.sh from a Release build")
+    lib_bt = str(context.get("library_build_type", "release")).strip()
+    if lib_bt != "release" and not allow_debug:
+        ack = str(context.get("fncc_debug_bench_lib_ack", "0")).strip()
+        if ack != "1":
+            raise SystemExit(
+                f"error: {path} was recorded against a "
+                f"library_build_type={lib_bt!r} google-benchmark without "
+                f"the fncc_debug_bench_lib_ack stamp; refusing it (baseline "
+                f"or current). Regenerate with a Release-built "
+                f"google-benchmark, or acknowledge at record time with "
+                f"FNCC_ALLOW_DEBUG_BENCH_LIB=1 bench/run_benches.sh, or "
+                f"pass --allow-debug-library")
+
+
+def load_bench_file(path: str, allow_debug: bool) -> tuple[dict[str, float], str]:
     """Returns ({name: items_per_second}, fncc_threads context value)."""
     with open(path) as f:
         data = json.load(f)
@@ -70,6 +112,7 @@ def load_bench_file(path: str) -> tuple[dict[str, float], str]:
             f"error: {path} is not Google-Benchmark JSON ({kind}); this "
             f"gate compares BENCH_micro.json-style files -- sweep-meta "
             f"wall times are telemetry, not gateable ratios")
+    check_provenance(path, data.get("context", {}), allow_debug)
     out = {}
     for bench in data.get("benchmarks", []):
         if "items_per_second" in bench:
@@ -119,6 +162,11 @@ def main() -> int:
                         help="standalone family that must exist in both "
                              "files (repeatable); REPLACES the default: "
                              f"{', '.join(DEFAULT_REQUIRED)}")
+    parser.add_argument("--allow-debug-library", action="store_true",
+                        help="accept files recorded against a debug-built "
+                             "google-benchmark library even without the "
+                             "fncc_debug_bench_lib_ack stamp (ratios are "
+                             "within-binary and library-independent)")
     args = parser.parse_args()
 
     pairs = []
@@ -132,8 +180,10 @@ def main() -> int:
     required = [fam for p in pairs for fam in p]
     required += (args.require if args.require else DEFAULT_REQUIRED)
 
-    base_ips, base_threads = load_bench_file(args.baseline)
-    cur_ips, cur_threads = load_bench_file(args.current)
+    base_ips, base_threads = load_bench_file(args.baseline,
+                                             args.allow_debug_library)
+    cur_ips, cur_threads = load_bench_file(args.current,
+                                           args.allow_debug_library)
     if base_threads != cur_threads:
         dropped = sorted(n for n in (set(base_ips) | set(cur_ips))
                          if is_wall_time(n))

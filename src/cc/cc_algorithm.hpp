@@ -3,6 +3,7 @@
 // them before each transmission.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -48,12 +49,16 @@ struct DcqcnParams {
   double rate_ai_fraction = 0.001;   // of line rate
   double rate_hai_fraction = 0.01;   // of line rate
   double min_rate_gbps = 0.1;
+
+  [[nodiscard]] bool operator==(const DcqcnParams&) const = default;
 };
 
 struct RoccSenderParams {
   /// With no switch feedback for this long, probe upward additively.
   Time feedback_hold = 100 * kMicrosecond;
   double probe_fraction = 0.01;  // of line rate, per ACK while probing
+
+  [[nodiscard]] bool operator==(const RoccSenderParams&) const = default;
 };
 
 struct TimelyParams {
@@ -66,10 +71,29 @@ struct TimelyParams {
   double alpha_ewma = 0.875;  // RTT-diff EWMA weight on history
   int hai_threshold = 5;
   double min_rate_gbps = 0.1;
+
+  [[nodiscard]] bool operator==(const TimelyParams&) const = default;
+};
+
+/// Constants the HPCC-family per-ACK path derives from the plain config
+/// fields. Resolved once by the HpccAlgorithm constructor — before the
+/// flow table interns the config — so every flow of a scenario reads them
+/// from the one shared pooled line instead of carrying ~2 cache lines of
+/// identical copies in its own per-ACK footprint.
+struct HpccDerivedConsts {
+  double t_sec = 0.0;            // ToSeconds(base_rtt), the T of Alg. 3
+  double wai_bytes = 0.0;        // resolved W_AI (auto rule applied)
+  double max_window_bytes = 0.0; // BDP
+  double min_window_bytes = 0.0;
+
+  [[nodiscard]] bool operator==(const HpccDerivedConsts&) const = default;
 };
 
 /// Fully resolved per-flow configuration (the harness fills line rate and
-/// base RTT from the topology before starting each flow).
+/// base RTT from the topology before starting each flow). Field-wise
+/// equality lets the flow table intern one shared copy per distinct
+/// configuration (see FlowTable::InternConfig) instead of keeping ~250
+/// bytes of identical constants in every flow's cache footprint.
 struct CcConfig {
   CcMode mode = CcMode::kFncc;
   double line_rate_gbps = 100.0;
@@ -87,20 +111,49 @@ struct CcConfig {
   double lhcs_alpha = 1.05;
   double lhcs_beta = 0.9;
 
+  /// Derived per-ACK constants (HPCC family); filled by the algorithm
+  /// constructor, equal whenever the fields above are equal, so interning
+  /// still pools flows correctly.
+  HpccDerivedConsts hpcc_derived;
+
   DcqcnParams dcqcn;
   RoccSenderParams rocc;
   TimelyParams timely;
+
+  [[nodiscard]] bool operator==(const CcConfig&) const = default;
 
   [[nodiscard]] double BdpBytesValue() const {
     return BdpBytes(line_rate_gbps, base_rtt);
   }
 };
 
+/// The two per-flow control words every transmission decision reads and
+/// every ACK may write. They normally live *outside* the algorithm object,
+/// in the flow table's dense hot-row array (one cache line per flow slot,
+/// see transport/hot_flow.hpp); an unbound algorithm falls back to a pair
+/// of words it owns. Binding is a pure relocation: values are copied, so
+/// results are bit-identical wherever the words live.
+struct CcHotWords {
+  double rate_gbps = 0.0;
+  double window_bytes = 0.0;
+};
+
 /// Base class for all schemes. Algorithms expose a pacing rate and an
 /// optional window; the QP enforces both.
+///
+/// Layout is hot/cold split: the per-ACK path touches only the first bytes
+/// of the object (vptr, hot-word pointer, config pointer, window flag), so
+/// a derived class's own per-ACK scalars share the object's first cache
+/// line. Everything cold after construction — the fallback hot words, the
+/// owned config copy, the on_update callback — lives behind one pointer in
+/// a side allocation.
 class CcAlgorithm {
  public:
-  explicit CcAlgorithm(const CcConfig& config) : config_(config) {}
+  explicit CcAlgorithm(const CcConfig& config)
+      : cold_(std::make_unique<ColdParts>(config)) {
+    words_ = &cold_->own_words;
+    config_ = &cold_->owned_config;
+  }
   virtual ~CcAlgorithm() = default;
   CcAlgorithm(const CcAlgorithm&) = delete;
   CcAlgorithm& operator=(const CcAlgorithm&) = delete;
@@ -121,30 +174,80 @@ class CcAlgorithm {
   [[nodiscard]] virtual const char* name() const = 0;
 
   /// Current pacing rate in Gbps. Always valid.
-  [[nodiscard]] double rate_gbps() const { return rate_gbps_; }
+  [[nodiscard]] double rate_gbps() const { return words_->rate_gbps; }
 
   /// In-flight byte cap; only meaningful when uses_window() is true.
-  [[nodiscard]] double window_bytes() const { return window_bytes_; }
+  [[nodiscard]] double window_bytes() const { return words_->window_bytes; }
 
   /// Whether the scheme enforces a window. Not virtual: consulted before
   /// every transmission, so it is a constructor-set flag read inline.
   [[nodiscard]] bool uses_window() const { return uses_window_; }
 
-  /// Set by the QP; algorithms invoke it after asynchronous (timer-driven)
-  /// rate increases so a pacing-blocked QP can re-arm earlier.
-  std::function<void()> on_update;
-
-  [[nodiscard]] const CcConfig& config() const { return config_; }
-
- protected:
-  void NotifyUpdate() {
-    if (on_update) on_update();
+  /// Relocate the hot words into an externally owned slot (the flow
+  /// table's SoA row). Copies the current values first, so binding at any
+  /// point — before or after the constructor seeded rate/window — is
+  /// value-preserving.
+  void BindHotWords(CcHotWords* words) {
+    *words = *words_;
+    words_ = words;
   }
 
-  CcConfig config_;
-  double rate_gbps_ = 0.0;
-  double window_bytes_ = 0.0;
+  /// Swap the owned config copy for a pooled one with identical values
+  /// (FlowTable interns the post-construction config, so auto-resolved
+  /// params — e.g. Timely's RTT thresholds — are already final). A pure
+  /// relocation: every subsequent read sees the same values from a line
+  /// shared by all flows of the scenario. The owned copy stays allocated,
+  /// so nothing dangles if the caller's pool dies first.
+  void AdoptSharedConfig(const CcConfig& shared) {
+    assert(shared == *config_ && "interned config must be value-identical");
+    config_ = &shared;
+  }
+
+  [[nodiscard]] const CcConfig& config() const { return *config_; }
+
+  /// Set by the QP; algorithms invoke it (NotifyUpdate) after asynchronous
+  /// timer-driven rate increases so a pacing-blocked QP can re-arm earlier.
+  void set_on_update(std::function<void()> fn) {
+    cold_->on_update = std::move(fn);
+  }
+
+ protected:
+  [[nodiscard]] const CcConfig& cfg() const { return *config_; }
+
+  /// Constructor-time only: resolve auto-scaled params in the owned copy.
+  /// Must never be called after AdoptSharedConfig (the pool interns the
+  /// resolved values; mutating afterwards would desynchronize flows).
+  [[nodiscard]] CcConfig& mutable_config() {
+    assert(config_ == &cold_->owned_config &&
+           "config already shared; constructor-time resolution only");
+    return cold_->owned_config;
+  }
+
+  [[nodiscard]] double& rate_mut() { return words_->rate_gbps; }
+  [[nodiscard]] double& window_mut() { return words_->window_bytes; }
+
+  void NotifyUpdate() {
+    if (cold_->on_update) cold_->on_update();
+  }
+
   bool uses_window_ = false;  // set once by window-based schemes' ctors
+
+  /// Spare constructor-set flag packed into the base's first-line padding,
+  /// for a derived scheme's hottest boolean (FNCC: "LHCS enabled"). Keeps
+  /// the per-ACK hook off the object's cold tail lines.
+  bool scheme_flag_ = false;
+
+ private:
+  struct ColdParts {
+    explicit ColdParts(const CcConfig& c) : owned_config(c) {}
+    CcHotWords own_words;   // fallback target until BindHotWords
+    CcConfig owned_config;  // fallback source until AdoptSharedConfig
+    std::function<void()> on_update;
+  };
+
+  CcHotWords* words_ = nullptr;        // -> flow-table row or own_words
+  const CcConfig* config_ = nullptr;   // -> pooled config or owned_config
+  std::unique_ptr<ColdParts> cold_;
 };
 
 }  // namespace fncc

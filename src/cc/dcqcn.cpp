@@ -6,8 +6,8 @@ namespace fncc {
 
 DcqcnAlgorithm::DcqcnAlgorithm(const CcConfig& config, Simulator* sim)
     : CcAlgorithm(config), sim_(sim) {
-  rate_gbps_ = config_.line_rate_gbps;
-  rt_gbps_ = config_.line_rate_gbps;
+  rate_mut() = cfg().line_rate_gbps;
+  rt_gbps_ = cfg().line_rate_gbps;
   ArmAlphaTimer();
   ArmIncreaseTimer();
 }
@@ -27,10 +27,10 @@ void DcqcnAlgorithm::OnAck(const Packet&, std::uint64_t) {
 
 void DcqcnAlgorithm::OnCnp() {
   // Rate decrease (RP reaction to congestion notification).
-  rt_gbps_ = rate_gbps_;
-  rate_gbps_ = std::max(config_.dcqcn.min_rate_gbps,
-                        rate_gbps_ * (1.0 - alpha_ / 2.0));
-  alpha_ = (1.0 - config_.dcqcn.g) * alpha_ + config_.dcqcn.g;
+  rt_gbps_ = rate_mut();
+  rate_mut() = std::max(cfg().dcqcn.min_rate_gbps,
+                        rate_mut() * (1.0 - alpha_ / 2.0));
+  alpha_ = (1.0 - cfg().dcqcn.g) * alpha_ + cfg().dcqcn.g;
 
   // Restart the increase machinery from fast recovery.
   t_stage_ = 0;
@@ -43,8 +43,8 @@ void DcqcnAlgorithm::OnCnp() {
 void DcqcnAlgorithm::OnBytesSent(std::uint64_t bytes) {
   if (shut_down_) return;
   bytes_acc_ += bytes;
-  while (bytes_acc_ >= config_.dcqcn.byte_counter) {
-    bytes_acc_ -= config_.dcqcn.byte_counter;
+  while (bytes_acc_ >= cfg().dcqcn.byte_counter) {
+    bytes_acc_ -= cfg().dcqcn.byte_counter;
     ++b_stage_;
     IncreaseEvent();
   }
@@ -64,10 +64,10 @@ void DcqcnAlgorithm::ArmAlphaTimer() {
   // Rearm fast path (every CNP restarts this timer): the fused
   // Reschedule reuses the pending event's slot; only after the timer fired
   // (or on first arm) is a fresh typed event scheduled.
-  alpha_event_ = sim_->Reschedule(alpha_event_, config_.dcqcn.alpha_timer);
+  alpha_event_ = sim_->Reschedule(alpha_event_, cfg().dcqcn.alpha_timer);
   if (alpha_event_ == kInvalidEventId) {
     alpha_event_ = sim_->Schedule(
-        config_.dcqcn.alpha_timer,
+        cfg().dcqcn.alpha_timer,
         TypedEvent{.run = &DcqcnAlgorithm::AlphaTimerEvent,
                    .drop = nullptr,
                    .p0 = this,
@@ -78,10 +78,10 @@ void DcqcnAlgorithm::ArmAlphaTimer() {
 
 void DcqcnAlgorithm::ArmIncreaseTimer() {
   increase_event_ =
-      sim_->Reschedule(increase_event_, config_.dcqcn.increase_timer);
+      sim_->Reschedule(increase_event_, cfg().dcqcn.increase_timer);
   if (increase_event_ == kInvalidEventId) {
     increase_event_ = sim_->Schedule(
-        config_.dcqcn.increase_timer,
+        cfg().dcqcn.increase_timer,
         TypedEvent{.run = &DcqcnAlgorithm::IncreaseTimerEvent,
                    .drop = nullptr,
                    .p0 = this,
@@ -92,7 +92,7 @@ void DcqcnAlgorithm::ArmIncreaseTimer() {
 
 void DcqcnAlgorithm::OnAlphaTimer() {
   // No CNP for a full interval: decay the congestion estimate.
-  alpha_ = (1.0 - config_.dcqcn.g) * alpha_;
+  alpha_ = (1.0 - cfg().dcqcn.g) * alpha_;
   alpha_event_ = kInvalidEventId;
   ArmAlphaTimer();
 }
@@ -105,18 +105,18 @@ void DcqcnAlgorithm::OnIncreaseTimer() {
 }
 
 void DcqcnAlgorithm::IncreaseEvent() {
-  const int f = config_.dcqcn.fast_recovery_stages;
-  const double line = config_.line_rate_gbps;
+  const int f = cfg().dcqcn.fast_recovery_stages;
+  const double line = cfg().line_rate_gbps;
   if (t_stage_ < f && b_stage_ < f) {
     // Fast recovery: halve the gap to the target rate.
   } else if (t_stage_ >= f && b_stage_ >= f) {
     // Hyper increase.
-    rt_gbps_ = std::min(line, rt_gbps_ + line * config_.dcqcn.rate_hai_fraction);
+    rt_gbps_ = std::min(line, rt_gbps_ + line * cfg().dcqcn.rate_hai_fraction);
   } else {
     // Additive increase.
-    rt_gbps_ = std::min(line, rt_gbps_ + line * config_.dcqcn.rate_ai_fraction);
+    rt_gbps_ = std::min(line, rt_gbps_ + line * cfg().dcqcn.rate_ai_fraction);
   }
-  rate_gbps_ = std::min(line, (rate_gbps_ + rt_gbps_) / 2.0);
+  rate_mut() = std::min(line, (rate_mut() + rt_gbps_) / 2.0);
   NotifyUpdate();
 }
 

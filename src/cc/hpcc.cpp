@@ -6,25 +6,30 @@
 namespace fncc {
 
 HpccAlgorithm::HpccAlgorithm(const CcConfig& config) : CcAlgorithm(config) {
-  const double bdp = config_.BdpBytesValue();
-  max_window_bytes_ = bdp;
-  min_window_bytes_ =
-      config_.min_window_fraction_of_mtu * config_.mtu_bytes;
-  wai_bytes_ = config_.wai_bytes > 0
-                   ? config_.wai_bytes
-                   : bdp * (1.0 - config_.eta) / 4.0;
+  const double bdp = cfg().BdpBytesValue();
+  // Constructor-time resolution into the (not yet shared) config: once the
+  // flow table interns it, every flow reads these derived constants from
+  // the same pooled cache line.
+  HpccDerivedConsts& d = mutable_config().hpcc_derived;
+  d.t_sec = ToSeconds(cfg().base_rtt);
+  d.max_window_bytes = bdp;
+  d.min_window_bytes = cfg().min_window_fraction_of_mtu * cfg().mtu_bytes;
+  d.wai_bytes = cfg().wai_bytes > 0
+                    ? cfg().wai_bytes
+                    : bdp * (1.0 - cfg().eta) / 4.0;
   // W_init = B * T: start at line rate, as HPCC does.
-  window_bytes_ = bdp;
+  window_mut() = bdp;
   wc_bytes_ = bdp;
-  rate_gbps_ = config_.line_rate_gbps;
+  rate_mut() = cfg().line_rate_gbps;
   uses_window_ = true;
 }
 
 double HpccAlgorithm::MeasureInFlight(
     const IntView& view, std::array<double, kMaxIntHops>& link_u) {
-  const double t_sec = ToSeconds(config_.base_rtt);
+  const double t_sec = cfg().hpcc_derived.t_sec;
+  const Time base_rtt = cfg().base_rtt;
   double u_max = 0.0;
-  Time tau = config_.base_rtt;
+  Time tau = base_rtt;
 
   for (std::size_t i = 0; i < view.hops(); ++i) {
     const IntEntry& cur = view.hop(i);
@@ -48,14 +53,14 @@ double HpccAlgorithm::MeasureInFlight(
       // line rate; smooth it (same tau/T filter as the global U) so LHCS
       // hop detection sees a stable signal. The queue term is already
       // stable and must stay instantaneous for sub-RTT reaction.
-      const double fl = ToSeconds(std::min(dt, config_.base_rtt)) / t_sec;
+      const double fl = ToSeconds(std::min(dt, base_rtt)) / t_sec;
       link_rate_ewma_[i] =
           (1.0 - fl) * link_rate_ewma_[i] + fl * (tx_rate / bps);
     }
     link_u[i] = qterm + link_rate_ewma_[i];
   }
 
-  tau = std::min(tau, config_.base_rtt);
+  tau = std::min(tau, base_rtt);
   const double f = ToSeconds(tau) / t_sec;
   u_ewma_ = (1.0 - f) * u_ewma_ + f * u_max;
   return u_ewma_;
@@ -63,9 +68,8 @@ double HpccAlgorithm::MeasureInFlight(
 
 void HpccAlgorithm::SetRateFromWindow() {
   // R = W / T (Alg. 3 line 47), capped at line rate.
-  rate_gbps_ = std::min(
-      config_.line_rate_gbps,
-      window_bytes_ * 8.0 / (ToSeconds(config_.base_rtt) * 1e9));
+  rate_mut() = std::min(cfg().line_rate_gbps,
+                        window_bytes() * 8.0 / (cfg().hpcc_derived.t_sec * 1e9));
 }
 
 }  // namespace fncc

@@ -56,7 +56,7 @@ class HpccAlgorithm : public CcAlgorithm {
   template <class Self>
   void OnAckImpl(const Packet& ack, std::uint64_t snd_nxt);
 
-  /// Alg. 3 ComputeWind; updates window_bytes_ (and wc on per-RTT ACKs).
+  /// Alg. 3 ComputeWind; updates the window (and wc on per-RTT ACKs).
   template <class Self>
   void ComputeWind(double u, bool update_wc, const Packet& ack,
                    const IntView& view,
@@ -67,10 +67,21 @@ class HpccAlgorithm : public CcAlgorithm {
   double MeasureInFlight(const IntView& view,
                          std::array<double, kMaxIntHops>& link_u);
 
-  [[nodiscard]] double wai_bytes() const { return wai_bytes_; }
-  [[nodiscard]] double max_window() const { return max_window_bytes_; }
-  [[nodiscard]] double min_window() const { return min_window_bytes_; }
+  // Derived constants live in the interned config (one copy per scenario,
+  // L1-resident for every flow), not in per-flow members: see
+  // CcConfig::hpcc_derived.
+  [[nodiscard]] double wai_bytes() const { return cfg().hpcc_derived.wai_bytes; }
+  [[nodiscard]] double max_window() const {
+    return cfg().hpcc_derived.max_window_bytes;
+  }
+  [[nodiscard]] double min_window() const {
+    return cfg().hpcc_derived.min_window_bytes;
+  }
+  [[nodiscard]] double t_sec() const { return cfg().hpcc_derived.t_sec; }
 
+  // Hot per-ACK scalars first: with the slim CcAlgorithm base (vptr plus
+  // the hot-word/config pointers and flag byte) everything down to
+  // prev_hops_ shares the object's first cache line.
   double wc_bytes_ = 0.0;  // reference window W^c
 
  private:
@@ -78,19 +89,17 @@ class HpccAlgorithm : public CcAlgorithm {
 
   double u_ewma_ = 0.0;
   int inc_stage_ = 0;
+  std::uint8_t prev_hops_ = 0;  // <= kMaxIntHops, so a byte suffices
+  bool have_prev_ = false;
   std::uint64_t last_update_seq_ = 0;
 
-  double wai_bytes_ = 0.0;
-  double max_window_bytes_ = 0.0;
-  double min_window_bytes_ = 0.0;
-
-  // Previous INT per request-path hop (the L array of Alg. 3).
-  std::array<IntEntry, kMaxIntHops> prev_l_{};
   // Per-link EWMA of the normalized tx rate (the rate half of Alg. 3's
   // U[] array, noise-filtered; the queue half stays instantaneous).
   std::array<double, kMaxIntHops> link_rate_ewma_{};
-  std::size_t prev_hops_ = 0;
-  bool have_prev_ = false;
+  // Previous INT per request-path hop (the L array of Alg. 3). Last: the
+  // coldest of the per-ACK state (bulk-copied once per ACK, never seeked
+  // into), so it cannot push the scalars above off the leading lines.
+  std::array<IntEntry, kMaxIntHops> prev_l_{};
 };
 
 template <class Self>
@@ -102,28 +111,32 @@ void HpccAlgorithm::ComputeWind(double u, bool update_wc, const Packet& ack,
   // divide the just-set fair share by the still-high U).
   if (static_cast<Self*>(this)->Self::UpdateWc(ack, view, link_u,
                                                view.hops())) {
-    window_bytes_ = wc_bytes_;
+    window_mut() = wc_bytes_;
     if (update_wc) inc_stage_ = 0;
     SetRateFromWindow();
     return;
   }
 
+  const double eta = cfg().eta;
+  const double wai = wai_bytes();
+  const double min_w = min_window();
+  const double max_w = max_window();
   double w = 0.0;
-  if (u >= config_.eta || inc_stage_ >= config_.max_stage) {
+  if (u >= eta || inc_stage_ >= cfg().max_stage) {
     // Multiplicative adjustment toward eta plus additive increase.
-    w = wc_bytes_ / (u / config_.eta) + wai_bytes_;
+    w = wc_bytes_ / (u / eta) + wai;
     if (update_wc) {
       inc_stage_ = 0;
-      wc_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
+      wc_bytes_ = std::clamp(w, min_w, max_w);
     }
   } else {
-    w = wc_bytes_ + wai_bytes_;
+    w = wc_bytes_ + wai;
     if (update_wc) {
       ++inc_stage_;
-      wc_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
+      wc_bytes_ = std::clamp(w, min_w, max_w);
     }
   }
-  window_bytes_ = std::clamp(w, min_window_bytes_, max_window_bytes_);
+  window_mut() = std::clamp(w, min_w, max_w);
   SetRateFromWindow();
 }
 
@@ -135,7 +148,7 @@ void HpccAlgorithm::OnAckImpl(const Packet& ack, std::uint64_t snd_nxt) {
   if (!have_prev_ || prev_hops_ != view.hops()) {
     // First sample (or path change): just record L.
     for (std::size_t i = 0; i < view.hops(); ++i) prev_l_[i] = view.hop(i);
-    prev_hops_ = view.hops();
+    prev_hops_ = static_cast<std::uint8_t>(view.hops());
     have_prev_ = true;
     return;
   }
@@ -150,7 +163,7 @@ void HpccAlgorithm::OnAckImpl(const Packet& ack, std::uint64_t snd_nxt) {
   if (update_wc) last_update_seq_ = snd_nxt;
 
   for (std::size_t i = 0; i < view.hops(); ++i) prev_l_[i] = view.hop(i);
-  prev_hops_ = view.hops();
+  prev_hops_ = static_cast<std::uint8_t>(view.hops());
 }
 
 }  // namespace fncc

@@ -7,16 +7,16 @@ namespace fncc {
 void RoccAlgorithm::OnAck(const Packet& ack, std::uint64_t) {
   const Time now = sim_->Now();
   if (ack.rocc_rate_gbps > 0.0) {
-    rate_gbps_ = std::min(config_.line_rate_gbps, ack.rocc_rate_gbps);
+    rate_mut() = std::min(cfg().line_rate_gbps, ack.rocc_rate_gbps);
     last_feedback_ = now;
     return;
   }
-  if (now - last_feedback_ > config_.rocc.feedback_hold) {
+  if (now - last_feedback_ > cfg().rocc.feedback_hold) {
     // No congested switch on the path is advertising a rate: probe upward.
-    rate_gbps_ =
-        std::min(config_.line_rate_gbps,
-                 rate_gbps_ + config_.line_rate_gbps *
-                                  config_.rocc.probe_fraction);
+    rate_mut() =
+        std::min(cfg().line_rate_gbps,
+                 rate_mut() + cfg().line_rate_gbps *
+                                  cfg().rocc.probe_fraction);
   }
 }
 

@@ -12,7 +12,7 @@ class RoccAlgorithm final : public CcAlgorithm {
  public:
   RoccAlgorithm(const CcConfig& config, Simulator* sim)
       : CcAlgorithm(config), sim_(sim) {
-    rate_gbps_ = config_.line_rate_gbps;
+    rate_mut() = cfg().line_rate_gbps;
   }
 
   void OnAck(const Packet& ack, std::uint64_t snd_nxt) override;

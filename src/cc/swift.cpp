@@ -8,11 +8,11 @@ SwiftAlgorithm::SwiftAlgorithm(const CcConfig& config, Simulator* sim,
                                SwiftParams params)
     : CcAlgorithm(config), sim_(sim), params_(params) {
   target_delay_ = static_cast<Time>(
-      static_cast<double>(config_.base_rtt) * params_.target_rtt_multiple);
-  max_window_bytes_ = config_.BdpBytesValue() * 1.2;
-  min_window_bytes_ = params_.min_window_mtus * config_.mtu_bytes;
-  window_bytes_ = config_.BdpBytesValue();
-  rate_gbps_ = config_.line_rate_gbps;
+      static_cast<double>(cfg().base_rtt) * params_.target_rtt_multiple);
+  max_window_bytes_ = cfg().BdpBytesValue() * 1.2;
+  min_window_bytes_ = params_.min_window_mtus * cfg().mtu_bytes;
+  window_mut() = cfg().BdpBytesValue();
+  rate_mut() = cfg().line_rate_gbps;
   uses_window_ = true;
 }
 
@@ -25,29 +25,29 @@ void SwiftAlgorithm::OnAck(const Packet& ack, std::uint64_t) {
     // Additive increase, normalized so the window grows ~ai_mtus per RTT
     // regardless of how many ACKs arrive.
     const double ack_fraction =
-        static_cast<double>(config_.mtu_bytes) /
-        std::max(window_bytes_, static_cast<double>(config_.mtu_bytes));
-    window_bytes_ += params_.ai_mtus * config_.mtu_bytes * ack_fraction;
-  } else if (now - last_decrease_ >= config_.base_rtt) {
+        static_cast<double>(cfg().mtu_bytes) /
+        std::max(window_mut(), static_cast<double>(cfg().mtu_bytes));
+    window_mut() += params_.ai_mtus * cfg().mtu_bytes * ack_fraction;
+  } else if (now - last_decrease_ >= cfg().base_rtt) {
     // At most one multiplicative decrease per RTT.
     const double overshoot =
         static_cast<double>(delay - target_delay_) /
         static_cast<double>(delay);
     const double factor =
         std::max(1.0 - params_.beta * overshoot, 1.0 - params_.max_mdf);
-    window_bytes_ *= factor;
+    window_mut() *= factor;
     last_decrease_ = now;
     ++decreases_;
   }
-  window_bytes_ =
-      std::clamp(window_bytes_, min_window_bytes_, max_window_bytes_);
+  window_mut() =
+      std::clamp(window_mut(), min_window_bytes_, max_window_bytes_);
   SetRateFromWindow();
 }
 
 void SwiftAlgorithm::SetRateFromWindow() {
-  rate_gbps_ = std::min(
-      config_.line_rate_gbps,
-      window_bytes_ * 8.0 / (ToSeconds(config_.base_rtt) * 1e9));
+  rate_mut() = std::min(
+      cfg().line_rate_gbps,
+      window_mut() * 8.0 / (ToSeconds(cfg().base_rtt) * 1e9));
 }
 
 }  // namespace fncc

@@ -11,35 +11,35 @@ void TimelyAlgorithm::OnAck(const Packet& ack, std::uint64_t) {
     prev_rtt_ = rtt;
     return;
   }
-  const TimelyParams& p = config_.timely;
+  const TimelyParams& p = cfg().timely;
   const double new_diff_us = ToMicroseconds(rtt - prev_rtt_);
   prev_rtt_ = rtt;
   rtt_diff_us_ =
       p.alpha_ewma * rtt_diff_us_ + (1.0 - p.alpha_ewma) * new_diff_us;
   gradient_ = rtt_diff_us_ / ToMicroseconds(p.min_rtt);
 
-  const double line = config_.line_rate_gbps;
+  const double line = cfg().line_rate_gbps;
   const double delta = line * p.addstep_fraction;
 
   if (rtt < p.t_low) {
-    rate_gbps_ = std::min(line, rate_gbps_ + delta);
+    rate_mut() = std::min(line, rate_mut() + delta);
     return;
   }
   if (rtt > p.t_high) {
-    rate_gbps_ = std::max(
+    rate_mut() = std::max(
         p.min_rate_gbps,
-        rate_gbps_ * (1.0 - p.beta * (1.0 - ToMicroseconds(p.t_high) /
+        rate_mut() * (1.0 - p.beta * (1.0 - ToMicroseconds(p.t_high) /
                                                 ToMicroseconds(rtt))));
     return;
   }
   if (gradient_ <= 0) {
     ++completed_in_low_;
     const int n = completed_in_low_ >= p.hai_threshold ? 5 : 1;
-    rate_gbps_ = std::min(line, rate_gbps_ + n * delta);
+    rate_mut() = std::min(line, rate_mut() + n * delta);
   } else {
     completed_in_low_ = 0;
-    rate_gbps_ = std::max(p.min_rate_gbps,
-                          rate_gbps_ * (1.0 - p.beta * gradient_));
+    rate_mut() = std::max(p.min_rate_gbps,
+                          rate_mut() * (1.0 - p.beta * gradient_));
   }
 }
 

@@ -11,11 +11,13 @@ class TimelyAlgorithm final : public CcAlgorithm {
  public:
   TimelyAlgorithm(const CcConfig& config, Simulator* sim)
       : CcAlgorithm(config), sim_(sim) {
-    rate_gbps_ = config_.line_rate_gbps;
-    TimelyParams& p = config_.timely;
-    if (p.min_rtt == 0) p.min_rtt = config_.base_rtt;
-    if (p.t_low == 0) p.t_low = config_.base_rtt * 3 / 2;
-    if (p.t_high == 0) p.t_high = config_.base_rtt * 5;
+    rate_mut() = cfg().line_rate_gbps;
+    // Resolve the auto-scaled thresholds into the owned copy now, before
+    // the flow table interns the (resolved) config for sharing.
+    TimelyParams& p = mutable_config().timely;
+    if (p.min_rtt == 0) p.min_rtt = cfg().base_rtt;
+    if (p.t_low == 0) p.t_low = cfg().base_rtt * 3 / 2;
+    if (p.t_high == 0) p.t_high = cfg().base_rtt * 5;
   }
 
   void OnAck(const Packet& ack, std::uint64_t snd_nxt) override;

@@ -55,7 +55,16 @@ class InlineCc {
   // -- Hot dispatch: mode-tagged, no virtual calls -------------------------
 
   void OnAck(const Packet& ack, std::uint64_t snd_nxt) {
-    switch (mode_) {
+    OnAckTag(mode_, ack, snd_nxt);
+  }
+
+  /// Same dispatch, with the mode tag supplied by the caller. The batched
+  /// ACK path reads the tag from the flow's hot row (the same cache line
+  /// that holds the rate/window words), so dispatch needs no load from
+  /// this object at all.
+  void OnAckTag(CcMode mode, const Packet& ack, std::uint64_t snd_nxt) {
+    assert(mode == mode_);
+    switch (mode) {
       case CcMode::kFncc:
       case CcMode::kFnccNoLhcs:
         u_.fncc.OnAckFast(ack, snd_nxt);
@@ -114,9 +123,12 @@ class InlineCc {
     SwiftAlgorithm swift;
   };
 
-  Storage u_;
+  // Header (base pointer + tag) first: the cold-path consultations that
+  // read through base_ touch the object's first bytes without paging in
+  // the ~900-byte union behind them.
   CcAlgorithm* base_ = nullptr;  // points into u_; null when empty
   CcMode mode_ = CcMode::kFncc;
+  Storage u_;
 };
 
 }  // namespace fncc

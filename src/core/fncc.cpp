@@ -5,7 +5,9 @@
 namespace fncc {
 
 FnccAlgorithm::FnccAlgorithm(const CcConfig& config, bool enable_lhcs)
-    : HpccAlgorithm(config), lhcs_enabled_(enable_lhcs) {}
+    : HpccAlgorithm(config) {
+  scheme_flag_ = enable_lhcs;
+}
 
 // (UpdateWc is a non-virtual shadow of the HpccAlgorithm hook; see
 // OnAckImpl<Self> in cc/hpcc.hpp for the static dispatch.)
@@ -13,7 +15,7 @@ FnccAlgorithm::FnccAlgorithm(const CcConfig& config, bool enable_lhcs)
 bool FnccAlgorithm::UpdateWc(const Packet& ack, const IntView& view,
                              const std::array<double, kMaxIntHops>& link_u,
                              std::size_t hops) {
-  if (!lhcs_enabled_ || hops == 0) return false;
+  if (!lhcs_enabled() || hops == 0) return false;
 
   // Alg. 2 lines 3-8: locate the most congested hop.
   double u_max = 0.0;
@@ -27,7 +29,7 @@ bool FnccAlgorithm::UpdateWc(const Packet& ack, const IntView& view,
 
   // Alg. 2 line 11: react only to genuine last-hop congestion. alpha is
   // slightly above 1 to avoid over-sensitivity to transient state.
-  if (hop != view.last_hop_index() || u_max <= config_.lhcs_alpha) {
+  if (hop != view.last_hop_index() || u_max <= cfg().lhcs_alpha) {
     return false;
   }
   const std::uint16_t n = ack.concurrent_flows;
@@ -37,8 +39,8 @@ bool FnccAlgorithm::UpdateWc(const Packet& ack, const IntView& view,
   // the last hop's bandwidth from its INT entry.
   const double b_bytes_per_sec =
       BytesPerSecond(view.hop(view.last_hop_index()).bandwidth_gbps);
-  const double fair = b_bytes_per_sec * ToSeconds(config_.base_rtt) *
-                      config_.lhcs_beta / static_cast<double>(n);
+  const double fair =
+      b_bytes_per_sec * t_sec() * cfg().lhcs_beta / static_cast<double>(n);
   wc_bytes_ = std::clamp(fair, min_window(), max_window());
   ++lhcs_triggers_;
   return true;

@@ -30,10 +30,13 @@ class FnccAlgorithm final : public HpccAlgorithm {
   }
 
   [[nodiscard]] const char* name() const override {
-    return lhcs_enabled_ ? "FNCC" : "FNCC-noLHCS";
+    return lhcs_enabled() ? "FNCC" : "FNCC-noLHCS";
   }
 
-  [[nodiscard]] bool lhcs_enabled() const { return lhcs_enabled_; }
+  /// Stored in the base's first-line spare flag (scheme_flag_): the only
+  /// per-flow LHCS state the per-ACK hook reads, so UpdateWc never touches
+  /// this object's tail lines unless it actually triggers.
+  [[nodiscard]] bool lhcs_enabled() const { return scheme_flag_; }
   /// Number of times LHCS snapped the window to the fair share (tests).
   [[nodiscard]] std::uint64_t lhcs_triggers() const { return lhcs_triggers_; }
 
@@ -44,7 +47,8 @@ class FnccAlgorithm final : public HpccAlgorithm {
                 std::size_t hops);
 
  private:
-  bool lhcs_enabled_;
+  // Touched only when LHCS fires (rare), so cold-tail placement is fine.
+  // alpha/beta are read from the shared interned config (cfg()).
   std::uint64_t lhcs_triggers_ = 0;
 };
 

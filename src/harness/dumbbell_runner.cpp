@@ -52,7 +52,7 @@ ExperimentSpec MicroSpec(const MicroRunConfig& config, int merge_switch) {
   spec.run.queue_sample_interval = config.queue_sample_interval;
   spec.run.rate_sample_interval = config.rate_sample_interval;
   spec.run.util_sample_interval = config.util_sample_interval;
-  spec.run.monitor = true;
+  spec.run.monitor = config.monitor;
   return spec;
 }
 

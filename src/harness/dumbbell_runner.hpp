@@ -33,6 +33,12 @@ struct MicroRunConfig {
   Time rate_sample_interval = Microseconds(1);
   Time util_sample_interval = Microseconds(5);
 
+  /// Per-flow pacing/goodput sampling costs 2 sampler events per flow per
+  /// rate_sample_interval — negligible for figure runs (a handful of
+  /// flows) but dominant at e.g. 64k flows. Turn off when only aggregate
+  /// results (FCTs, counters, events_processed) are wanted.
+  bool monitor = true;
+
   /// Per-flow byte budget; large enough to outlast `duration` at line rate.
   std::uint64_t flow_bytes = 0;  // 0 = auto from duration
 };

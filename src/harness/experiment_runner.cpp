@@ -23,6 +23,7 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
   result.label = point.label;
 
   Simulator sim;
+  sim.set_delivery_batch(sc.delivery_batch);
   Rng rng(sc.seed);
   BuiltTopology topo =
       TopologyRegistry::Build(point.topology, &sim, MakeHostFactory(sc),

@@ -254,6 +254,7 @@ void ApplyKey(ExperimentSpec& spec, const std::string& key,
   if (key == "scenario.ecmp_salt") { spec.scenario.ecmp_salt = static_cast<std::uint32_t>(ToBoundedU64(key, value, 0xFFFFFFFFull)); return; }
   if (key == "scenario.int_table_refresh_us") { spec.scenario.int_table_refresh = TimeFromUs(key, value); return; }
   if (key == "scenario.quantize_int") { spec.scenario.quantize_int = ToBool(key, value); return; }
+  if (key == "scenario.delivery_batch") { spec.scenario.delivery_batch = ToBoundedInt(key, value); return; }
   if (key == "scenario.eta") { spec.scenario.eta = ToDouble(key, value); return; }
   if (key == "scenario.max_stage") { spec.scenario.max_stage = ToBoundedInt(key, value); return; }
   if (key == "scenario.wai_bytes") { spec.scenario.wai_bytes = ToDouble(key, value); return; }
@@ -411,6 +412,9 @@ void ValidateSpec(const ExperimentSpec& spec) {
           "scenario.pfc_xon_bytes must be <= scenario.pfc_xoff_bytes");
   Require(spec.scenario.int_table_refresh >= 0,
           "scenario.int_table_refresh_us must be >= 0");
+  Require(spec.scenario.delivery_batch >= 1 &&
+              spec.scenario.delivery_batch <= 64,
+          "scenario.delivery_batch must be in [1, 64]");
   Require(spec.scenario.eta > 0.0 && spec.scenario.eta <= 1.0,
           "scenario.eta must be in (0, 1]");
   Require(spec.scenario.max_stage >= 1, "scenario.max_stage must be >= 1");
@@ -637,6 +641,7 @@ std::string SpecToText(const ExperimentSpec& spec) {
       << FormatTimeUs(spec.scenario.int_table_refresh) << "\n";
   out << "quantize_int = " << (spec.scenario.quantize_int ? "true" : "false")
       << "\n";
+  out << "delivery_batch = " << spec.scenario.delivery_batch << "\n";
   out << "eta = " << FormatDouble(spec.scenario.eta) << "\n";
   out << "max_stage = " << spec.scenario.max_stage << "\n";
   out << "wai_bytes = " << FormatDouble(spec.scenario.wai_bytes) << "\n";

@@ -34,6 +34,12 @@ struct ScenarioConfig {
   /// (4/24/20/16-bit fields) instead of full simulator precision.
   bool quantize_int = false;
 
+  /// Host-bound delivery lookahead (Simulator::set_delivery_batch): how
+  /// many upcoming deliveries each egress port keeps prefetched. 1 =
+  /// per-packet, no lookahead. A pure cache-warming knob — results are
+  /// bit-identical across settings (batch-boundary tests pin this).
+  int delivery_batch = 16;
+
   // CC knobs forwarded into CcConfig (paper defaults).
   double eta = 0.95;
   int max_stage = 5;

@@ -6,12 +6,16 @@
 namespace fncc {
 
 EgressPort::EgressPort(EgressPort&& other) noexcept
-    : on_transmit_start(std::move(other.on_transmit_start)),
-      sim_(other.sim_),
+    : sim_(other.sim_),
       peer_(std::exchange(other.peer_, Peer{})),
       deliver_(std::exchange(other.deliver_, nullptr)),
       bandwidth_gbps_(other.bandwidth_gbps_),
       prop_delay_(other.prop_delay_),
+      tx_hook_(std::exchange(other.tx_hook_, nullptr)),
+      tx_hook_ctx_(std::exchange(other.tx_hook_ctx_, nullptr)),
+      tx_hook_arg_(other.tx_hook_arg_),
+      prefetch_(std::exchange(other.prefetch_, nullptr)),
+      lookahead_(other.lookahead_),
       data_q_(std::exchange(other.data_q_, Fifo{})),
       ctrl_q_(std::exchange(other.ctrl_q_, Fifo{})),
       tx_pkt_(std::move(other.tx_pkt_)),
@@ -22,13 +26,18 @@ EgressPort::EgressPort(EgressPort&& other) noexcept
       paused_total_(other.paused_total_),
       tx_bytes_(other.tx_bytes_) {
   // Moves only happen while wiring a topology (vector growth), never with a
-  // serialization event in flight — that event captures `this`.
+  // serialization event in flight — that event captures `this`. The chain
+  // delivery events capture `this` too, so the same rule covers them.
   assert(!busy_ && "EgressPort moved while transmitting");
+  assert(other.inflight_head_ == nullptr &&
+         "EgressPort moved with deliveries in flight");
 }
 
 EgressPort::~EgressPort() {
   data_q_.Clear();
   ctrl_q_.Clear();
+  // In-flight chain packets are owned by their pending delivery events;
+  // the queue's drop handlers reclaim them (DropInflightEvent).
 }
 
 void EgressPort::Connect(Peer peer, double bandwidth_gbps,
@@ -41,6 +50,10 @@ void EgressPort::Connect(Peer peer, double bandwidth_gbps,
   deliver_ = peer.node->deliver_event() != nullptr
                  ? peer.node->deliver_event()
                  : &EgressPort::DeliverEvent;
+  // Batched prefetch only toward peers that can use the hints (hosts);
+  // switch/sink-bound ports keep the zero-overhead direct delivery path.
+  prefetch_ = peer.node->prefetch_event();
+  lookahead_ = prefetch_ != nullptr ? sim_->delivery_batch() - 1 : 0;
   bandwidth_gbps_ = bandwidth_gbps;
   prop_delay_ = propagation_delay;
 }
@@ -85,6 +98,51 @@ void EgressPort::DropPacketEvent(void* /*unused*/, void* pkt,
   WrapRawPacket(static_cast<Packet*>(pkt));
 }
 
+void EgressPort::DeliverInflightEvent(void* port, void* pkt,
+                                      std::uint64_t in_port) {
+  auto* self = static_cast<EgressPort*>(port);
+  auto* raw = static_cast<Packet*>(pkt);
+  // The chain IS the delivery order: serialization completions are
+  // strictly ordered and the propagation delay is constant, so events
+  // fire in append order.
+  assert(raw == self->inflight_head_ && "chain out of sync with events");
+  self->inflight_head_ = raw->next;
+  if (self->inflight_head_ == nullptr) self->inflight_tail_ = nullptr;
+  if (self->prefetch_cursor_ == raw) {
+    self->prefetch_cursor_ = raw->next;  // head was never hinted
+  } else {
+    --self->prefetch_lead_;
+  }
+  --self->inflight_count_;
+  // Unlink before delivering: the receiver may immediately re-thread the
+  // packet through another port's FIFO (switch forwarding reuses next).
+  raw->next = nullptr;
+  // Hint the next batch first, then process this packet — the upcoming
+  // rows stream in while this delivery's work occupies the core.
+  self->AdvancePrefetch();
+  self->deliver_(self->peer_.node, raw, in_port);
+}
+
+void EgressPort::DropInflightEvent(void* /*port*/, void* pkt,
+                                   std::uint64_t /*arg*/) {
+  // Teardown: the queue drops pending deliveries after the ports (and the
+  // chains through them) are gone. Touch only the packet.
+  WrapRawPacket(static_cast<Packet*>(pkt));
+}
+
+void EgressPort::AdvancePrefetch() {
+  if (prefetch_lead_ >= lookahead_ || prefetch_cursor_ == nullptr) return;
+  void* batch[Simulator::kMaxDeliveryBatch];
+  int n = 0;
+  while (prefetch_lead_ + n < lookahead_ && prefetch_cursor_ != nullptr) {
+    batch[n++] = prefetch_cursor_;
+    prefetch_cursor_ = prefetch_cursor_->next;
+  }
+  if (n == 0) return;
+  prefetch_lead_ += n;
+  prefetch_(peer_.node, batch, n);
+}
+
 void EgressPort::TryTransmit() {
   if (busy_) return;
   PacketPtr pkt;
@@ -99,7 +157,7 @@ void EgressPort::TryTransmit() {
 
   // The hook may grow the packet (INT insertion happens at the output
   // engine, Alg. 1 line 9), so run it before computing serialization time.
-  if (on_transmit_start) on_transmit_start(*pkt);
+  if (tx_hook_ != nullptr) tx_hook_(tx_hook_ctx_, tx_hook_arg_, *pkt);
 
   busy_ = true;
   tx_bytes_ += pkt->size_bytes;
@@ -120,12 +178,35 @@ void EgressPort::FinishTransmit() {
   // reorder: serialization completions are strictly ordered and the
   // propagation delay is constant.
   Packet* raw = ReleaseToRaw(std::move(tx_pkt_));
-  sim_->Schedule(prop_delay_,
-                 TypedEvent{.run = deliver_,
-                            .drop = &EgressPort::DropPacketEvent,
-                            .p0 = peer_.node,
-                            .p1 = raw,
-                            .arg = static_cast<std::uint64_t>(peer_.port)});
+  if (lookahead_ > 0) {
+    // Prefetching peer: thread the packet onto the in-flight chain (its
+    // delivery event pops it) so upcoming deliveries are visible to the
+    // lookahead. Same schedule instant as the direct path — the chain
+    // changes which lines are warm, never what happens when.
+    raw->next = nullptr;
+    if (inflight_tail_ != nullptr) {
+      inflight_tail_->next = raw;
+    } else {
+      inflight_head_ = raw;
+    }
+    inflight_tail_ = raw;
+    ++inflight_count_;
+    if (prefetch_cursor_ == nullptr) prefetch_cursor_ = raw;
+    AdvancePrefetch();
+    sim_->Schedule(prop_delay_,
+                   TypedEvent{.run = &EgressPort::DeliverInflightEvent,
+                              .drop = &EgressPort::DropInflightEvent,
+                              .p0 = this,
+                              .p1 = raw,
+                              .arg = static_cast<std::uint64_t>(peer_.port)});
+  } else {
+    sim_->Schedule(prop_delay_,
+                   TypedEvent{.run = deliver_,
+                              .drop = &EgressPort::DropPacketEvent,
+                              .p0 = peer_.node,
+                              .p1 = raw,
+                              .arg = static_cast<std::uint64_t>(peer_.port)});
+  }
   TryTransmit();
 }
 

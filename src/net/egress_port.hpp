@@ -5,17 +5,29 @@
 // intrusive FIFOs (Packet::next), the in-flight packet is a port member,
 // and both the serialization-complete and the propagation-delivery events
 // are TypedEvent records (function pointer + POD words) — no closure is
-// constructed or destroyed anywhere on the per-packet path.
+// constructed or destroyed anywhere on the per-packet path. The
+// transmit-start hook (buffer release / INT stamping) is likewise a bare
+// function pointer + context words, not a std::function.
 //
 // Delivery is also devirtualized: Connect() snapshots the peer node's
 // final-class deliver trampoline (Node::deliver_event), so the propagation
 // event lands directly in Switch::ReceivePacket / Host::ReceivePacket with
 // no virtual dispatch. Nodes without a trampoline (test sinks, custom
 // extensions) fall back to the generic virtual-call trampoline here.
+//
+// Batched-delivery prefetch: when the peer installs a prefetch hook
+// (Node::prefetch_event — transport hosts do), packets that finished
+// serialization are additionally threaded onto an in-flight chain in
+// delivery order, and the port keeps up to Simulator::delivery_batch() - 1
+// upcoming deliveries prefetched ahead of the one being processed (the
+// peer sorts each hint batch by flow slot and warms its SoA rows). This is
+// pure cache warming layered on the existing per-packet events: every
+// packet still gets its own propagation event at its own (t,seq), so event
+// order — and therefore every simulation result — is bit-identical to the
+// unbatched path and across batch sizes.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
@@ -34,6 +46,12 @@ class EgressPort {
     Node* node = nullptr;
     int port = -1;
   };
+
+  /// Transmit-start hook: (context, arg, packet). Devirtualized — a bare
+  /// function pointer so the per-packet dequeue makes no std::function
+  /// call (the owner's context rides in `ctx`/`arg`, e.g. Switch + port
+  /// index).
+  using TransmitHook = void (*)(void* ctx, std::uint64_t arg, Packet& pkt);
 
   explicit EgressPort(Simulator* sim) : sim_(sim) {}
   EgressPort(EgressPort&& other) noexcept;
@@ -65,11 +83,16 @@ class EgressPort {
                    : paused_total_;
   }
 
-  /// Called with each packet at the instant it begins serialization (after
-  /// it left the queue — qlen_bytes() already excludes it). Owners use it
-  /// for PFC buffer release and INT stamping; the hook may mutate the
-  /// packet, including growing size_bytes before serialization.
-  std::function<void(Packet&)> on_transmit_start;
+  /// Installs the hook called with each packet at the instant it begins
+  /// serialization (after it left the queue — qlen_bytes() already
+  /// excludes it). Owners use it for PFC buffer release and INT stamping;
+  /// the hook may mutate the packet, including growing size_bytes before
+  /// serialization.
+  void set_transmit_hook(TransmitHook hook, void* ctx, std::uint64_t arg) {
+    tx_hook_ = hook;
+    tx_hook_ctx_ = ctx;
+    tx_hook_arg_ = arg;
+  }
 
   // -- Telemetry (the live counters behind All_INT_Table) --
   [[nodiscard]] std::uint64_t qlen_bytes() const { return qlen_bytes_; }
@@ -80,6 +103,9 @@ class EgressPort {
   [[nodiscard]] std::size_t packets_queued() const {
     return data_q_.count + ctrl_q_.count;
   }
+  /// Packets serialized but not yet delivered through the prefetch chain
+  /// (0 unless the peer installed a prefetch hook).
+  [[nodiscard]] std::size_t packets_in_flight() const { return inflight_count_; }
 
  private:
   /// Intrusive FIFO threaded through Packet::next. Packets are held as raw
@@ -121,17 +147,43 @@ class EgressPort {
   static void TxDoneEvent(void* port, void* unused, std::uint64_t arg);
   static void DeliverEvent(void* node, void* pkt, std::uint64_t port);
   static void DropPacketEvent(void* unused, void* pkt, std::uint64_t arg);
+  /// Chain variant: unlinks the head of the in-flight chain, tops up the
+  /// prefetch window, then delivers inline — same instant, same order as
+  /// the direct path.
+  static void DeliverInflightEvent(void* port, void* pkt, std::uint64_t arg);
+  /// Drop handler for chain deliveries. Must not touch the port: at
+  /// teardown the queue drops events after the ports are gone (the chain
+  /// links simply die with the packets).
+  static void DropInflightEvent(void* port, void* pkt, std::uint64_t arg);
 
   void TryTransmit();
   /// Serialization finished: launch the propagation event for the in-flight
   /// packet and rearm on the next queued one.
   void FinishTransmit();
+  /// Extends the prefetched window to lookahead_ entries past the chain
+  /// head, handing the newly covered packets to the peer's prefetch hook
+  /// in one batch.
+  void AdvancePrefetch();
 
   Simulator* sim_;
   Peer peer_;
   Node::DeliverFn deliver_ = nullptr;  // resolved once at Connect()
   double bandwidth_gbps_ = 0.0;
   Time prop_delay_ = 0;
+
+  TransmitHook tx_hook_ = nullptr;
+  void* tx_hook_ctx_ = nullptr;
+  std::uint64_t tx_hook_arg_ = 0;
+
+  // Batched-delivery prefetch state (lookahead_ == 0 => feature off, the
+  // delivery path is the classic direct schedule).
+  Node::PrefetchFn prefetch_ = nullptr;  // resolved once at Connect()
+  int lookahead_ = 0;                    // delivery_batch - 1 at Connect()
+  Packet* inflight_head_ = nullptr;      // delivery order == event order
+  Packet* inflight_tail_ = nullptr;
+  Packet* prefetch_cursor_ = nullptr;    // first chain entry not yet hinted
+  int prefetch_lead_ = 0;                // hinted entries ahead of the head
+  std::size_t inflight_count_ = 0;
 
   Fifo data_q_;
   Fifo ctrl_q_;

@@ -34,6 +34,13 @@ class Node {
   /// Signature matches TypedEvent::Fn so it can be scheduled directly.
   using DeliverFn = void (*)(void* node, void* pkt, std::uint64_t in_port);
 
+  /// Batched-delivery prefetch hint: `pkts` are the next `n` raw packets
+  /// that will be delivered to this node (in delivery order). The node may
+  /// warm the per-flow state their processing will touch; it must not
+  /// mutate anything. Optional — installed only by nodes with indexed
+  /// per-flow state worth prefetching (transport::Host).
+  using PrefetchFn = void (*)(void* node, void* const* pkts, int n);
+
   Node(Simulator* sim, NodeId id, std::string name, NodeKind kind)
       : sim_(sim), id_(id), name_(std::move(name)), kind_(kind) {}
   virtual ~Node() = default;
@@ -51,6 +58,10 @@ class Node {
   /// on the generic virtual path. Snapshotted by EgressPort::Connect.
   [[nodiscard]] DeliverFn deliver_event() const { return deliver_event_; }
 
+  /// The batched-delivery prefetch hook, or nullptr. Snapshotted by
+  /// EgressPort::Connect alongside deliver_event().
+  [[nodiscard]] PrefetchFn prefetch_event() const { return prefetch_event_; }
+
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Simulator* sim() const { return sim_; }
@@ -59,6 +70,7 @@ class Node {
   /// Installed by `final` subclasses in their constructor. The function
   /// must assume `node` is exactly that subclass.
   void set_deliver_event(DeliverFn fn) { deliver_event_ = fn; }
+  void set_prefetch_event(PrefetchFn fn) { prefetch_event_ = fn; }
 
  private:
   Simulator* sim_;
@@ -66,6 +78,7 @@ class Node {
   std::string name_;
   NodeKind kind_;
   DeliverFn deliver_event_ = nullptr;
+  PrefetchFn prefetch_event_ = nullptr;
 };
 
 /// A single-NIC end host. The transport layer lives in the concrete

@@ -18,9 +18,10 @@ Switch::Switch(Simulator* sim, NodeId id, std::string name,
   ports_.reserve(config_.num_ports);
   for (int i = 0; i < config_.num_ports; ++i) {
     ports_.emplace_back(sim);
-    ports_.back().on_transmit_start = [this, i](Packet& pkt) {
-      OnTransmitStart(i, pkt);
-    };
+    // Devirtualized hook: a bare trampoline with (switch, port index) as
+    // context words — no std::function call per transmitted packet.
+    ports_.back().set_transmit_hook(&Switch::TransmitStartHook, this,
+                                    static_cast<std::uint64_t>(i));
   }
   ingress_bytes_.assign(config_.num_ports, 0);
   pause_sent_.assign(config_.num_ports, false);
@@ -135,6 +136,11 @@ void Switch::ReceivePacket(PacketPtr pkt, int in_port) {
 
   AccountIngress(*pkt);
   egress.Enqueue(std::move(pkt));
+}
+
+void Switch::TransmitStartHook(void* sw, std::uint64_t port_idx,
+                               Packet& pkt) {
+  static_cast<Switch*>(sw)->OnTransmitStart(static_cast<int>(port_idx), pkt);
 }
 
 void Switch::OnTransmitStart(int port_idx, Packet& pkt) {

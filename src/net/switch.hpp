@@ -138,6 +138,8 @@ class Switch final : public Node {
   // TypedEvent trampolines for the periodic per-switch timers.
   static void RefreshIntEvent(void* sw, void* unused, std::uint64_t arg);
   static void RoccUpdateEvent(void* sw, void* unused, std::uint64_t arg);
+  // EgressPort::TransmitHook trampoline (ctx = this, arg = port index).
+  static void TransmitStartHook(void* sw, std::uint64_t port_idx, Packet& pkt);
 
   void OnTransmitStart(int port_idx, Packet& pkt);
   /// Reads the INT for `port_idx` — live counters or the periodic table.

@@ -94,6 +94,20 @@ class Simulator {
   }
   [[nodiscard]] std::size_t events_pending() { return queue_.size(); }
 
+  /// Upper bound on delivery_batch (sizes the drain paths' stack arrays).
+  static constexpr int kMaxDeliveryBatch = 64;
+
+  /// Egress delivery lookahead: how many in-flight packets a port keeps in
+  /// its delivery chain for batched destination prefetch (see
+  /// net/egress_port.hpp). 1 = unbatched per-packet delivery. Purely a
+  /// cache-warming knob: every packet is still delivered by its own event
+  /// at its own (t,seq), so results are bit-identical across settings.
+  [[nodiscard]] int delivery_batch() const { return delivery_batch_; }
+  void set_delivery_batch(int batch) {
+    delivery_batch_ =
+        batch < 1 ? 1 : (batch > kMaxDeliveryBatch ? kMaxDeliveryBatch : batch);
+  }
+
  private:
   // Destruction runs bottom-up: queue_ (and the packets its callbacks hold)
   // goes before pool_. Keep pool_ first.
@@ -102,6 +116,7 @@ class Simulator {
   Time now_ = 0;
   bool stopped_ = false;
   std::uint64_t events_processed_ = 0;
+  int delivery_batch_ = 16;
 };
 
 }  // namespace fncc

@@ -48,14 +48,22 @@ SenderQp* FlowTable::Register(Host* host, FlowSpec spec,
     slot = next_unused_++;
     if (slot / kSlotsPerBlock == blocks_.size()) {
       blocks_.push_back(std::make_unique<Block>());
+      hot_blocks_.push_back(std::make_unique<HotBlock>());
     }
   }
   FlowSlot& s = SlotRef(slot);
+  HotFlowRow& row = RowRef(slot);
   assert(!s.qp_live && "free slot still holds a QP");
   s.recv = RecvCtx{};  // fresh receiver state for the new tenant
+  row = HotFlowRow{};
+  row.generation = s.generation;  // the coherence invariant
   spec.id = MakeFlowId(slot, s.generation);
-  SenderQp* qp = ::new (s.qp_mem) SenderQp(host, spec, cc_config);
+  SenderQp* qp = ::new (s.qp_mem) SenderQp(host, spec, cc_config, &row);
   s.qp_live = true;
+  // Intern the *post-construction* config: auto-resolved params (e.g.
+  // Timely's RTT thresholds) are final now, so value-identical flows
+  // collapse onto one pooled copy. Pure relocation — same values.
+  qp->cc().AdoptSharedConfig(InternConfig(qp->cc().config()));
   return qp;
 }
 
@@ -74,6 +82,12 @@ void FlowTable::Release(FlowId id) {
   // Bump the generation: every outstanding id to this slot is now stale,
   // before the slot can be handed to a new flow.
   s->generation = (s->generation + 1) & kFlowGenMask;
+  // Re-sync the hot row: wiped (qp = nullptr drops any matching-generation
+  // ACK arriving before a re-registration) and stamped with the bumped
+  // generation so stale ids fail HotLookup exactly like Lookup.
+  HotFlowRow& row = RowRef((id & kFlowSlotMask) - 1);
+  row = HotFlowRow{};
+  row.generation = s->generation;
   free_.push_back((id & kFlowSlotMask) - 1);
 }
 

@@ -6,6 +6,14 @@
 //     mirroring the EventId scheme of sim/event_queue.hpp. Id 0 is never
 //     minted and acts as "no flow". ACK/data lookup is one indexed load
 //     plus a generation compare — no hashing, no pointer chasing.
+//   - SoA hot/cold split: each slot has a 64-byte HotFlowRow (see
+//     transport/hot_flow.hpp) in a parallel dense array holding everything
+//     the per-ACK path touches — generation, CC mode tag, rate/window
+//     words, seq/ack cursors, flow size. The slot block keeps the cold
+//     state: the in-place SenderQp (pacing/RTO/completion machinery, the
+//     CC algorithm object) and the receiver-side RecvCtx. Register/Release
+//     keep the two views coherent (row.generation always equals the slot's
+//     generation; a slot without a live sender has row.qp == nullptr).
 //   - Flows register at start: Register() mints the FlowId and constructs
 //     the SenderQp in place. Callers must treat the minted spec().id as
 //     authoritative; any caller-filled FlowSpec::id is overwritten. Ids are
@@ -18,13 +26,14 @@
 //     and the receiver (RecvCtx). A Host constructed without a table makes
 //     its own — an escape hatch for single-host tests only; two hosts with
 //     separate tables cannot exchange registered flows.
-//   - Inline state: the slot embeds the SenderQp (which embeds its
-//     InlineCc congestion-control state — see core/cc_inline.hpp) and the
-//     receiver-side RecvCtx. OnAck and the window/rate consultation that
-//     follows touch one slot, not three heap objects.
-//   - Slot stability: slots live in fixed-size blocks that are never
-//     reallocated, so SenderQp*/RecvCtx* remain valid for the table's
-//     lifetime (pending TypedEvents hold raw SenderQp pointers).
+//   - Config interning: Register() pools one CcConfig per distinct value
+//     (post-construction, so auto-resolved params are final) and points
+//     every flow's algorithm at the pooled copy — a sweep's thousands of
+//     identical ~250-byte configs collapse to one L1-resident line set.
+//   - Slot stability: slots and hot rows live in fixed-size blocks that
+//     are never reallocated, so SenderQp*/RecvCtx*/HotFlowRow* remain
+//     valid for the table's lifetime (pending TypedEvents hold raw
+//     SenderQp pointers; bound CC hot words point into rows).
 //   - Release() bumps the slot's generation before recycling, so a stale
 //     FlowId (late ACK/CNP of a released flow) fails the generation check
 //     instead of aliasing the slot's new tenant — no ABA. The generation
@@ -49,6 +58,7 @@
 #include "net/packet.hpp"
 #include "sim/static_vector.hpp"
 #include "sim/time.hpp"
+#include "transport/hot_flow.hpp"
 #include "transport/sender_qp.hpp"
 
 namespace fncc {
@@ -91,16 +101,17 @@ struct RecvCtx {
   std::uint16_t last_path_id = 0;
 };
 
-/// One flow's slot: generation + sender QP (in-place) + receiver context.
-/// Field order is the ACK path's access order — generation check, then the
-/// QP head — so the hot lookup stays within adjacent cache lines; the
-/// receiver context (touched only by data packets at the other end) sits
-/// behind the QP.
+/// One flow's cold slot: generation + receiver context + sender QP
+/// (in-place). Field order is the data path's access order — generation
+/// check, then the receiver head — so a data packet's lookup and RecvCtx
+/// update share leading cache lines; the bulky QP (whose hot words moved
+/// to the HotFlowRow) sits behind them and is only paged in by the send
+/// machinery.
 struct FlowSlot {
   std::uint32_t generation = 0;  // always kept masked to kFlowGenMask
   bool qp_live = false;
-  alignas(SenderQp) unsigned char qp_mem[sizeof(SenderQp)];
   RecvCtx recv;
+  alignas(SenderQp) unsigned char qp_mem[sizeof(SenderQp)];
 
   [[nodiscard]] SenderQp* qp() {
     return qp_live ? std::launder(reinterpret_cast<SenderQp*>(qp_mem))
@@ -129,12 +140,24 @@ class FlowTable {
 
   /// The slot a FlowId resolves to, or nullptr when the id is stale (its
   /// slot was released and possibly re-registered) or was never minted.
-  /// The receive-path hot lookup: one indexed load + generation compare.
+  /// The data-packet hot lookup: one indexed load + generation compare.
   [[nodiscard]] FlowSlot* Lookup(FlowId id) {
     const std::uint32_t idx = id & kFlowSlotMask;
     if (idx == 0 || idx > next_unused_) return nullptr;
     FlowSlot& s = SlotRef(idx - 1);
     return s.generation == FlowIdGeneration(id) ? &s : nullptr;
+  }
+
+  /// The ACK/CNP hot lookup: resolves straight to the flow's 64-byte hot
+  /// row (same staleness rule as Lookup — the row mirrors the slot's
+  /// generation). A non-null row with row->qp == nullptr means the slot
+  /// has no live sender (released, destroyed, or not yet registered at
+  /// this generation): callers must drop, exactly as a null would be.
+  [[nodiscard]] HotFlowRow* HotLookup(FlowId id) {
+    const std::uint32_t idx = id & kFlowSlotMask;
+    if (idx == 0 || idx > next_unused_) return nullptr;
+    HotFlowRow& r = RowRef(idx - 1);
+    return r.generation == FlowIdGeneration(id) ? &r : nullptr;
   }
 
   /// After a failed Lookup: true when the id names a once-minted slot
@@ -144,6 +167,43 @@ class FlowTable {
   [[nodiscard]] bool IsStale(FlowId id) const {
     const std::uint32_t idx = id & kFlowSlotMask;
     return idx != 0 && idx <= next_unused_;
+  }
+
+  /// Prefetch hints for batched delivery (net/egress_port's lookahead):
+  /// warm the line(s) the upcoming lookup will touch. Pure hints — no
+  /// generation check, no side effects, safe on any id.
+  void PrefetchAck(FlowId id) const {
+    const std::uint32_t idx = id & kFlowSlotMask;
+    if (idx == 0 || idx > next_unused_) return;
+    const std::uint32_t slot = idx - 1;
+    __builtin_prefetch(
+        &hot_blocks_[slot / kSlotsPerBlock]->rows[slot % kSlotsPerBlock],
+        /*rw=*/1, /*locality=*/3);
+  }
+  void PrefetchData(FlowId id) const {
+    const std::uint32_t idx = id & kFlowSlotMask;
+    if (idx == 0 || idx > next_unused_) return;
+    const std::uint32_t slot = idx - 1;
+    // The generation word and the RecvCtx head share the slot's first line.
+    __builtin_prefetch(
+        &blocks_[slot / kSlotsPerBlock]->slots[slot % kSlotsPerBlock],
+        /*rw=*/1, /*locality=*/3);
+  }
+
+  /// Batch-sort key: the dense slot index behind a FlowId (stale or not).
+  [[nodiscard]] static std::uint32_t SlotIndex(FlowId id) {
+    return id & kFlowSlotMask;
+  }
+
+  /// One pooled CcConfig per distinct value; the returned reference is
+  /// stable for the table's lifetime. Linear scan — Register is cold and
+  /// real scenarios hold a handful of distinct configs.
+  const CcConfig& InternConfig(const CcConfig& config) {
+    for (const auto& pooled : config_pool_) {
+      if (*pooled == config) return *pooled;
+    }
+    config_pool_.push_back(std::make_unique<CcConfig>(config));
+    return *config_pool_.back();
   }
 
   /// Tears the flow down (cancelling its pending events), bumps the slot
@@ -160,17 +220,28 @@ class FlowTable {
     return next_unused_ - free_.size();
   }
   [[nodiscard]] std::size_t slots_allocated() const { return next_unused_; }
+  [[nodiscard]] std::size_t interned_configs() const {
+    return config_pool_.size();
+  }
 
  private:
   struct Block {
     FlowSlot slots[kSlotsPerBlock];
   };
+  struct HotBlock {
+    HotFlowRow rows[kSlotsPerBlock];
+  };
 
   [[nodiscard]] FlowSlot& SlotRef(std::uint32_t slot) {
     return blocks_[slot / kSlotsPerBlock]->slots[slot % kSlotsPerBlock];
   }
+  [[nodiscard]] HotFlowRow& RowRef(std::uint32_t slot) {
+    return hot_blocks_[slot / kSlotsPerBlock]->rows[slot % kSlotsPerBlock];
+  }
 
   std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<std::unique_ptr<HotBlock>> hot_blocks_;  // parallel to blocks_
+  std::vector<std::unique_ptr<CcConfig>> config_pool_;
   std::vector<std::uint32_t> free_;  // LIFO: deterministic reuse order
   std::uint32_t next_unused_ = 0;
 };

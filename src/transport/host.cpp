@@ -15,6 +15,7 @@ Host::Host(Simulator* sim, NodeId id, std::string name, HostConfig config,
       flows_(flows != nullptr ? std::move(flows)
                               : std::make_shared<FlowTable>()) {
   set_deliver_event(&Host::DeliverPacketEvent);
+  set_prefetch_event(&Host::PrefetchDeliveries);
 }
 
 void Host::DeliverPacketEvent(void* host, void* pkt, std::uint64_t in_port) {
@@ -22,6 +23,40 @@ void Host::DeliverPacketEvent(void* host, void* pkt, std::uint64_t in_port) {
   // a vtable load — the per-delivery fast path.
   static_cast<Host*>(host)->Host::ReceivePacket(
       WrapRawPacket(static_cast<Packet*>(pkt)), static_cast<int>(in_port));
+}
+
+void Host::PrefetchDeliveries(void* host, void* const* pkts, int n) {
+  auto* self = static_cast<Host*>(host);
+  const FlowTable& flows = *self->flows_;
+  // Sort the hints by slot index so the prefetches walk the SoA arrays in
+  // address order (adjacent slots share lines and pages). Insertion sort:
+  // n <= kMaxDeliveryBatch and the batches are nearly-random, tiny.
+  struct Hint {
+    std::uint32_t slot;
+    FlowId flow;
+    bool data;
+  };
+  Hint hints[Simulator::kMaxDeliveryBatch];
+  int m = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto* pkt = static_cast<const Packet*>(pkts[i]);
+    if (pkt->type == PacketType::kPfcPause ||
+        pkt->type == PacketType::kPfcResume) {
+      continue;  // no per-flow state
+    }
+    const Hint h{FlowTable::SlotIndex(pkt->flow), pkt->flow,
+                 pkt->type == PacketType::kData};
+    int j = m++;
+    for (; j > 0 && hints[j - 1].slot > h.slot; --j) hints[j] = hints[j - 1];
+    hints[j] = h;
+  }
+  for (int i = 0; i < m; ++i) {
+    if (hints[i].data) {
+      flows.PrefetchData(hints[i].flow);
+    } else {
+      flows.PrefetchAck(hints[i].flow);  // ACK and CNP both hit the hot row
+    }
+  }
 }
 
 SenderQp* Host::StartFlow(const FlowSpec& spec, const CcConfig& cc_config) {
@@ -54,12 +89,22 @@ void Host::ReceivePacket(PacketPtr pkt, int /*in_port*/) {
       HandleData(std::move(pkt));
       return;
     case PacketType::kAck: {
-      // One indexed load: slot -> in-place QP -> inline CC state.
-      if (SenderQp* q = qp(pkt->flow)) q->HandleAck(*pkt);
+      // One indexed load to the flow's 64-byte hot row; the common case
+      // (advance + CC update + window re-check) completes against it. The
+      // qp null check covers a matching-generation id whose slot has no
+      // live sender (released, not yet re-registered); the src check
+      // covers ids minted by another host sharing the table.
+      HotFlowRow* row = flows_->HotLookup(pkt->flow);
+      if (row != nullptr && row->qp != nullptr && row->src == id()) {
+        SenderQp::HandleAckHot(*row, *pkt);
+      }
       return;
     }
     case PacketType::kCnp: {
-      if (SenderQp* q = qp(pkt->flow)) q->HandleCnp();
+      HotFlowRow* row = flows_->HotLookup(pkt->flow);
+      if (row != nullptr && row->qp != nullptr && row->src == id()) {
+        row->qp->HandleCnp();
+      }
       return;
     }
   }

@@ -63,6 +63,13 @@ class Host final : public Endpoint {
   /// ReceivePacket through the final class, with no virtual dispatch.
   static void DeliverPacketEvent(void* host, void* pkt, std::uint64_t in_port);
 
+  /// Batched-delivery prefetch hook (Node::prefetch_event): given the next
+  /// packets an egress port will deliver here, sorts them by flow slot and
+  /// prefetches each destination's hot line — the ACK path's HotFlowRow or
+  /// the data path's slot head — one batch ahead of the delivery events.
+  /// Pure cache warming: no state is read or written.
+  static void PrefetchDeliveries(void* host, void* const* pkts, int n);
+
   /// Registers a flow (minting its FlowId — see flow_table.hpp) and
   /// schedules its start. The CcConfig must be fully resolved (line rate,
   /// base RTT). Returns the QP (owned by the shared flow table).

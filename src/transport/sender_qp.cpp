@@ -10,12 +10,26 @@
 namespace fncc {
 
 SenderQp::SenderQp(Host* host, const FlowSpec& spec,
-                   const CcConfig& cc_config)
-    : host_(host), sim_(host->sim()), spec_(spec) {
+                   const CcConfig& cc_config, HotFlowRow* hot)
+    : host_(host), sim_(host->sim()), hot_(hot), spec_(spec) {
+  assert(hot_ != nullptr && "QPs are constructed by FlowTable::Register");
+  hot_->qp = this;
+  hot_->mode = static_cast<std::uint8_t>(cc_config.mode);
+  hot_->flags = 0;
+  hot_->src = spec_.src;
+  hot_->snd_nxt = 0;
+  hot_->snd_una = 0;
+  hot_->size_bytes = spec_.size_bytes;
+  rto_ = host->config().rto;
+  mtu_bytes_ = cc_config.mtu_bytes;
   cc_.Emplace(cc_config, sim_);
-  cc_.base().on_update = [this] {
+  // Relocate the CC's rate/window into the row: the ACK path's CC update
+  // and window consultation then share the row's cache line.
+  cc_.base().BindHotWords(&hot_->words);
+  if (cc_.uses_window()) hot_->flags |= HotFlowRow::kUsesWindow;
+  cc_.base().set_on_update([this] {
     if (started_ && !complete_) TrySend();
-  };
+  });
   // Self-scheduled start keeps the event cancellable from this object
   // (Abort/Complete/flow-table Release), so no pending event can outlive
   // the QP. Scheduled last: the CC's own timers (DCQCN) enqueue first,
@@ -44,8 +58,8 @@ void SenderQp::Start() {
 }
 
 bool SenderQp::WindowBlocked() const {
-  return cc_.uses_window() &&
-         static_cast<double>(inflight_bytes()) >= cc_.window_bytes();
+  return (hot_->flags & HotFlowRow::kUsesWindow) != 0 &&
+         static_cast<double>(inflight_bytes()) >= hot_->words.window_bytes;
 }
 
 void SenderQp::PaceEvent(void* qp, void* /*unused*/, std::uint64_t /*arg*/) {
@@ -64,7 +78,8 @@ void SenderQp::TrySend() {
   if (in_try_send_) return;  // re-entrant via CC on_update callbacks
   in_try_send_ = true;
   Simulator* sim = sim_;
-  while (!complete_ && snd_nxt_ < spec_.size_bytes && !WindowBlocked()) {
+  HotFlowRow& row = *hot_;
+  while (!complete_ && row.snd_nxt < row.size_bytes && !WindowBlocked()) {
     const Time now = sim->Now();
     if (now < next_send_time_) {
       if (send_event_ == kInvalidEventId) {
@@ -84,9 +99,9 @@ void SenderQp::TrySend() {
 
 void SenderQp::SendOnePacket() {
   Simulator* sim = sim_;
-  const std::uint32_t mtu = cc_.config().mtu_bytes;
+  HotFlowRow& row = *hot_;
   const std::uint32_t bytes = static_cast<std::uint32_t>(
-      std::min<std::uint64_t>(mtu, spec_.size_bytes - snd_nxt_));
+      std::min<std::uint64_t>(mtu_bytes_, row.size_bytes - row.snd_nxt));
 
   PacketPtr pkt = sim->packet_pool().Acquire();
   pkt->type = PacketType::kData;
@@ -95,13 +110,13 @@ void SenderQp::SendOnePacket() {
   pkt->dst = spec_.dst;
   pkt->sport = spec_.sport;
   pkt->dport = spec_.dport;
-  pkt->seq = snd_nxt_;
+  pkt->seq = row.snd_nxt;
   pkt->payload_bytes = bytes;
   pkt->size_bytes = bytes;  // wire == payload (see DESIGN.md simplification)
-  pkt->last_of_flow = (snd_nxt_ + bytes == spec_.size_bytes);
+  pkt->last_of_flow = (row.snd_nxt + bytes == row.size_bytes);
   pkt->t_sent = sim->Now();
 
-  snd_nxt_ += bytes;
+  row.snd_nxt += bytes;
 
   // Hand the packet to the NIC before notifying the CC algorithm:
   // OnBytesSent can fire on_update -> TrySend re-entrantly (e.g. DCQCN's
@@ -110,30 +125,40 @@ void SenderQp::SendOnePacket() {
 
   // Pace at the CC rate: the next packet may leave once this one has
   // serialized at rate R (token-bucket with one-packet depth).
-  const double rate = std::max(cc_.rate_gbps(), 1e-3);
+  const double rate = std::max(row.words.rate_gbps, 1e-3);
   next_send_time_ =
       std::max(sim->Now(), next_send_time_) + SerializationDelay(bytes, rate);
 
   cc_.OnBytesSent(bytes);
 }
 
-void SenderQp::HandleAck(const Packet& ack) {
-  if (complete_) return;
+void SenderQp::HandleAckHot(HotFlowRow& row, const Packet& ack) {
+  if (row.flags & HotFlowRow::kComplete) return;
+  SenderQp* self = row.qp;
   // Fig. 7 pathID check: the ACK's accumulated XOR of switch ids must
   // equal the request path's (echoed by the receiver). A mismatch flags
   // asymmetric routing — return-path INT would not describe the request
   // path. Only meaningful once the ACK crossed at least one switch.
-  if (ack.path_id != ack.req_path_id) ++asymmetric_acks_;
-  if (ack.seq > snd_una_) {
-    snd_una_ = std::min<std::uint64_t>(ack.seq, snd_nxt_);
-    ArmRto();
+  if (ack.path_id != ack.req_path_id) ++self->asymmetric_acks_;
+  if (ack.seq > row.snd_una) {
+    row.snd_una = std::min<std::uint64_t>(ack.seq, row.snd_nxt);
+    self->ArmRto();
   }
-  cc_.OnAck(ack, snd_nxt_);
-  if (snd_una_ >= spec_.size_bytes) {
-    Complete();
+  self->cc_.OnAckTag(static_cast<CcMode>(row.mode), ack, row.snd_nxt);
+  if (row.snd_una >= row.size_bytes) {
+    self->Complete();
     return;
   }
-  TrySend();
+  // Fast-outs replicating TrySend's loop-entry conditions against the row:
+  // all data sent, or the (possibly just-updated) window still closed —
+  // nothing to transmit, so skip the call into the cold QP entirely.
+  if (row.snd_nxt >= row.size_bytes) return;
+  if ((row.flags & HotFlowRow::kUsesWindow) != 0 &&
+      static_cast<double>(row.snd_nxt - row.snd_una) >=
+          row.words.window_bytes) {
+    return;
+  }
+  self->TrySend();
 }
 
 void SenderQp::HandleCnp() {
@@ -142,7 +167,7 @@ void SenderQp::HandleCnp() {
 }
 
 void SenderQp::ArmRto() {
-  const Time rto = host_->config().rto;
+  const Time rto = rto_;
   if (rto <= 0) return;
   // Called on ACK progress: reset the exponential backoff.
   rto_backoff_ = 1;
@@ -164,9 +189,10 @@ void SenderQp::ArmRtoAt(Time delay) {
 }
 
 void SenderQp::OnRto() {
-  if (complete_ || snd_nxt_ == snd_una_) {
+  HotFlowRow& row = *hot_;
+  if (complete_ || row.snd_nxt == row.snd_una) {
     // Nothing outstanding (flow may simply not have started moving yet).
-    if (!complete_ && snd_nxt_ < spec_.size_bytes) ArmRto();
+    if (!complete_ && row.snd_nxt < row.size_bytes) ArmRto();
     return;
   }
   // Go-back-N: rewind and resend everything unacknowledged. Exponential
@@ -175,11 +201,11 @@ void SenderQp::OnRto() {
   ++rto_count_;
   Log(LogLevel::kWarn, sim_->Now(),
       "flow %u: RTO, go-back-N from %llu", spec_.id,
-      static_cast<unsigned long long>(snd_una_));
-  snd_nxt_ = snd_una_;
+      static_cast<unsigned long long>(row.snd_una));
+  row.snd_nxt = row.snd_una;
   next_send_time_ = sim_->Now();
   if (rto_backoff_ < 64) rto_backoff_ *= 2;
-  ArmRtoAt(host_->config().rto * rto_backoff_);
+  ArmRtoAt(rto_ * rto_backoff_);
   TrySend();
 }
 
@@ -193,17 +219,21 @@ void SenderQp::CancelTimers() {
   rto_event_ = kInvalidEventId;
 }
 
+void SenderQp::MarkComplete() {
+  complete_ = true;
+  hot_->flags |= HotFlowRow::kComplete;
+  completion_time_ = sim_->Now();
+}
+
 void SenderQp::Abort() {
   if (complete_) return;
-  complete_ = true;
-  completion_time_ = sim_->Now();
+  MarkComplete();
   CancelTimers();
   cc_.Shutdown();
 }
 
 void SenderQp::Complete() {
-  complete_ = true;
-  completion_time_ = sim_->Now();
+  MarkComplete();
   CancelTimers();
   // DCQCN keeps periodic timers; stop them so drained scenarios terminate.
   cc_.Shutdown();

@@ -1,10 +1,14 @@
 // Sender-side queue pair: segments a flow into MTU packets, enforces the
 // CC algorithm's window and pacing rate, and tracks completion.
 //
-// The CC state lives inline (InlineCc) rather than behind a unique_ptr, so
-// a SenderQp embedded in a flow-table slot keeps the ACK-processing state
-// and the window/rate fields it updates in adjacent cache lines, and the
-// per-ACK CC update dispatches on the CcMode tag with no virtual call.
+// The per-ACK state does not live here: the seq/ack cursors, flow size,
+// CC mode tag and the CC's rate/window words live in the flow table's
+// HotFlowRow (one cache line per flow — see transport/hot_flow.hpp), and
+// HandleAckHot() processes an ACK against that row, touching this object
+// only for the slow tail (RTO rearm, pacing, completion). The CC state
+// itself stays inline (InlineCc) rather than behind a unique_ptr, and the
+// per-ACK CC update dispatches on the row's CcMode tag with no virtual
+// call.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "transport/flow.hpp"
+#include "transport/hot_flow.hpp"
 
 namespace fncc {
 
@@ -21,15 +26,24 @@ class Host;
 class SenderQp {
  public:
   /// Registers with the simulator: schedules its own Start() at
-  /// spec.start_time. spec.id must already be minted (see FlowTable).
-  SenderQp(Host* host, const FlowSpec& spec, const CcConfig& cc_config);
+  /// spec.start_time. spec.id must already be minted and `hot` must be the
+  /// flow table's row for the minted slot (only FlowTable::Register
+  /// constructs QPs; the row outlives the QP by table invariant).
+  SenderQp(Host* host, const FlowSpec& spec, const CcConfig& cc_config,
+           HotFlowRow* hot);
   SenderQp(const SenderQp&) = delete;
   SenderQp& operator=(const SenderQp&) = delete;
 
   /// Begins transmission (self-scheduled at spec.start_time).
   void Start();
 
-  void HandleAck(const Packet& ack);
+  /// The ACK hot path, static on purpose: the receive side resolves the
+  /// flow's HotFlowRow (one indexed load) and processes the common case —
+  /// cumulative advance, CC update, window re-check — entirely against
+  /// that row. `row.qp` must be non-null (the caller's liveness check).
+  static void HandleAckHot(HotFlowRow& row, const Packet& ack);
+
+  void HandleAck(const Packet& ack) { HandleAckHot(*hot_, ack); }
   void HandleCnp();
 
   /// Stops the flow immediately (used by staggered long-lived flows, e.g.
@@ -43,16 +57,17 @@ class SenderQp {
   [[nodiscard]] Time completion_time() const { return completion_time_; }
   [[nodiscard]] Time fct() const { return completion_time_ - spec_.start_time; }
 
-  [[nodiscard]] std::uint64_t snd_nxt() const { return snd_nxt_; }
-  [[nodiscard]] std::uint64_t snd_una() const { return snd_una_; }
+  [[nodiscard]] std::uint64_t snd_nxt() const { return hot_->snd_nxt; }
+  [[nodiscard]] std::uint64_t snd_una() const { return hot_->snd_una; }
   [[nodiscard]] std::uint64_t inflight_bytes() const {
-    return snd_nxt_ - snd_una_;
+    return hot_->snd_nxt - hot_->snd_una;
   }
 
   /// Current pacing rate — the signal Fig. 9/13 plot per sender.
   [[nodiscard]] double pacing_rate_gbps() const { return cc_.rate_gbps(); }
   [[nodiscard]] CcAlgorithm& cc() { return cc_.base(); }
   [[nodiscard]] const CcAlgorithm& cc() const { return cc_.base(); }
+  [[nodiscard]] const HotFlowRow& hot_row() const { return *hot_; }
 
   /// Go-back-N retransmissions triggered (0 in a healthy lossless run).
   [[nodiscard]] std::uint64_t retransmit_events() const { return rto_count_; }
@@ -80,16 +95,16 @@ class SenderQp {
   void OnRto();
   void Complete();
   void CancelTimers();
+  void MarkComplete();
 
   Host* host_;
   // Cached so teardown paths (flow-table destruction cancelling timers via
   // Abort) never dereference host_ — the owning Host may already be gone
   // when the last host's table reference destroys the remaining QPs.
   Simulator* sim_;
+  HotFlowRow* hot_;  // this flow's row; cursors/size/CC words live there
   FlowSpec spec_;
 
-  std::uint64_t snd_nxt_ = 0;
-  std::uint64_t snd_una_ = 0;
   Time next_send_time_ = 0;
   EventId start_event_ = kInvalidEventId;
   EventId send_event_ = kInvalidEventId;
@@ -97,6 +112,10 @@ class SenderQp {
   std::uint64_t rto_count_ = 0;
   int rto_backoff_ = 1;  // doubles on each RTO without progress
   std::uint64_t asymmetric_acks_ = 0;
+  // Cached at construction (host config / cc config are immutable after):
+  // the send and RTO paths read them without chasing host_ or the config.
+  Time rto_ = 0;
+  std::uint32_t mtu_bytes_ = 0;
 
   bool started_ = false;
   bool complete_ = false;

@@ -146,7 +146,7 @@ TEST(DcqcnTest, NotifiesQpAfterTimerIncrease) {
   Simulator sim;
   DcqcnAlgorithm cc(Config(), &sim);
   int updates = 0;
-  cc.on_update = [&updates] { ++updates; };
+  cc.set_on_update([&updates] { ++updates; });
   cc.OnCnp();
   sim.RunUntil(Microseconds(120));
   EXPECT_GE(updates, 2);

@@ -223,8 +223,12 @@ TEST(SweepEquivalenceTest, FatTreeFctRecordsBitIdenticalAcrossThreadCounts) {
 
 // The declarative fncc_run code path (spec text -> ExpandSweep ->
 // RunExperimentPoints) on a *new* registry scenario — leaf-spine +
-// all-to-all shuffle — must keep the same guarantee: FCT records and
-// monitored series bit-identical at 1 vs 4 threads.
+// all-to-all shuffle — must keep the same guarantee for ALL seven CC
+// modes: FCT records and monitored series bit-identical at 1 vs 4
+// threads. Sweeping every mode here (not just the figure trio) makes the
+// batched-delivery receive path's determinism a per-algorithm contract:
+// batch formation, SoA prefetching and switch-on-mode dispatch must not
+// perturb the (time, seq) event order of any scheme.
 TEST(SweepEquivalenceTest, LeafSpineAllToAllSpecBitIdentical1v4Threads) {
   const ExperimentSpec spec = ParseSpecText(R"(
 name = leaf_spine_equivalence
@@ -238,11 +242,11 @@ workload.size_bytes = 40000
 workload.stagger_us = 1
 run.duration_us = 0
 run.max_sim_ms = 50
-sweep.mode = FNCC,HPCC,DCQCN
-sweep.seed = 1,2
+sweep.mode = FNCC,FNCC-noLHCS,HPCC,DCQCN,RoCC,Timely,Swift
+sweep.seed = 1
 )");
   const std::vector<ExperimentSpec> points = ExpandSweep(spec);
-  ASSERT_EQ(points.size(), 6u);
+  ASSERT_EQ(points.size(), std::size(kAllModes));
   const std::vector<ExperimentPointResult> serial =
       RunExperimentPoints(points, 1);
   const std::vector<ExperimentPointResult> parallel =

@@ -102,7 +102,8 @@ TEST_F(EgressPortTest, ControlHasStrictPriority) {
 
 TEST_F(EgressPortTest, TransmitHookMayGrowPacket) {
   Connect();
-  port_.on_transmit_start = [](Packet& p) { p.size_bytes += 8; };
+  port_.set_transmit_hook(
+      [](void*, std::uint64_t, Packet& p) { p.size_bytes += 8; }, nullptr, 0);
   port_.Enqueue(MakeData(1, 0, 1518));
   sim_.Run();
   ASSERT_EQ(sink_.received.size(), 1u);

@@ -4,11 +4,13 @@
 // shadow model).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "../test_util.hpp"
+#include "harness/fat_tree_runner.hpp"
 #include "transport/flow_table.hpp"
 #include "transport/host.hpp"
 
@@ -235,6 +237,157 @@ TEST(FlowTableTest, AbaStressRandomChurn) {
   // Spot-check the stale set (all of it: lookups are cheap).
   for (FlowId id : stale) {
     EXPECT_EQ(table.Lookup(id), nullptr) << "stale id resolved: " << id;
+  }
+}
+
+TEST(FlowTableTest, HotRowStaysCoherentThroughChurn) {
+  // The SoA coherence contract of transport/hot_flow.hpp: after arbitrary
+  // Register/Release churn, every live id's hot row mirrors its cold slot
+  // (same generation, same QP, the tenant's mode/src/size), every stale id
+  // fails HotLookup exactly as it fails Lookup, and a released slot's row
+  // carries qp == nullptr so a matching-generation id minted later but not
+  // yet registered still reads as "drop".
+  Simulator sim;
+  Host host(&sim, 0, "tx", HostConfig{}, nullptr);
+  FlowTable& table = host.flow_table();
+
+  FlowSpec spec;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size_bytes = 1518;
+  spec.start_time = kTimeInfinity;  // pure table churn, no traffic
+
+  const CcMode modes[] = {CcMode::kFncc, CcMode::kSwift, CcMode::kDcqcn};
+  std::unordered_map<FlowId, CcMode> live;
+  std::vector<FlowId> stale;
+  std::uint64_t lcg = 98765;
+  const auto next_rand = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(lcg >> 33);
+  };
+
+  for (int step = 0; step < 5'000; ++step) {
+    if (!live.empty() && next_rand() % 3 == 0) {
+      auto it = live.begin();
+      std::advance(it, next_rand() % live.size());
+      const FlowId released = it->first;
+      table.Release(released);
+      stale.push_back(released);
+      live.erase(it);
+      // Immediately after Release the slot's bumped-generation row exists
+      // but has no tenant: HotLookup resolves it and reports qp == nullptr.
+      const std::uint32_t slot = FlowTable::SlotIndex(released) - 1;
+      const std::uint32_t next_gen =
+          (FlowIdGeneration(released) + 1) & kFlowGenMask;
+      HotFlowRow* vacant = table.HotLookup(MakeFlowId(slot, next_gen));
+      ASSERT_NE(vacant, nullptr);
+      EXPECT_EQ(vacant->qp, nullptr);
+      EXPECT_EQ(vacant->generation, next_gen);
+    } else {
+      const CcMode mode = modes[next_rand() % 3];
+      SenderQp* qp = table.Register(&host, spec, TestCcConfig(mode));
+      live.emplace(qp->spec().id, mode);
+    }
+  }
+
+  for (const auto& [id, mode] : live) {
+    FlowSlot* slot = table.Lookup(id);
+    HotFlowRow* row = table.HotLookup(id);
+    ASSERT_NE(slot, nullptr);
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ(row->generation, slot->generation);
+    EXPECT_EQ(row->generation, FlowIdGeneration(id));
+    EXPECT_EQ(row->qp, slot->qp());
+    EXPECT_EQ(row->mode, static_cast<std::uint8_t>(mode));
+    EXPECT_EQ(row->src, slot->qp()->spec().src);
+    EXPECT_EQ(row->size_bytes, spec.size_bytes);
+  }
+  for (FlowId id : stale) {
+    // Stale ids that were not re-minted fail both views identically; a
+    // re-minted id (generation wrapped back around) resolves both.
+    EXPECT_EQ(table.HotLookup(id) == nullptr, table.Lookup(id) == nullptr)
+        << "hot/cold staleness disagree for id " << id;
+  }
+}
+
+TEST_F(FlowTableHostTest, StaleAckNeverTouchesHotRow) {
+  // A stale-generation ACK/CNP must not read or write one byte of the
+  // slot's recycled hot row: snapshot the new tenant's row, deliver stale
+  // traffic, and require the row bit-identical (doubles compared as bit
+  // patterns — even a rewrite of the same value would pass, but a CC
+  // update through the stale id cannot produce one here because the row
+  // mid-flight state makes any touch observable).
+  SenderQp* first = Launch(100 * 1518);
+  const FlowId stale = first->spec().id;
+  sim_.RunUntil(Microseconds(5));  // let it progress: non-trivial row state
+  host_.flow_table().Release(stale);
+
+  SenderQp* second = Launch(100 * 1518);
+  sim_.RunUntil(Microseconds(5));
+  const FlowId fresh = second->spec().id;
+  HotFlowRow* row = host_.flow_table().HotLookup(fresh);
+  ASSERT_NE(row, nullptr);
+  const HotFlowRow snapshot = *row;
+
+  PacketPtr ack = test::MakeAck(1, 0, stale);
+  ack->seq = 50 * 1518;
+  host_.ReceivePacket(std::move(ack), 0);
+  PacketPtr cnp = MakePacket();
+  cnp->type = PacketType::kCnp;
+  cnp->flow = stale;
+  cnp->size_bytes = kCnpBytes;
+  host_.ReceivePacket(std::move(cnp), 0);
+
+  EXPECT_EQ(row->generation, snapshot.generation);
+  EXPECT_EQ(row->mode, snapshot.mode);
+  EXPECT_EQ(row->flags, snapshot.flags);
+  EXPECT_EQ(row->src, snapshot.src);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(row->words.rate_gbps),
+            std::bit_cast<std::uint64_t>(snapshot.words.rate_gbps));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(row->words.window_bytes),
+            std::bit_cast<std::uint64_t>(snapshot.words.window_bytes));
+  EXPECT_EQ(row->snd_nxt, snapshot.snd_nxt);
+  EXPECT_EQ(row->snd_una, snapshot.snd_una);
+  EXPECT_EQ(row->size_bytes, snapshot.size_bytes);
+  EXPECT_EQ(row->qp, snapshot.qp);
+}
+
+TEST(FlowTableBatchTest, DeliveryBatchSizesBitIdenticalFcts) {
+  // The batching invariant: net/egress_port's host-bound delivery batch is
+  // a pure cache-warming lookahead — batch formation never reorders the
+  // (time, seq) event stream, so every batch size yields bit-identical
+  // simulation results. Compared on a fat-tree run's FCT records (the
+  // figures' raw material) plus the event/counter totals.
+  const auto run = [](int batch) {
+    FatTreeRunConfig config;
+    config.scenario.mode = CcMode::kFncc;
+    config.scenario.delivery_batch = batch;
+    config.k = 4;
+    config.num_flows = 24;
+    config.cdf = SizeCdf::WebSearch();
+    config.load = 0.5;
+    return RunFatTree(config);
+  };
+
+  const FatTreeRunResult reference = run(1);  // batch=1: no lookahead at all
+  ASSERT_GT(reference.fct.count(), 0u);
+  for (int batch : {4, 64}) {
+    SCOPED_TRACE("delivery_batch=" + std::to_string(batch));
+    const FatTreeRunResult other = run(batch);
+    EXPECT_EQ(other.flows_completed, reference.flows_completed);
+    EXPECT_EQ(other.events_processed, reference.events_processed);
+    EXPECT_EQ(other.pause_frames, reference.pause_frames);
+    EXPECT_EQ(other.drops, reference.drops);
+    ASSERT_EQ(other.fct.count(), reference.fct.count());
+    for (std::size_t f = 0; f < reference.fct.count(); ++f) {
+      const FlowResult& a = reference.fct.results()[f];
+      const FlowResult& b = other.fct.results()[f];
+      EXPECT_EQ(b.spec.id, a.spec.id) << "flow " << f;
+      EXPECT_EQ(b.fct, a.fct) << "flow " << f;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(b.slowdown),
+                std::bit_cast<std::uint64_t>(a.slowdown))
+          << "flow " << f;
+    }
   }
 }
 
