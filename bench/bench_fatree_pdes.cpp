@@ -1,0 +1,79 @@
+// Macro-benchmark for the conservative-PDES event-domain partition: one
+// k=16 fat-tree permutation point (the specs/fat_tree_k16.exp scenario at
+// bench scale) run end to end at exec_domains = 1, 2, 4 and 8, plus a
+// serial reference (BM_FatTreePointSerial) that never calls
+// Simulator::Partition — the exact pre-partition code path.
+//
+// Two machine-independent facts come out of BENCH_fatree_pdes.json:
+//   - BM_FatTreePoint/1 vs BM_FatTreePointSerial/1: the overhead of the
+//     partition machinery when it degenerates to one lane. This ratio is
+//     what scripts/check_bench_regression.py gates (pair convention like
+//     BM_HostAckPath=BM_LegacyHostAckPath); it must stay ~1.
+//   - BM_FatTreePoint/{2,4,8} vs /1: the domain speedup. This is wall
+//     time, so it scales with the worker threads actually available —
+//     run_benches.sh stamps fncc_threads into the JSON context; on a
+//     single hardware thread the multi-domain entries measure window +
+//     handoff overhead, not speedup.
+//
+// Every configuration produces bit-identical simulation output (the
+// domain-equivalence suite in tests/exec pins this); only wall time may
+// differ, which is exactly what this file measures.
+#include <benchmark/benchmark.h>
+
+#include "exec/thread_pool.hpp"
+#include "harness/experiment_runner.hpp"
+
+namespace {
+
+using namespace fncc;
+
+ExperimentSpec FatTreePointSpec(int exec_domains) {
+  ExperimentSpec spec = ParseSpecText(R"(
+name = fatree_pdes_bench
+topology.kind = fat_tree
+topology.k = 16
+workload.kind = permutation
+workload.size_bytes = 100000
+run.duration_us = 0
+run.max_sim_ms = 2000
+)");
+  spec.scenario.exec_domains = exec_domains;
+  return spec;
+}
+
+void RunPoint(benchmark::State& state, int exec_domains, int threads) {
+  std::uint64_t events = 0;
+  std::size_t flows = 0;
+  for (auto _ : state) {
+    const ExperimentPointResult r =
+        RunExperimentPoint(FatTreePointSpec(exec_domains), threads);
+    events = r.events_processed;
+    flows = r.flows_completed;
+    benchmark::DoNotOptimize(r.fct.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["flows"] = static_cast<double>(flows);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
+/// The partitioned path at 1/2/4/8 domains, worker threads from
+/// FNCC_THREADS (default: hardware concurrency) clamped to the lane count.
+void BM_FatTreePoint(benchmark::State& state) {
+  RunPoint(state, static_cast<int>(state.range(0)),
+           ThreadPool::DefaultThreadCount());
+}
+BENCHMARK(BM_FatTreePoint)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+/// Serial reference: single lane, single thread, plain Simulator::RunUntil
+/// — the legacy counterpart for the regression gate's /1 ratio.
+void BM_FatTreePointSerial(benchmark::State& state) {
+  RunPoint(state, static_cast<int>(state.range(0)), 1);
+}
+BENCHMARK(BM_FatTreePointSerial)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -151,3 +151,57 @@ if fwd:
     print(f"  switch forward         {fwd/1e6:8.1f}M pkts/s (full pipeline)")
 EOF
 fi
+
+# --- PDES domain partition: the k=16 fat-tree point at 1/2/4/8 domains ---
+# Same provenance stamps as BENCH_micro.json, plus fncc_hw_threads: the
+# domain speedup entries are wall-time measurements, meaningful only
+# relative to the worker threads the recording machine actually had.
+# scripts/check_bench_regression.py gates only the machine-independent
+# /1 ratio (BM_FatTreePoint=BM_FatTreePointSerial).
+PDES_BENCH="$BUILD_DIR/bench_fatree_pdes"
+PDES_OUT="${3:-BENCH_fatree_pdes.json}"
+if [ -x "$PDES_BENCH" ]; then
+  HW_THREADS="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)"
+  "$PDES_BENCH" \
+    --benchmark_out="$PDES_OUT" \
+    --benchmark_out_format=json \
+    --benchmark_context=fncc_build_type="$BUILD_TYPE" \
+    --benchmark_context=fncc_threads="$FNCC_THREADS" \
+    --benchmark_context=fncc_hw_threads="$HW_THREADS" \
+    --benchmark_context=fncc_debug_bench_lib_ack="$LIB_ACK" \
+    --benchmark_min_time=0.2
+
+  echo ""
+  echo "wrote $PDES_OUT (fncc_threads=$FNCC_THREADS, hw_threads=$HW_THREADS)"
+
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$PDES_OUT" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+by_name = {b["name"]: b for b in data["benchmarks"]}
+
+def wall(name):
+    b = by_name.get(name)
+    return b["real_time"] if b else None
+
+print("== fat-tree k=16 point: event-domain scaling (wall ms) ==")
+serial = wall("BM_FatTreePointSerial/1")
+d1 = wall("BM_FatTreePoint/1")
+if serial and d1:
+    print(f"  serial reference      {serial:8.1f} ms")
+    print(f"  domains=1             {d1:8.1f} ms  "
+          f"(partition overhead {d1/serial:.2f}x, gated)")
+for d in (2, 4, 8):
+    t = wall(f"BM_FatTreePoint/{d}")
+    if t and d1:
+        print(f"  domains={d}             {t:8.1f} ms  -> {d1/t:.2f}x vs 1")
+hw = data.get("context", {}).get("fncc_hw_threads", "?")
+print(f"  (recorded with fncc_hw_threads={hw}; speedup needs >= domains "
+      f"hardware threads)")
+EOF
+  fi
+else
+  echo "note: $PDES_BENCH not built - skipping $PDES_OUT" >&2
+fi

@@ -1,0 +1,38 @@
+#include "exec/domain_scheduler.hpp"
+
+namespace fncc {
+
+DomainScheduler::DomainScheduler(Simulator* sim, int num_threads)
+    : sim_(sim) {
+  int n = num_threads < sim->num_lanes() ? num_threads : sim->num_lanes();
+  if (n > 1) pool_ = std::make_unique<ThreadPool>(n);
+}
+
+void DomainScheduler::RunUntil(Time t) {
+  if (pool_ == nullptr) {
+    sim_->RunUntil(t);
+    return;
+  }
+  // The threaded twin of Simulator::RunMulti: identical phases, with the
+  // pool's Submit/Wait as the barriers (Wait's join is the happens-before
+  // edge between a window's cross-lane outbox writes and their drain).
+  sim_->ClearStop();
+  const int lanes = sim_->num_lanes();
+  for (;;) {
+    const Time start = sim_->NextEventTime();
+    if (start == kTimeInfinity || start > t) break;
+    const Time close = sim_->WindowClose(start, t);
+    for (int lane = 0; lane < lanes; ++lane) {
+      pool_->Submit([this, lane, close] { sim_->RunLaneWindow(lane, close); });
+    }
+    pool_->Wait();
+    if (sim_->stop_requested()) return;
+    for (int lane = 0; lane < lanes; ++lane) {
+      pool_->Submit([this, lane] { sim_->DrainLaneMailboxes(lane); });
+    }
+    pool_->Wait();
+  }
+  sim_->SettleLanes(t);
+}
+
+}  // namespace fncc

@@ -1,0 +1,41 @@
+// Threaded driver for a lane-partitioned Simulator: conservative-PDES
+// windows fanned over the shared ThreadPool.
+//
+// Each window is two barrier-separated phases. (1) Every lane runs its
+// events in [start, close) where close = start + lookahead (min cross-lane
+// link propagation delay, from Network::SealDomains) — safe because no
+// cross-lane influence can arrive earlier than one propagation delay after
+// it was sent, i.e. at or after `close`. Cross-lane sends buffer in their
+// port's outbox. (2) Every lane drains the mailboxes addressed to it,
+// injecting the buffered handoffs into its queue; the handoffs' delivery
+// times are >= close, so they are injected before any lane could have
+// needed them. Order words (sim/event_queue.hpp) make the resulting pop
+// order — and every output — bit-identical to the serial run at any lane
+// and thread count.
+#pragma once
+
+#include <memory>
+
+#include "exec/thread_pool.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace fncc {
+
+class DomainScheduler {
+ public:
+  /// `num_threads` <= 1 — or an unpartitioned simulator — selects the
+  /// serial reference path (plain Simulator::RunUntil, no pool). Threads
+  /// beyond the lane count would idle and are clamped away.
+  DomainScheduler(Simulator* sim, int num_threads);
+
+  /// Runs events with timestamp <= t, then settles every lane clock to
+  /// exactly t — same contract as Simulator::RunUntil.
+  void RunUntil(Time t);
+
+ private:
+  Simulator* sim_;
+  std::unique_ptr<ThreadPool> pool_;  // null => serial reference path
+};
+
+}  // namespace fncc

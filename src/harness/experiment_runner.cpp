@@ -1,11 +1,13 @@
 #include "harness/experiment_runner.hpp"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <set>
 
 #include "core/fncc.hpp"
+#include "exec/domain_scheduler.hpp"
 #include "exec/sweep_runner.hpp"
 #include "exec/wall_timer.hpp"
 #include "net/packet_pool.hpp"
@@ -14,9 +16,62 @@
 
 namespace fncc {
 
+namespace {
+
+/// One flow completion, stamped with the (time, order-word) key of the
+/// event that delivered the completing ACK. The stamps are partition
+/// invariants (delivery order words encode a directed edge + its FIFO
+/// index, never a lane), so sorting merged per-lane records by them
+/// reproduces the single-queue recording order at any domain count.
+struct CompletionRecord {
+  Time t = 0;
+  std::uint64_t order = 0;
+  FlowSpec spec;
+  Time fct = 0;
+  std::uint64_t retransmits = 0;
+};
+
+/// Per-lane completion tally. Each lane's hooks only ever append to its
+/// own tally, so the hot path stays unsynchronized under DomainScheduler.
+struct LaneTally {
+  std::vector<CompletionRecord> records;
+  std::uint64_t retransmits = 0;
+};
+
+/// Canonical completion order: by time; at equal time deliveries (bit 63
+/// clear) before natives, deliveries by their edge order word, natives by
+/// flow id. This is exactly the pop order of the partitioned event queues,
+/// so it matches execution order at every domain count — including one.
+bool CompletionBefore(const CompletionRecord& a, const CompletionRecord& b) {
+  if (a.t != b.t) return a.t < b.t;
+  const bool a_native = (a.order & kNativeOrderBit) != 0;
+  const bool b_native = (b.order & kNativeOrderBit) != 0;
+  if (a_native != b_native) return b_native;
+  if (!a_native) return a.order < b.order;
+  return a.spec.id < b.spec.id;
+}
+
+/// Resolves scenario.exec_domains to a concrete lane count for `point`:
+/// 0 = auto picks the topology's natural partition; zero propagation
+/// delay forces a single lane (no lookahead window to run ahead in).
+int ResolveDomainCount(const ExperimentSpec& point,
+                       const TopologyParams& topo_params) {
+  const ScenarioConfig& sc = point.scenario;
+  int domains = sc.exec_domains == 0
+                    ? TopologyNaturalDomains(point.topology, topo_params)
+                    : sc.exec_domains;
+  if (sc.propagation_delay <= 0) domains = 1;
+  if (domains < 1) domains = 1;
+  if (domains > 64) domains = 64;
+  return domains;
+}
+
+}  // namespace
+
 ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
                                        const TopologyParams& topo_params,
-                                       const WorkloadParams& wl_params) {
+                                       const WorkloadParams& wl_params,
+                                       int intra_threads) {
   const WallTimer timer;
   const ScenarioConfig& sc = point.scenario;
   ExperimentPointResult result;
@@ -24,12 +79,18 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
 
   Simulator sim;
   sim.set_delivery_batch(sc.delivery_batch);
+  // Partition before Build: node constructors schedule their first timers,
+  // which must land in the owning lane's queue.
+  sim.Partition(ResolveDomainCount(point, topo_params));
   Rng rng(sc.seed);
   BuiltTopology topo =
       TopologyRegistry::Build(point.topology, &sim, MakeHostFactory(sc),
                               MakeSwitchConfig(sc), &rng, topo_params);
   topo.net.ComputeRoutes(sc.ecmp_salt, sc.symmetric_ecmp);
   Network& net = topo.net;
+  // Wiring is final: flip cross-lane ports into handoff mode and derive
+  // the lookahead window from the narrowest cross-lane link.
+  net.SealDomains();
 
   WorkloadHosts roles{topo.hosts, topo.senders, topo.receiver};
   std::vector<GeneratedFlow> flows =
@@ -37,15 +98,25 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
   result.flows_total = flows.size();
 
   // Completion hook before launch (records only — schedules nothing, so
-  // the event stream is untouched).
+  // the event stream is untouched). Records go to the active lane's tally
+  // and are merged into canonical order after the run.
+  std::vector<LaneTally> tallies(
+      static_cast<std::size_t>(sim.num_lanes()));
   for (Endpoint* ep : net.hosts()) {
     auto* host = static_cast<Host*>(ep);
-    host->on_flow_complete = [&result](const SenderQp& qp) {
-      result.fct.Record(qp.spec(), qp.fct());
-      ++result.flows_completed;
-      result.retransmits += qp.retransmit_events();
+    host->on_flow_complete = [&tallies, &sim](const SenderQp& qp) {
+      LaneTally& tally = tallies[static_cast<std::size_t>(sim.ActiveLaneId())];
+      const Simulator::OrderKey key = sim.CurrentOrderKey();
+      tally.records.push_back(
+          {key.t, key.order, qp.spec(), qp.fct(), qp.retransmit_events()});
+      tally.retransmits += qp.retransmit_events();
     };
   }
+  const auto flows_completed = [&tallies] {
+    std::size_t n = 0;
+    for (const LaneTally& tally : tallies) n += tally.records.size();
+    return n;
+  };
 
   // Unbounded flows (size 0): line rate for the entire duration, rounded
   // up — large enough to outlast the run.
@@ -60,6 +131,9 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
   qps.reserve(flows.size());
   for (GeneratedFlow& gf : flows) {
     if (gf.spec.size_bytes == 0) gf.spec.size_bytes = auto_budget;
+    // Launch (and the stop-abort timer) under the source host's lane: the
+    // start/abort events belong to the lane that owns the host.
+    Simulator::ActiveLaneScope scope(&sim, net.node(gf.spec.src)->domain());
     SenderQp* qp = LaunchFlow(net, sc, gf.spec);
     qps.push_back(qp);
     if (gf.stop < kTimeInfinity) {
@@ -81,22 +155,32 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
   // series unconditionally (empty series when unmonitored).
   result.flows.resize(flows.size());
   if (monitored) {
+    // Samplers schedule their first tick at construction and then
+    // self-reschedule from inside their own events, so pinning the
+    // construction lane pins the whole series: queue/utilization to the
+    // congestion switch's lane, per-flow pairs to the source host's lane.
     EgressPort* cport =
         &topo.congestion_switch()->port(topo.congestion_port);
-    queue_sampler = std::make_unique<PeriodicSampler>(
-        &sim, point.run.queue_sample_interval,
-        [cport] { return static_cast<double>(cport->qlen_bytes()); },
-        &result.queue_bytes);
-    util_meter = std::make_shared<RateMeter>();
-    util_sampler = std::make_unique<PeriodicSampler>(
-        &sim, point.run.util_sample_interval,
-        [cport, util_meter, &sim, link_gbps = sc.link_gbps] {
-          return util_meter->SampleGbps(sim.Now(), cport->tx_bytes()) /
-                 link_gbps;
-        },
-        &result.utilization);
+    {
+      Simulator::ActiveLaneScope scope(
+          &sim, net.node(topo.congestion_node)->domain());
+      queue_sampler = std::make_unique<PeriodicSampler>(
+          &sim, point.run.queue_sample_interval,
+          [cport] { return static_cast<double>(cport->qlen_bytes()); },
+          &result.queue_bytes);
+      util_meter = std::make_shared<RateMeter>();
+      util_sampler = std::make_unique<PeriodicSampler>(
+          &sim, point.run.util_sample_interval,
+          [cport, util_meter, &sim, link_gbps = sc.link_gbps] {
+            return util_meter->SampleGbps(sim.Now(), cport->tx_bytes()) /
+                   link_gbps;
+          },
+          &result.utilization);
+    }
     for (std::size_t i = 0; i < qps.size(); ++i) {
       SenderQp* qp = qps[i];
+      Simulator::ActiveLaneScope scope(
+          &sim, net.node(qp->spec().src)->domain());
       rate_samplers.push_back(std::make_unique<PeriodicSampler>(
           &sim, point.run.rate_sample_interval,
           [qp] { return qp->complete() ? 0.0 : qp->pacing_rate_gbps(); },
@@ -112,21 +196,39 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
     }
   }
 
+  // DomainScheduler picks the serial reference path (plain RunUntil)
+  // whenever the point has a single lane or a single thread.
+  DomainScheduler sched(&sim, intra_threads);
   if (point.run.duration > 0) {
-    sim.RunUntil(point.run.duration);
+    sched.RunUntil(point.run.duration);
   } else {
     // Run in chunks until every flow finishes (or the wall is hit — only
     // possible with a broken configuration, thanks to the RTO).
     const Time chunk = 2 * kMillisecond;
-    while (result.flows_completed < result.flows_total &&
+    while (flows_completed() < result.flows_total &&
            sim.Now() < point.run.max_sim_time) {
       if (sim.events_pending() == 0) break;
-      sim.RunUntil(sim.Now() + chunk);
+      sched.RunUntil(sim.Now() + chunk);
     }
-    if (result.flows_completed < result.flows_total) {
-      Log(LogLevel::kWarn, sim.Now(), "experiment run incomplete: %zu/%zu flows",
-          result.flows_completed, result.flows_total);
-    }
+  }
+
+  // Merge per-lane completions into the single-queue recording order.
+  std::vector<CompletionRecord> completions;
+  completions.reserve(flows_completed());
+  for (LaneTally& tally : tallies) {
+    result.retransmits += tally.retransmits;
+    completions.insert(completions.end(), tally.records.begin(),
+                       tally.records.end());
+  }
+  std::sort(completions.begin(), completions.end(), CompletionBefore);
+  for (const CompletionRecord& r : completions) {
+    result.fct.Record(r.spec, r.fct);
+  }
+  result.flows_completed = completions.size();
+  if (result.flows_completed < result.flows_total &&
+      point.run.duration <= 0) {
+    Log(LogLevel::kWarn, sim.Now(), "experiment run incomplete: %zu/%zu flows",
+        result.flows_completed, result.flows_total);
   }
 
   for (Switch* sw : net.switches()) {
@@ -149,13 +251,18 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
     }
   }
   result.events_processed = sim.events_processed();
-  result.pool_packets_created = sim.packet_pool().total_created();
-  result.pool_packets_acquired = sim.packet_pool().acquires();
+  // Pool telemetry sums over every lane's arena. Unlike the counters
+  // above it is NOT a partition invariant (which lane's arena services a
+  // packet depends on the partition), so equivalence comparisons must
+  // exclude it.
+  result.pool_packets_created = sim.pool_total_created();
+  result.pool_packets_acquired = sim.pool_acquires();
   result.wall_time_seconds = timer.Seconds();
   return result;
 }
 
-ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point) {
+ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point,
+                                         int intra_threads) {
   if (!point.sweep.empty()) {
     throw SpecError(
         "spec still has sweep axes (" + std::to_string(point.sweep.size()) +
@@ -164,11 +271,21 @@ ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point) {
   }
   ValidateSpec(point);
   return RunResolvedPoint(point, ResolveTopologyParams(point),
-                          ResolveWorkloadParams(point));
+                          ResolveWorkloadParams(point), intra_threads);
 }
 
 std::vector<ExperimentPointResult> RunExperimentPoints(
     const std::vector<ExperimentSpec>& points, int num_threads) {
+  // One level of parallelism at a time: a single point gets the whole
+  // thread budget for its intra-point domain windows (a no-op for
+  // single-lane points); multi-point lists parallelize across points and
+  // run each point's domains inline. Either way results are bit-identical
+  // to the all-serial run.
+  if (points.size() == 1) {
+    const int threads =
+        num_threads > 0 ? num_threads : ThreadPool::DefaultThreadCount();
+    return {RunExperimentPoint(points[0], threads)};
+  }
   SweepRunner runner(num_threads);
   // wall_time_seconds is stamped inside RunResolvedPoint — one source of
   // truth whether a point runs through a sweep or standalone.

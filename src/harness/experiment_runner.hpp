@@ -64,8 +64,12 @@ struct ExperimentPointResult {
 };
 
 /// Validates `point` (which must have no sweep axes left) and runs it in
-/// the calling thread.
-ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point);
+/// the calling thread. `intra_threads` is the thread budget for the
+/// intra-point domain scheduler when scenario.exec_domains partitions the
+/// fabric (1 = windows run inline; irrelevant for single-lane points);
+/// results are bit-identical at every value.
+ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point,
+                                         int intra_threads = 1);
 
 /// The trusted core: runs `point` with already-resolved topology/workload
 /// params (no validation, no cdf-name lookup). The adapters the legacy
@@ -73,11 +77,15 @@ ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point);
 /// a custom SizeCdf object).
 ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
                                        const TopologyParams& topo_params,
-                                       const WorkloadParams& wl_params);
+                                       const WorkloadParams& wl_params,
+                                       int intra_threads = 1);
 
 /// Runs every point as an independent SweepRunner job (per-job Simulator,
 /// PacketPool and RNG), results in point order. num_threads = 0 picks
 /// FNCC_THREADS / hardware concurrency; 1 is the serial reference path.
+/// The thread budget goes to one level of parallelism: multi-point lists
+/// parallelize across points (each point's domains run inline); a single
+/// point hands the whole budget to its intra-point domain scheduler.
 std::vector<ExperimentPointResult> RunExperimentPoints(
     const std::vector<ExperimentSpec>& points, int num_threads = 0);
 

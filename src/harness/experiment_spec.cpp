@@ -255,6 +255,7 @@ void ApplyKey(ExperimentSpec& spec, const std::string& key,
   if (key == "scenario.int_table_refresh_us") { spec.scenario.int_table_refresh = TimeFromUs(key, value); return; }
   if (key == "scenario.quantize_int") { spec.scenario.quantize_int = ToBool(key, value); return; }
   if (key == "scenario.delivery_batch") { spec.scenario.delivery_batch = ToBoundedInt(key, value); return; }
+  if (key == "scenario.exec_domains") { spec.scenario.exec_domains = value == "auto" ? 0 : ToBoundedInt(key, value); return; }
   if (key == "scenario.eta") { spec.scenario.eta = ToDouble(key, value); return; }
   if (key == "scenario.max_stage") { spec.scenario.max_stage = ToBoundedInt(key, value); return; }
   if (key == "scenario.wai_bytes") { spec.scenario.wai_bytes = ToDouble(key, value); return; }
@@ -415,6 +416,14 @@ void ValidateSpec(const ExperimentSpec& spec) {
   Require(spec.scenario.delivery_batch >= 1 &&
               spec.scenario.delivery_batch <= 64,
           "scenario.delivery_batch must be in [1, 64]");
+  Require(spec.scenario.exec_domains >= 0 && spec.scenario.exec_domains <= 64,
+          "scenario.exec_domains must be auto or in [1, 64]");
+  // >1 domains need a positive cross-domain lookahead window; auto (0) is
+  // fine — it resolves to 1 when there is no propagation delay.
+  Require(spec.scenario.exec_domains <= 1 ||
+              spec.scenario.propagation_delay > 0,
+          "scenario.exec_domains > 1 requires scenario.propagation_delay_us "
+          "> 0 (the PDES lookahead window)");
   Require(spec.scenario.eta > 0.0 && spec.scenario.eta <= 1.0,
           "scenario.eta must be in (0, 1]");
   Require(spec.scenario.max_stage >= 1, "scenario.max_stage must be >= 1");
@@ -642,6 +651,12 @@ std::string SpecToText(const ExperimentSpec& spec) {
   out << "quantize_int = " << (spec.scenario.quantize_int ? "true" : "false")
       << "\n";
   out << "delivery_batch = " << spec.scenario.delivery_batch << "\n";
+  out << "exec_domains = ";
+  if (spec.scenario.exec_domains == 0) {
+    out << "auto\n";
+  } else {
+    out << spec.scenario.exec_domains << "\n";
+  }
   out << "eta = " << FormatDouble(spec.scenario.eta) << "\n";
   out << "max_stage = " << spec.scenario.max_stage << "\n";
   out << "wai_bytes = " << FormatDouble(spec.scenario.wai_bytes) << "\n";

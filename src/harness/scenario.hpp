@@ -40,6 +40,15 @@ struct ScenarioConfig {
   /// bit-identical across settings (batch-boundary tests pin this).
   int delivery_batch = 16;
 
+  /// Intra-point event domains (conservative PDES): the fabric is
+  /// partitioned into this many event lanes, advanced in lookahead-bounded
+  /// windows (Simulator::Partition, exec/DomainScheduler). 1 = the classic
+  /// single queue; 0 = auto — the topology's natural domain count
+  /// (TopologyNaturalDomains), forced back to 1 when propagation_delay is
+  /// zero (no lookahead window). Outputs are bit-identical at every
+  /// setting; >1 only changes wall-clock time.
+  int exec_domains = 1;
+
   // CC knobs forwarded into CcConfig (paper defaults).
   double eta = 0.95;
   int max_stage = 5;

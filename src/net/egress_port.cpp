@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "net/packet_pool.hpp"
+
 namespace fncc {
 
 EgressPort::EgressPort(EgressPort&& other) noexcept
@@ -16,6 +18,10 @@ EgressPort::EgressPort(EgressPort&& other) noexcept
       tx_hook_arg_(other.tx_hook_arg_),
       prefetch_(std::exchange(other.prefetch_, nullptr)),
       lookahead_(other.lookahead_),
+      order_base_(other.order_base_),
+      order_count_(other.order_count_),
+      cross_lane_(other.cross_lane_),
+      peer_lane_(other.peer_lane_),
       data_q_(std::exchange(other.data_q_, Fifo{})),
       ctrl_q_(std::exchange(other.ctrl_q_, Fifo{})),
       tx_pkt_(std::move(other.tx_pkt_)),
@@ -31,6 +37,10 @@ EgressPort::EgressPort(EgressPort&& other) noexcept
   assert(!busy_ && "EgressPort moved while transmitting");
   assert(other.inflight_head_ == nullptr &&
          "EgressPort moved with deliveries in flight");
+  // Mailboxes register `this` with the simulator, so a port must not move
+  // after SetCrossLane — Network::SealDomains runs after all wiring.
+  assert(!cross_lane_ && other.outbox_.empty() &&
+         "EgressPort moved after cross-lane sealing");
 }
 
 EgressPort::~EgressPort() {
@@ -54,8 +64,22 @@ void EgressPort::Connect(Peer peer, double bandwidth_gbps,
   // switch/sink-bound ports keep the zero-overhead direct delivery path.
   prefetch_ = peer.node->prefetch_event();
   lookahead_ = prefetch_ != nullptr ? sim_->delivery_batch() - 1 : 0;
+  // Every directed link gets a unique order-word base in build order, so a
+  // given wire's deliveries sort identically at any lane partitioning.
+  order_base_ = sim_->MintEdgeOrderBase();
   bandwidth_gbps_ = bandwidth_gbps;
   prop_delay_ = propagation_delay;
+}
+
+void EgressPort::SetCrossLane(int peer_lane) {
+  assert(connected() && "SetCrossLane before Connect");
+  cross_lane_ = true;
+  peer_lane_ = peer_lane;
+  // The prefetch chain holds packets between serialization and delivery
+  // and warms peer (foreign-lane) state — both are off-limits mid-window.
+  prefetch_ = nullptr;
+  lookahead_ = 0;
+  sim_->RegisterMailbox(peer_lane, this, &EgressPort::DrainHandoffsThunk);
 }
 
 void EgressPort::Enqueue(PacketPtr pkt) {
@@ -178,7 +202,15 @@ void EgressPort::FinishTransmit() {
   // reorder: serialization completions are strictly ordered and the
   // propagation delay is constant.
   Packet* raw = ReleaseToRaw(std::move(tx_pkt_));
-  if (lookahead_ > 0) {
+  const std::uint64_t order = order_base_ | order_count_++;
+  assert((order_count_ >> 32) == 0 && "per-edge delivery counter overflow");
+  if (cross_lane_) {
+    // Foreign-lane peer: buffer the handoff for the window barrier and
+    // return the original to this lane's arena. No event is scheduled here
+    // — the destination lane schedules (and counts) the delivery.
+    outbox_.push_back(Handoff{sim_->Now() + prop_delay_, order, *raw});
+    WrapRawPacket(raw);
+  } else if (lookahead_ > 0) {
     // Prefetching peer: thread the packet onto the in-flight chain (its
     // delivery event pops it) so upcoming deliveries are visible to the
     // lookahead. Same schedule instant as the direct path — the chain
@@ -193,21 +225,50 @@ void EgressPort::FinishTransmit() {
     ++inflight_count_;
     if (prefetch_cursor_ == nullptr) prefetch_cursor_ = raw;
     AdvancePrefetch();
-    sim_->Schedule(prop_delay_,
-                   TypedEvent{.run = &EgressPort::DeliverInflightEvent,
-                              .drop = &EgressPort::DropInflightEvent,
-                              .p0 = this,
-                              .p1 = raw,
-                              .arg = static_cast<std::uint64_t>(peer_.port)});
+    sim_->ScheduleOrdered(
+        prop_delay_, order,
+        TypedEvent{.run = &EgressPort::DeliverInflightEvent,
+                   .drop = &EgressPort::DropInflightEvent,
+                   .p0 = this,
+                   .p1 = raw,
+                   .arg = static_cast<std::uint64_t>(peer_.port)});
   } else {
-    sim_->Schedule(prop_delay_,
-                   TypedEvent{.run = deliver_,
-                              .drop = &EgressPort::DropPacketEvent,
-                              .p0 = peer_.node,
-                              .p1 = raw,
-                              .arg = static_cast<std::uint64_t>(peer_.port)});
+    sim_->ScheduleOrdered(
+        prop_delay_, order,
+        TypedEvent{.run = deliver_,
+                   .drop = &EgressPort::DropPacketEvent,
+                   .p0 = peer_.node,
+                   .p1 = raw,
+                   .arg = static_cast<std::uint64_t>(peer_.port)});
   }
   TryTransmit();
+}
+
+void EgressPort::DrainHandoffsThunk(void* port) {
+  static_cast<EgressPort*>(port)->DrainHandoffs();
+}
+
+void EgressPort::DrainHandoffs() {
+  if (outbox_.empty()) return;
+  for (const Handoff& h : outbox_) {
+    // Re-materialize in the destination lane's arena (the active lane
+    // here): acquire, copy every field, then restore the handle plumbing
+    // the struct copy clobbered — the acquiring pool's reclaimer and the
+    // chain link.
+    Packet* raw = ReleaseToRaw(sim_->packet_pool().Acquire());
+    PacketPool* pool = raw->pool;
+    *raw = h.pkt;
+    raw->pool = pool;
+    raw->next = nullptr;
+    sim_->ScheduleAtOrdered(
+        h.t, h.order,
+        TypedEvent{.run = deliver_,
+                   .drop = &EgressPort::DropPacketEvent,
+                   .p0 = peer_.node,
+                   .p1 = raw,
+                   .arg = static_cast<std::uint64_t>(peer_.port)});
+  }
+  outbox_.clear();  // keeps capacity; the outbox stays allocation-warm
 }
 
 }  // namespace fncc

@@ -25,9 +25,23 @@
 // packet still gets its own propagation event at its own (t,seq), so event
 // order — and therefore every simulation result — is bit-identical to the
 // unbatched path and across batch sizes.
+// Cross-lane handoff: when the fabric is partitioned into event lanes
+// (Simulator::Partition) and this port's peer lives in another lane
+// (SetCrossLane, applied by Network::SealDomains), finished transmissions
+// are not scheduled into the peer's queue directly — that queue belongs to
+// another thread mid-window. Instead each handoff is buffered by value in
+// the port's outbox and injected at the next window barrier
+// (DrainHandoffs, run under the destination lane's scope). Conservative
+// lookahead makes the barrier early enough: delivery time is
+// send-time + propagation >= window-start + min-cross-lane-propagation,
+// which is exactly where the window closed. Every delivery — local or
+// handoff — carries the same (edge << 32 | nth) order word, so injection
+// order cannot matter: the destination queue re-establishes the one global
+// (t, order) sequence.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
@@ -64,6 +78,18 @@ class EgressPort {
   void Connect(Peer peer, double bandwidth_gbps, Time propagation_delay);
 
   [[nodiscard]] bool connected() const { return peer_.node != nullptr; }
+
+  /// Marks this link as crossing into event lane `peer_lane` and registers
+  /// its handoff mailbox with the simulator (Network::SealDomains, after
+  /// all wiring — `this` must be stable). Cross-lane ports buffer
+  /// deliveries instead of scheduling into the peer's queue and turn off
+  /// delivery prefetch (the chain would touch peer-lane state mid-window).
+  void SetCrossLane(int peer_lane);
+  [[nodiscard]] bool cross_lane() const { return cross_lane_; }
+
+  /// Injects buffered handoffs into the peer lane's queue. Called by the
+  /// simulator at window barriers, under the destination lane's scope.
+  void DrainHandoffs();
 
   /// Queues a data-plane packet (data/ACK/CNP) for transmission.
   void Enqueue(PacketPtr pkt);
@@ -147,6 +173,7 @@ class EgressPort {
   static void TxDoneEvent(void* port, void* unused, std::uint64_t arg);
   static void DeliverEvent(void* node, void* pkt, std::uint64_t port);
   static void DropPacketEvent(void* unused, void* pkt, std::uint64_t arg);
+  static void DrainHandoffsThunk(void* port);
   /// Chain variant: unlinks the head of the in-flight chain, tops up the
   /// prefetch window, then delivers inline — same instant, same order as
   /// the direct path.
@@ -170,6 +197,26 @@ class EgressPort {
   Node::DeliverFn deliver_ = nullptr;  // resolved once at Connect()
   double bandwidth_gbps_ = 0.0;
   Time prop_delay_ = 0;
+
+  // Partition-invariant delivery ordering (see event_queue.hpp): every
+  // propagation event this port schedules — or hands off — carries
+  // order_base_ | order_count_++, i.e. (directed-edge index, nth packet on
+  // the wire).
+  std::uint64_t order_base_ = 0;   // minted at Connect()
+  std::uint64_t order_count_ = 0;  // per-edge FIFO counter
+
+  /// One buffered cross-lane delivery. The packet rides by value: the
+  /// source lane returns its original to its own arena immediately and the
+  /// destination lane re-materializes the copy from its arena at the
+  /// barrier, so neither arena is ever touched from a foreign lane.
+  struct Handoff {
+    Time t;               // delivery (arrival) time
+    std::uint64_t order;  // this edge's order word for the packet
+    Packet pkt;
+  };
+  std::vector<Handoff> outbox_;
+  bool cross_lane_ = false;
+  int peer_lane_ = 0;
 
   TransmitHook tx_hook_ = nullptr;
   void* tx_hook_ctx_ = nullptr;

@@ -18,7 +18,8 @@ Network::Network(Network&& other) noexcept
       switches_(std::move(other.switches_)),
       hosts_(std::move(other.hosts_)),
       adj_(std::move(other.adj_)),
-      next_port_(std::move(other.next_port_)) {
+      next_port_(std::move(other.next_port_)),
+      node_group_(other.node_group_) {
   other.nodes_.clear();
   other.switches_.clear();
   other.hosts_.clear();
@@ -34,6 +35,7 @@ Network& Network::operator=(Network&& other) noexcept {
     hosts_ = std::move(other.hosts_);
     adj_ = std::move(other.adj_);
     next_port_ = std::move(other.next_port_);
+    node_group_ = other.node_group_;
     other.nodes_.clear();
     other.switches_.clear();
     other.hosts_.clear();
@@ -43,9 +45,15 @@ Network& Network::operator=(Network&& other) noexcept {
   return *this;
 }
 
+int Network::GroupLane() const {
+  const int lanes = sim_->num_lanes();
+  return lanes <= 1 ? 0 : node_group_ % lanes;
+}
+
 NodeId Network::AddNode(std::unique_ptr<Node> node) {
   assert(node->id() == next_id() && "node ids must be dense and in order");
   const NodeId id = node->id();
+  node->set_domain(GroupLane());
   if (node->IsSwitch()) {
     switches_.push_back(static_cast<Switch*>(node.get()));
   } else {
@@ -59,6 +67,9 @@ NodeId Network::AddNode(std::unique_ptr<Node> node) {
 
 Switch* Network::AddSwitch(const std::string& name,
                            const SwitchConfig& config, Rng* rng) {
+  // Construct inside the node's lane: the constructor schedules periodic
+  // timers (INT refresh, RoCC epochs) that must live in the owner's queue.
+  Simulator::ActiveLaneScope scope(sim_, GroupLane());
   auto sw = std::make_unique<Switch>(sim_, next_id(), name, config, rng);
   Switch* ptr = sw.get();
   AddNode(std::move(sw));
@@ -67,10 +78,29 @@ Switch* Network::AddSwitch(const std::string& name,
 
 Endpoint* Network::AddHost(const HostFactory& factory,
                            const std::string& name) {
+  Simulator::ActiveLaneScope scope(sim_, GroupLane());
   auto host = factory(sim_, next_id(), name);
   Endpoint* ptr = host.get();
   AddNode(std::move(host));
   return ptr;
+}
+
+void Network::SealDomains() {
+  if (sim_->num_lanes() <= 1) return;
+  Time min_prop = kTimeInfinity;
+  for (std::size_t a = 0; a < nodes_.size(); ++a) {
+    const int lane_a = nodes_[a]->domain();
+    for (const Adjacency& e : adj_[a]) {
+      const int lane_b = node(e.peer)->domain();
+      if (lane_a == lane_b) continue;
+      assert(e.prop > 0 &&
+             "cross-domain links need positive propagation delay (the "
+             "conservative lookahead window)");
+      if (e.prop < min_prop) min_prop = e.prop;
+      PortOf(static_cast<NodeId>(a), e.local_port).SetCrossLane(lane_b);
+    }
+  }
+  sim_->set_domain_lookahead(min_prop);
 }
 
 EgressPort& Network::PortOf(NodeId node_id, int port) {

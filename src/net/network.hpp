@@ -57,6 +57,23 @@ class Network {
   /// Convenience: constructs a host through the factory and adds it.
   Endpoint* AddHost(const HostFactory& factory, const std::string& name);
 
+  /// Event-domain grouping: topology builders tag node batches with a
+  /// group id before adding them (per pod for fat_tree, per leaf group for
+  /// leaf_spine). Sticky until the next call. Nodes are assigned — and,
+  /// when the simulator is partitioned, constructed inside — event lane
+  /// `group % sim->num_lanes()`, so their construction-time timers land in
+  /// the lane that will run them.
+  void SetNodeGroup(int group) { node_group_ = group; }
+  [[nodiscard]] int node_group() const { return node_group_; }
+
+  /// Finalizes domain partitioning after all wiring: marks every link
+  /// whose endpoints live in different event lanes as a cross-lane handoff
+  /// edge (both directions) and sets the simulator's conservative
+  /// lookahead to the minimum propagation delay over those links. Call
+  /// exactly once, after the last Connect and before any traffic; no-op on
+  /// unpartitioned simulators.
+  void SealDomains();
+
   /// Wires a full-duplex link between (a, port_a) and (b, port_b) with the
   /// same rate/delay in both directions. Endpoint ports must be 0.
   void Connect(NodeId a, int port_a, NodeId b, int port_b, double gbps,
@@ -122,12 +139,16 @@ class Network {
   /// One-directional egress info from `node` toward `peer` (asserts found).
   [[nodiscard]] const Adjacency& Edge(NodeId node, NodeId peer) const;
 
+  /// Event lane the current node group maps to (0 when unpartitioned).
+  [[nodiscard]] int GroupLane() const;
+
   Simulator* sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Switch*> switches_;
   std::vector<Endpoint*> hosts_;
   std::vector<std::vector<Adjacency>> adj_;
   std::vector<int> next_port_;
+  int node_group_ = 0;
 };
 
 }  // namespace fncc

@@ -66,6 +66,13 @@ class Node {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Simulator* sim() const { return sim_; }
 
+  /// Event lane this node executes in (0 when the simulator is not
+  /// partitioned). Assigned by Network::AddNode from the builder's node
+  /// group; links between nodes with different domains become cross-lane
+  /// handoff edges (Network::SealDomains).
+  [[nodiscard]] int domain() const { return domain_; }
+  void set_domain(int d) { domain_ = d; }
+
  protected:
   /// Installed by `final` subclasses in their constructor. The function
   /// must assume `node` is exactly that subclass.
@@ -77,6 +84,7 @@ class Node {
   NodeId id_;
   std::string name_;
   NodeKind kind_;
+  int domain_ = 0;
   DeliverFn deliver_event_ = nullptr;
   PrefetchFn prefetch_event_ = nullptr;
 };

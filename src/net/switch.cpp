@@ -8,11 +8,16 @@
 
 namespace fncc {
 
+// The build rng seeds a per-switch stream (one draw, in deterministic build
+// order). Run-time draws — ECN marking — then touch only this switch's own
+// engine, so their sequence depends only on this switch's packet order:
+// safe and reproducible when switches run in parallel event lanes.
 Switch::Switch(Simulator* sim, NodeId id, std::string name,
                SwitchConfig config, Rng* rng)
     : Node(sim, id, std::move(name), NodeKind::kSwitch),
       config_(config),
-      rng_(rng) {
+      rng_(rng != nullptr ? rng->engine()()
+                          : 0x9e3779b97f4a7c15ull ^ static_cast<std::uint64_t>(id)) {
   set_deliver_event(&Switch::DeliverPacketEvent);
   assert(config_.num_ports > 0);
   ports_.reserve(config_.num_ports);
@@ -127,7 +132,7 @@ void Switch::ReceivePacket(PacketPtr pkt, int in_port) {
                        static_cast<double>(q - config_.ecn_kmin_bytes) /
                        static_cast<double>(config_.ecn_kmax_bytes -
                                            config_.ecn_kmin_bytes);
-      if (rng_->Bernoulli(p)) {
+      if (rng_.Bernoulli(p)) {
         pkt->ecn_ce = true;
         ++ecn_marked_;
       }

@@ -152,7 +152,7 @@ class Switch final : public Node {
   void SendPfc(int ingress_port, bool pause);
 
   SwitchConfig config_;
-  Rng* rng_;
+  Rng rng_;  // owned: seeded once from the build rng (see constructor)
   std::vector<EgressPort> ports_;
   RoutingTable routing_;
   std::uint32_t ecmp_salt_ = 0;

@@ -123,12 +123,18 @@ FatTreeTopology BuildFatTree(Simulator* sim, const HostFactory& hosts,
   topo.k = k;
   Network& net = topo.net;
 
+  // Event-domain groups: each pod (its hosts, edges and aggs) is group p,
+  // the core layer is group k — the partitioning the PDES scheduler maps
+  // onto event lanes. Only pod<->core links cross groups, so the lookahead
+  // window is one link propagation delay.
   for (int h = 0; h < num_hosts; ++h) {
     std::string name = "h";
     name += std::to_string(h);
+    net.SetNodeGroup(h / (half * half));
     topo.hosts.push_back(net.AddHost(hosts, name)->id());
   }
   for (int p = 0; p < k; ++p) {
+    net.SetNodeGroup(p);
     for (int e = 0; e < half; ++e) {
       topo.edges.push_back(net.AddSwitch(
           "edge_p" + std::to_string(p) + "_" + std::to_string(e),
@@ -136,12 +142,14 @@ FatTreeTopology BuildFatTree(Simulator* sim, const HostFactory& hosts,
     }
   }
   for (int p = 0; p < k; ++p) {
+    net.SetNodeGroup(p);
     for (int a = 0; a < half; ++a) {
       topo.aggs.push_back(net.AddSwitch(
           "agg_p" + std::to_string(p) + "_" + std::to_string(a),
           WithPorts(sw_config, k), rng)->id());
     }
   }
+  net.SetNodeGroup(k);
   for (int c = 0; c < half * half; ++c) {
     topo.cores.push_back(net.AddSwitch("core" + std::to_string(c),
                                        WithPorts(sw_config, k), rng)->id());
@@ -194,7 +202,10 @@ LeafSpineTopology BuildLeafSpine(Simulator* sim, const HostFactory& hosts,
   topo.hosts_per_leaf = hosts_per_leaf;
   Network& net = topo.net;
 
+  // Event-domain groups: leaf l and its hosts form group l, the spine
+  // layer is group `leaves` — only leaf<->spine links cross groups.
   for (int l = 0; l < leaves; ++l) {
+    net.SetNodeGroup(l);
     for (int h = 0; h < hosts_per_leaf; ++h) {
       std::string name = "h";
       name += std::to_string(l * hosts_per_leaf + h);
@@ -202,11 +213,13 @@ LeafSpineTopology BuildLeafSpine(Simulator* sim, const HostFactory& hosts,
     }
   }
   for (int l = 0; l < leaves; ++l) {
+    net.SetNodeGroup(l);
     topo.leaves.push_back(
         net.AddSwitch("leaf" + std::to_string(l),
                       WithPorts(sw_config, hosts_per_leaf + spines), rng)
             ->id());
   }
+  net.SetNodeGroup(leaves);
   for (int s = 0; s < spines; ++s) {
     topo.spines.push_back(net.AddSwitch("spine" + std::to_string(s),
                                         WithPorts(sw_config, leaves), rng)
@@ -401,6 +414,13 @@ NamedRegistry<TopologyBuildFn>& Entries() {
 }
 
 }  // namespace
+
+int TopologyNaturalDomains(const std::string& name,
+                           const TopologyParams& params) {
+  if (name == "fat_tree") return params.k + 1;
+  if (name == "leaf_spine") return params.leaves + 1;
+  return 1;
+}
 
 void TopologyRegistry::Register(const std::string& name,
                                 const std::string& description,

@@ -187,6 +187,14 @@ struct BuiltTopology {
   }
 };
 
+/// Natural event-domain count of a registered topology — the partitioning
+/// its builder tags with Network::SetNodeGroup: k pods + the core group for
+/// fat_tree, `leaves` leaf groups + the spine group for leaf_spine, 1 (no
+/// partitioning) for everything else. `scenario.exec_domains = auto`
+/// resolves to this.
+[[nodiscard]] int TopologyNaturalDomains(const std::string& name,
+                                         const TopologyParams& params);
+
 using TopologyBuildFn = std::function<BuiltTopology(
     Simulator* sim, const HostFactory& hosts, const SwitchConfig& sw_config,
     Rng* rng, const TopologyParams& params)>;

@@ -27,11 +27,15 @@ std::uint32_t EventQueue::AllocSlot() {
 }
 
 EventId EventQueue::Commit(Time t, std::uint32_t slot) {
-  const std::uint64_t seq = next_seq_++;
+  return CommitWith(t, kNativeOrderBit | next_seq_++, slot);
+}
+
+EventId EventQueue::CommitWith(Time t, std::uint64_t order,
+                               std::uint32_t slot) {
   if (wheel_.Accepts(t)) {
-    wheel_.Insert(SchedEntry{t, seq, slot});
+    wheel_.Insert(SchedEntry{t, order, slot});
   } else {
-    HeapPush(HeapEntry{t, seq, slot});
+    HeapPush(HeapEntry{t, order, slot});
   }
   return MakeEventId(slot, slot_meta_[slot].generation);
 }
@@ -72,7 +76,7 @@ bool EventQueue::Reschedule(EventId id, Time t) {
     wheel_.Remove(slot, meta.loc);
   }
   meta.loc = kLocNone;
-  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t seq = kNativeOrderBit | next_seq_++;
   if (wheel_.Accepts(t)) {
     wheel_.Insert(SchedEntry{t, seq, slot});
   } else {
@@ -81,7 +85,7 @@ bool EventQueue::Reschedule(EventId id, Time t) {
   return true;
 }
 
-EventAction EventQueue::PopNext(Time* t) {
+EventAction EventQueue::PopNext(Time* t, std::uint64_t* order) {
   assert(!Empty() && "PopNext on empty queue");
   const SchedEntry* w = wheel_.Peek();
   const bool from_wheel =
@@ -93,10 +97,12 @@ EventAction EventQueue::PopNext(Time* t) {
   if (from_wheel) {
     const SchedEntry e = wheel_.Pop();
     *t = e.t;
+    if (order != nullptr) *order = e.seq;
     slot = e.slot;
   } else {
     const HeapEntry top = heap_.front();
     *t = top.t;
+    if (order != nullptr) *order = top.seq;
     slot = top.slot;
     const HeapEntry last = heap_.back();
     heap_.pop_back();

@@ -33,6 +33,21 @@ namespace fncc {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+/// Bit 63 of an event's order word (the `seq` half of the (t, seq) total
+/// order). Events scheduled through the ordinary Schedule paths mint
+/// (kNativeOrderBit | counter) from a per-queue sequence counter — FIFO
+/// among equal timestamps, exactly the old behavior. Link deliveries
+/// instead carry an explicit partition-invariant word through
+/// ScheduleOrdered: (directed-edge index << 32) | per-edge FIFO counter,
+/// bit 63 clear. At equal times, therefore, all deliveries sort before all
+/// native events, deliveries order by wire position (edge, then arrival
+/// number) rather than by which queue minted them, and natives keep their
+/// per-queue FIFO. That rule is what keeps pop order — and every simulation
+/// output — independent of how the fabric is partitioned into event lanes
+/// (Simulator::Partition): a delivery's word is the same no matter which
+/// lane's queue it lands in.
+inline constexpr std::uint64_t kNativeOrderBit = 1ull << 63;
+
 /// Closure-free event record for the packet hot path: `run(p0, p1, arg)`
 /// fires when the event is due; `drop(p0, p1, arg)`, if set, runs instead
 /// when the event is cancelled or the queue is torn down, releasing any
@@ -173,6 +188,16 @@ class EventQueue {
     return Commit(t, slot);
   }
 
+  /// Schedules a typed event at absolute time `t` with an explicit order
+  /// word instead of a minted native one (see kNativeOrderBit). The word
+  /// must be unique per queue among pending events at the same `t` — the
+  /// link-delivery path guarantees this with per-edge FIFO counters.
+  EventId ScheduleOrdered(Time t, std::uint64_t order, const TypedEvent& ev) {
+    const std::uint32_t slot = AllocSlot();
+    slot_actions_[slot].AssignTyped(ev);
+    return CommitWith(t, order, slot);
+  }
+
   /// Cancels a pending event and destroys its payload immediately.
   /// Returns false if the event already ran, was already cancelled, or
   /// never existed. Allocation-free.
@@ -198,9 +223,11 @@ class EventQueue {
     return tw < th ? tw : th;
   }
 
-  /// Extracts the earliest event's action, setting `t` to its timestamp.
-  /// Precondition: !Empty().
-  EventAction PopNext(Time* t);
+  /// Extracts the earliest event's action, setting `t` to its timestamp
+  /// and, when `order` is non-null, the event's order word — callers use
+  /// (t, order) to position the event's side effects in the global
+  /// sequence. Precondition: !Empty().
+  EventAction PopNext(Time* t, std::uint64_t* order = nullptr);
 
   [[nodiscard]] std::size_t size() const {
     return wheel_.size() + heap_.size();
@@ -209,7 +236,7 @@ class EventQueue {
  private:
   struct HeapEntry {
     Time t;
-    std::uint64_t seq;   // global schedule order: FIFO among equal times
+    std::uint64_t seq;   // order word: native FIFO or explicit (edge, nth)
     std::uint32_t slot;  // index into slot_meta_ / slot_actions_
   };
 
@@ -221,6 +248,7 @@ class EventQueue {
   /// action, then Commit() enters it into the wheel or overflow heap.
   std::uint32_t AllocSlot();
   EventId Commit(Time t, std::uint32_t slot);
+  EventId CommitWith(Time t, std::uint64_t order, std::uint32_t slot);
 
   void Place(std::size_t i, const HeapEntry& e) {
     heap_[i] = e;

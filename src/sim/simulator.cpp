@@ -17,11 +17,21 @@ namespace {
 thread_local std::vector<Simulator*> t_live_simulators;
 }  // namespace
 
-Simulator::Simulator() : pool_(std::make_unique<PacketPool>()) {
+Simulator::Simulator() {
+  pools_.push_back(std::make_unique<PacketPool>());
+  lane0_.pool = pools_.front().get();
+  lanes_.push_back(&lane0_);
   t_live_simulators.push_back(this);
 }
 
 Simulator::~Simulator() {
+  // A partitioned run leaves the constructing thread's active lane pointing
+  // into this simulator; clear it so a later simulator on this thread does
+  // not inherit a dangling lane.
+  if (t_active_sim_ == this) {
+    t_active_sim_ = nullptr;
+    t_active_lane_ = nullptr;
+  }
   auto& live = t_live_simulators;
   const auto it = std::find(live.begin(), live.end(), this);
   // Absent here means construction happened on a different thread — a
@@ -34,6 +44,10 @@ Simulator::~Simulator() {
 }
 
 Simulator* Simulator::CurrentOnThread() {
+  // The active-lane scope wins: it covers partitioned setup and lane
+  // execution on worker threads, where the construction-thread registry is
+  // empty or ambiguous.
+  if (t_active_sim_ != nullptr) return t_active_sim_;
   return t_live_simulators.size() == 1 ? t_live_simulators.front() : nullptr;
 }
 
@@ -41,29 +55,152 @@ int Simulator::LiveOnThread() {
   return static_cast<int>(t_live_simulators.size());
 }
 
+std::uint64_t Simulator::pool_total_created() const {
+  std::uint64_t n = 0;
+  for (const auto& p : pools_) n += p->total_created();
+  return n;
+}
+
+std::uint64_t Simulator::pool_acquires() const {
+  std::uint64_t n = 0;
+  for (const auto& p : pools_) n += p->acquires();
+  return n;
+}
+
+void Simulator::Partition(int lanes) {
+  assert(!multi_ && "Partition called twice");
+  assert(lane0_.queue.Empty() && lane0_.now == 0 &&
+         "Partition must precede any scheduling (build the fabric after)");
+  if (lanes <= 1) return;
+  for (int i = 1; i < lanes; ++i) {
+    pools_.push_back(std::make_unique<PacketPool>());
+    auto lane = std::make_unique<Lane>();
+    lane->pool = pools_.back().get();
+    lane->id = i;
+    lanes_.push_back(lane.get());
+    extra_lanes_.push_back(std::move(lane));
+  }
+  mailboxes_.resize(static_cast<std::size_t>(lanes));
+  multi_ = true;
+  // The constructing thread keeps working (building the fabric, launching
+  // flows): give it lane 0 so un-scoped setup code stays well-defined.
+  t_active_lane_ = &lane0_;
+  t_active_sim_ = this;
+}
+
+void Simulator::RegisterMailbox(int dst_lane, void* ctx, MailboxDrainFn drain) {
+  assert(multi_ && dst_lane >= 0 && dst_lane < num_lanes());
+  mailboxes_[static_cast<std::size_t>(dst_lane)].push_back(
+      Mailbox{ctx, drain});
+}
+
 void Simulator::Run() {
-  stopped_ = false;
-  while (!stopped_ && !queue_.Empty()) {
+  ClearStop();
+  if (multi_) {
+    RunMulti(kTimeInfinity, /*settle=*/false);
+    return;
+  }
+  Lane& l = lane0_;
+  while (!stop_requested() && !l.queue.Empty()) {
     Time t = 0;
-    auto cb = queue_.PopNext(&t);
-    assert(t >= now_ && "time went backwards");
-    now_ = t;
-    ++events_processed_;
+    auto cb = l.queue.PopNext(&t, &l.cur_order);
+    assert(t >= l.now && "time went backwards");
+    l.now = t;
+    ++l.events_processed;
     cb();
   }
 }
 
 void Simulator::RunUntil(Time t) {
-  stopped_ = false;
-  while (!stopped_ && !queue_.Empty() && queue_.NextTime() <= t) {
+  ClearStop();
+  if (multi_) {
+    RunMulti(t, /*settle=*/true);
+    return;
+  }
+  Lane& l = lane0_;
+  while (!stop_requested() && !l.queue.Empty() && l.queue.NextTime() <= t) {
     Time et = 0;
-    auto cb = queue_.PopNext(&et);
-    assert(et >= now_ && "time went backwards");
-    now_ = et;
-    ++events_processed_;
+    auto cb = l.queue.PopNext(&et, &l.cur_order);
+    assert(et >= l.now && "time went backwards");
+    l.now = et;
+    ++l.events_processed;
     cb();
   }
-  if (!stopped_ && now_ < t) now_ = t;
+  if (!stop_requested() && l.now < t) l.now = t;
+}
+
+Time Simulator::NextEventTime() {
+  Time next = kTimeInfinity;
+  for (Lane* l : lanes_) {
+    if (l->queue.Empty()) continue;
+    const Time t = l->queue.NextTime();
+    if (t < next) next = t;
+  }
+  return next;
+}
+
+Time Simulator::WindowClose(Time start, Time limit) const {
+  Time close = lookahead_ >= kTimeInfinity - start ? kTimeInfinity
+                                                   : start + lookahead_;
+  if (limit != kTimeInfinity && limit + 1 < close) close = limit + 1;
+  // A zero-width window cannot make progress; the harness guards against
+  // zero cross-lane latency, so this only backstops hand-built setups.
+  assert(close > start && "cross-lane lookahead must be positive");
+  return close > start ? close : start + 1;
+}
+
+void Simulator::RunLaneWindow(int id, Time close) {
+  ActiveLaneScope scope(this, id);
+  Lane& l = *lanes_[static_cast<std::size_t>(id)];
+  // No per-event stop check: a window always runs to completion so that
+  // where a Stop() lands is deterministic (the window barrier).
+  while (!l.queue.Empty() && l.queue.NextTime() < close) {
+    Time et = 0;
+    auto cb = l.queue.PopNext(&et, &l.cur_order);
+    assert(et >= l.now && "time went backwards");
+    l.now = et;
+    ++l.events_processed;
+    cb();
+  }
+}
+
+void Simulator::DrainLaneMailboxes(int id) {
+  ActiveLaneScope scope(this, id);
+  for (const Mailbox& m : mailboxes_[static_cast<std::size_t>(id)]) {
+    m.drain(m.ctx);
+  }
+}
+
+void Simulator::SettleLanes(Time t) {
+  if (stop_requested()) return;
+  for (Lane* l : lanes_) {
+    if (l->now < t) l->now = t;
+  }
+}
+
+// Serial reference implementation of the window protocol; the threaded
+// driver in exec/domain_scheduler.cpp runs the same phases with barriers in
+// place of the sequential loops, so both produce identical pop orders.
+void Simulator::RunMulti(Time bound, bool settle) {
+  for (;;) {
+    const Time start = NextEventTime();
+    if (start == kTimeInfinity || start > bound) break;
+    const Time close = WindowClose(start, bound);
+    for (Lane* l : lanes_) RunLaneWindow(l->id, close);
+    if (stop_requested()) break;
+    for (Lane* l : lanes_) DrainLaneMailboxes(l->id);
+  }
+  if (settle) {
+    SettleLanes(bound);
+  } else if (!stop_requested()) {
+    // Run-to-exhaustion: the serial loop reports the last executed
+    // event's time, so align every lane to the furthest one.
+    Time last = 0;
+    for (Lane* l : lanes_) {
+      if (l->now > last) last = l->now;
+    }
+    SettleLanes(last);
+  }
 }
 
 }  // namespace fncc

@@ -1,10 +1,14 @@
 // The discrete-event simulation kernel: a clock, an event queue, and the
-// per-run packet arena.
+// per-run packet arena — multiplied across independent event "lanes" when
+// the fabric is partitioned into parallel domains (Partition()).
 #pragma once
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -13,27 +17,55 @@ namespace fncc {
 
 class PacketPool;  // net/packet_pool.hpp; owned here as an opaque arena
 
-/// Single-threaded discrete-event simulator. All model components hold a
-/// non-owning pointer to the Simulator that drives them; the Simulator is
-/// created first and outlives the model (typically stack-owned by a
-/// scenario runner).
+/// Discrete-event simulator. All model components hold a non-owning pointer
+/// to the Simulator that drives them; the Simulator is created first and
+/// outlives the model (typically stack-owned by a scenario runner).
+///
+/// By default the simulator is a single event lane — one queue, one clock,
+/// one arena, single-threaded, exactly the classic kernel. Partition(n)
+/// splits it into n lanes for conservative-PDES execution: each lane owns
+/// its slice of the fabric (assigned at build time via ActiveLaneScope),
+/// lanes advance in bounded time windows of the cross-lane lookahead
+/// (min link propagation delay, set by Network::SealDomains), and
+/// cross-lane packet handoffs buffer in per-port mailboxes drained at
+/// window barriers. Order words (see event_queue.hpp) make pop order — and
+/// every simulation output — bit-identical at any lane count, whether
+/// windows run serially (RunUntil here) or on a thread pool
+/// (exec/DomainScheduler).
 class Simulator {
  public:
+  /// One event domain's execution state. Unpartitioned simulators have
+  /// exactly one lane and every fast path below compiles to the classic
+  /// single-queue code plus one predicted branch.
+  struct Lane {
+    EventQueue queue;
+    Time now = 0;
+    std::uint64_t events_processed = 0;
+    /// Order word of the event currently executing: together with `now` it
+    /// positions any side effect of that event — e.g. an FCT record — in
+    /// the global (t, order) sequence (see CurrentOrderKey).
+    std::uint64_t cur_order = 0;
+    PacketPool* pool = nullptr;  // owned by the Simulator's pools_
+    int id = 0;
+  };
+
   Simulator();
   ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// The per-run packet arena. Every packet a model component allocates
-  /// comes from here so steady-state traffic is heap-allocation-free and
-  /// all packet storage dies with the run. Declared before (destroyed
-  /// after) the event queue: callbacks still holding PacketPtrs at teardown
-  /// return them to a live pool.
-  [[nodiscard]] PacketPool& packet_pool() { return *pool_; }
+  /// The packet arena of the calling thread's active lane. Every packet a
+  /// model component allocates comes from here so steady-state traffic is
+  /// heap-allocation-free and all packet storage dies with the run. Pools
+  /// are declared before (destroyed after) the lanes: callbacks still
+  /// holding PacketPtrs at teardown return them to a live pool.
+  [[nodiscard]] PacketPool& packet_pool() { return *lane().pool; }
 
   /// The Simulator whose pool MakePacket()/ClonePacket() implicitly target:
-  /// the sole Simulator alive on the calling thread, or nullptr when zero
-  /// or several are alive (several = ambiguous; the implicit path then
+  /// the thread's active-lane Simulator (set by ActiveLaneScope, covering
+  /// partitioned setup and window execution on worker threads), else the
+  /// sole Simulator alive on the calling thread, or nullptr when zero or
+  /// several are alive (several = ambiguous; the implicit path then
   /// debug-asserts and falls back to the thread-default pool). Each
   /// Simulator registers itself per-thread at construction, so it must be
   /// constructed and destroyed on the same thread — which parallel sweeps
@@ -43,56 +75,94 @@ class Simulator {
   /// Number of Simulators currently alive on the calling thread.
   [[nodiscard]] static int LiveOnThread();
 
-  /// Current simulation time.
-  [[nodiscard]] Time Now() const { return now_; }
+  /// Current simulation time (of the calling thread's active lane).
+  [[nodiscard]] Time Now() const { return lane().now; }
 
   /// Schedules `cb` to run `delay` from now. Negative delays clamp to now.
   EventId Schedule(Time delay, EventQueue::Callback cb) {
-    return queue_.Schedule(now_ + (delay > 0 ? delay : 0), std::move(cb));
+    Lane& l = lane();
+    return l.queue.Schedule(l.now + (delay > 0 ? delay : 0), std::move(cb));
   }
 
   /// Schedules a typed (closure-free) event `delay` from now — the packet
   /// pipeline's zero-lambda dispatch path.
   EventId Schedule(Time delay, const TypedEvent& ev) {
-    return queue_.Schedule(now_ + (delay > 0 ? delay : 0), ev);
+    Lane& l = lane();
+    return l.queue.Schedule(l.now + (delay > 0 ? delay : 0), ev);
   }
 
   /// Schedules `cb` at absolute time `t` (clamped to now).
   EventId ScheduleAt(Time t, EventQueue::Callback cb) {
-    return queue_.Schedule(t > now_ ? t : now_, std::move(cb));
+    Lane& l = lane();
+    return l.queue.Schedule(t > l.now ? t : l.now, std::move(cb));
   }
 
   /// Typed-event variant of ScheduleAt.
   EventId ScheduleAt(Time t, const TypedEvent& ev) {
-    return queue_.Schedule(t > now_ ? t : now_, ev);
+    Lane& l = lane();
+    return l.queue.Schedule(t > l.now ? t : l.now, ev);
   }
 
-  /// Cancels a pending event; returns false if it already ran.
-  bool Cancel(EventId id) { return queue_.Cancel(id); }
+  /// Schedules a typed event `delay` from now with an explicit
+  /// partition-invariant order word instead of a minted native one — the
+  /// link-delivery path (see kNativeOrderBit in event_queue.hpp).
+  EventId ScheduleOrdered(Time delay, std::uint64_t order,
+                          const TypedEvent& ev) {
+    Lane& l = lane();
+    return l.queue.ScheduleOrdered(l.now + (delay > 0 ? delay : 0), order, ev);
+  }
+
+  /// Absolute-time variant of ScheduleOrdered (mailbox drains).
+  EventId ScheduleAtOrdered(Time t, std::uint64_t order, const TypedEvent& ev) {
+    Lane& l = lane();
+    return l.queue.ScheduleOrdered(t > l.now ? t : l.now, order, ev);
+  }
+
+  /// Cancels a pending event; returns false if it already ran. Only valid
+  /// from the lane the event was scheduled in.
+  bool Cancel(EventId id) { return lane().queue.Cancel(id); }
 
   /// Fused cancel + schedule (rearm fast path): moves a pending event to
   /// `delay` from now, reusing its slot and payload. Returns `id` (still
   /// valid) on success, or kInvalidEventId if the event already ran or was
   /// cancelled — the caller then schedules afresh with its payload.
   EventId Reschedule(EventId id, Time delay) {
-    return queue_.Reschedule(id, now_ + (delay > 0 ? delay : 0))
+    Lane& l = lane();
+    return l.queue.Reschedule(id, l.now + (delay > 0 ? delay : 0))
                ? id
                : kInvalidEventId;
   }
 
-  /// Runs until the event queue drains or Stop() is called.
+  /// Runs until the event queues drain or Stop() is called. Partitioned
+  /// simulators advance window-by-window (serially; see exec/DomainScheduler
+  /// for the threaded driver) and do not settle clocks.
   void Run();
 
-  /// Runs events with timestamp <= t, then sets the clock to exactly t.
+  /// Runs events with timestamp <= t, then sets the clock(s) to exactly t.
   void RunUntil(Time t);
 
-  /// Stops Run()/RunUntil() after the current event returns.
-  void Stop() { stopped_ = true; }
+  /// Stops Run()/RunUntil() after the current event returns — or, in a
+  /// partitioned run, at the end of the current window (the whole window
+  /// always completes, so where a run stops is deterministic).
+  void Stop() { stopped_.store(true, std::memory_order_relaxed); }
 
   [[nodiscard]] std::uint64_t events_processed() const {
-    return events_processed_;
+    std::uint64_t n = 0;
+    for (const Lane* l : lanes_) n += l->events_processed;
+    return n;
   }
-  [[nodiscard]] std::size_t events_pending() { return queue_.size(); }
+  [[nodiscard]] std::size_t events_pending() const {
+    std::size_t n = 0;
+    for (const Lane* l : lanes_) n += l->queue.size();
+    return n;
+  }
+
+  /// Packet-arena totals summed over all lanes. NOTE: unlike every physical
+  /// counter, these are lane-partition-dependent (cross-lane handoffs
+  /// re-acquire in the destination arena), so they are comparable across
+  /// thread counts at a fixed partitioning but not across lane counts.
+  [[nodiscard]] std::uint64_t pool_total_created() const;
+  [[nodiscard]] std::uint64_t pool_acquires() const;
 
   /// Upper bound on delivery_batch (sizes the drain paths' stack arrays).
   static constexpr int kMaxDeliveryBatch = 64;
@@ -108,15 +178,138 @@ class Simulator {
         batch < 1 ? 1 : (batch > kMaxDeliveryBatch ? kMaxDeliveryBatch : batch);
   }
 
+  // ---- Lane partitioning (intra-point conservative PDES) -----------------
+
+  /// Splits the simulator into `lanes` independent event domains. Must be
+  /// called before anything is scheduled — i.e. before the fabric is built,
+  /// so construction-time events (switch timers) land in their owner's
+  /// lane. Lane 0 adopts the base state; lanes 1..n-1 get fresh queues and
+  /// arenas. Afterwards the constructing thread's active lane is lane 0, so
+  /// setup code outside any ActiveLaneScope still targets lane 0.
+  void Partition(int lanes);
+
+  [[nodiscard]] int num_lanes() const {
+    return static_cast<int>(lanes_.size());
+  }
+  [[nodiscard]] bool partitioned() const { return multi_; }
+  [[nodiscard]] int ActiveLaneId() const { return lane().id; }
+
+  /// (time, order word) of the event currently executing in the active
+  /// lane — the canonical global position used to merge per-lane record
+  /// streams (e.g. FCT completions) independently of the partitioning.
+  struct OrderKey {
+    Time t = 0;
+    std::uint64_t order = 0;
+  };
+  [[nodiscard]] OrderKey CurrentOrderKey() const {
+    const Lane& l = lane();
+    return OrderKey{l.now, l.cur_order};
+  }
+
+  /// RAII: makes lane `id` of `sim` the calling thread's active lane. All
+  /// Schedule/Now/packet_pool calls on that simulator route to it, and
+  /// CurrentOnThread() resolves to `sim`. Used during setup (constructing a
+  /// node inside its domain) and by the window runner around each lane's
+  /// event batch.
+  class ActiveLaneScope {
+   public:
+    ActiveLaneScope(Simulator* sim, int id)
+        : prev_lane_(t_active_lane_), prev_sim_(t_active_sim_) {
+      t_active_lane_ = sim->lanes_[static_cast<std::size_t>(id)];
+      t_active_sim_ = sim;
+    }
+    ~ActiveLaneScope() {
+      t_active_lane_ = prev_lane_;
+      t_active_sim_ = prev_sim_;
+    }
+    ActiveLaneScope(const ActiveLaneScope&) = delete;
+    ActiveLaneScope& operator=(const ActiveLaneScope&) = delete;
+
+   private:
+    Lane* prev_lane_;
+    Simulator* prev_sim_;
+  };
+
+  /// Mints the order-word base for the next directed link: the edge index
+  /// in bits [62:32] (bit 63 clear = delivery). Edges are minted in
+  /// EgressPort::Connect order, which is topology build order — fixed and
+  /// independent of the partitioning, so a given wire always produces the
+  /// same words.
+  [[nodiscard]] std::uint64_t MintEdgeOrderBase() {
+    assert(next_edge_ < (1u << 30) && "directed-edge index overflow");
+    return static_cast<std::uint64_t>(next_edge_++) << 32;
+  }
+
+  /// Conservative-PDES window width: min propagation delay over cross-lane
+  /// links, set by Network::SealDomains after wiring. kTimeInfinity (the
+  /// default) means no cross-lane links — each window runs to the bound.
+  void set_domain_lookahead(Time l) { lookahead_ = l; }
+  [[nodiscard]] Time domain_lookahead() const { return lookahead_; }
+
+  /// Registers a cross-lane mailbox: `drain(ctx)` runs under lane
+  /// `dst_lane`'s scope at every window barrier and moves buffered handoffs
+  /// into that lane's queue (EgressPort::DrainHandoffs). Register after
+  /// wiring completes — `ctx` must be a stable pointer.
+  using MailboxDrainFn = void (*)(void* ctx);
+  void RegisterMailbox(int dst_lane, void* ctx, MailboxDrainFn drain);
+
+  // Window protocol primitives, shared by the serial multi-lane loop here
+  // and the threaded exec/DomainScheduler. Sequence per window: all lanes
+  // RunLaneWindow(close), barrier, all lanes DrainLaneMailboxes, barrier.
+  /// Earliest pending event time across all lanes; kTimeInfinity if none.
+  [[nodiscard]] Time NextEventTime();
+  /// Exclusive upper bound of the window starting at `start`, bounded
+  /// inclusively by `limit`: min(start + lookahead, limit + 1).
+  [[nodiscard]] Time WindowClose(Time start, Time limit) const;
+  /// Runs lane `id`'s events with t < close under its scope. Safe to call
+  /// concurrently for distinct lanes.
+  void RunLaneWindow(int id, Time close);
+  /// Runs lane `id`'s registered mailbox drains under its scope. Safe for
+  /// distinct lanes concurrently, but must be barrier-separated from the
+  /// RunLaneWindow calls that fill the mailboxes.
+  void DrainLaneMailboxes(int id);
+  /// Advances every lane clock to `t` (RunUntil semantics); no-op if
+  /// stopped.
+  void SettleLanes(Time t);
+  void ClearStop() { stopped_.store(false, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const {
+    return stopped_.load(std::memory_order_relaxed);
+  }
+
  private:
-  // Destruction runs bottom-up: queue_ (and the packets its callbacks hold)
-  // goes before pool_. Keep pool_ first.
-  std::unique_ptr<PacketPool> pool_;
-  EventQueue queue_;
-  Time now_ = 0;
-  bool stopped_ = false;
-  std::uint64_t events_processed_ = 0;
+  void RunMulti(Time bound, bool settle);
+
+  [[nodiscard]] Lane& lane() {
+    assert(!multi_ || t_active_lane_ != nullptr);
+    return multi_ ? *t_active_lane_ : lane0_;
+  }
+  [[nodiscard]] const Lane& lane() const {
+    assert(!multi_ || t_active_lane_ != nullptr);
+    return multi_ ? *t_active_lane_ : lane0_;
+  }
+
+  // Destruction runs bottom-up: lanes (queues, and the packets their
+  // callbacks hold) go before the pools. Keep pools_ first.
+  std::vector<std::unique_ptr<PacketPool>> pools_;
+  Lane lane0_;  // by value: the unpartitioned hot path needs no indirection
+  std::vector<std::unique_ptr<Lane>> extra_lanes_;
+  std::vector<Lane*> lanes_;  // all lanes: {&lane0_, extra_lanes_...}
+  bool multi_ = false;
+  std::atomic<bool> stopped_{false};
   int delivery_batch_ = 16;
+  Time lookahead_ = kTimeInfinity;
+  std::uint32_t next_edge_ = 0;
+
+  struct Mailbox {
+    void* ctx;
+    MailboxDrainFn drain;
+  };
+  std::vector<std::vector<Mailbox>> mailboxes_;  // indexed by dst lane
+
+  /// The calling thread's active lane / simulator (see ActiveLaneScope).
+  /// Only consulted when multi_ — unpartitioned simulators never touch it.
+  inline static thread_local Lane* t_active_lane_ = nullptr;
+  inline static thread_local Simulator* t_active_sim_ = nullptr;
 };
 
 }  // namespace fncc

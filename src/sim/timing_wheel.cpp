@@ -84,8 +84,8 @@ void TimingWheel::SortDrain(bool dirty) {
   }
   // All entries share the bucket's tick, so the sub-tick offset is a total
   // order on t; counting-sort stability keeps equal-t entries in array
-  // order, which for a clean bucket is seq (schedule) order — exactly the
-  // (t, seq) contract, with no comparisons.
+  // order, which for a clean bucket is insertion order — for natives that
+  // IS seq order, with no comparisons.
   constexpr std::uint32_t kKeys = 1u << kTickShift;
   counts_.assign(kKeys, 0);
   for (const SchedEntry& e : drain_) {
@@ -102,6 +102,22 @@ void TimingWheel::SortDrain(bool dirty) {
     scratch_[counts_[static_cast<std::uint32_t>(e.t) & (kKeys - 1)]++] = e;
   }
   drain_.swap(scratch_);
+  // Insertion order can disagree with seq inside an equal-t run: a link
+  // delivery carries an explicit order word (bit 63 clear) that sorts below
+  // a native word minted before it (kNativeOrderBit set). Runs are short —
+  // scan for an inversion and comparison-sort just the offending run.
+  for (std::size_t i = 1; i < n; ++i) {
+    if (drain_[i].t != drain_[i - 1].t || drain_[i].seq > drain_[i - 1].seq) {
+      continue;
+    }
+    std::size_t b = i - 1;
+    while (b > 0 && drain_[b - 1].t == drain_[i].t) --b;
+    std::size_t e = i + 1;
+    while (e < n && drain_[e].t == drain_[i].t) ++e;
+    std::sort(drain_.begin() + static_cast<std::ptrdiff_t>(b),
+              drain_.begin() + static_cast<std::ptrdiff_t>(e), Before);
+    i = e;  // loop increment moves past the run's first successor
+  }
 }
 
 void TimingWheel::CascadeBucket(int level, std::uint32_t s) {

@@ -281,5 +281,121 @@ sweep.seed = 1
   }
 }
 
+// ----------------------------------------------------------------------
+// Domain equivalence: the conservative-PDES partition (scenario.exec_domains
+// + exec/DomainScheduler) must be invisible in every output. For each CC
+// mode the serial single-lane run is the reference; the same point run at
+// exec_domains = 2 and 8, each at 1 and 4 worker threads, must reproduce
+// its FCT records, counters and monitored series bit for bit. Pool
+// telemetry is deliberately NOT compared: which lane's arena services a
+// packet depends on the partition (see ExperimentPointResult).
+
+ExperimentPointResult RunDomainPoint(const char* spec_text, CcMode mode,
+                                     int domains, int threads) {
+  ExperimentSpec spec = ParseSpecText(spec_text);
+  spec.scenario.mode = mode;
+  spec.scenario.exec_domains = domains;
+  return RunExperimentPoint(spec, threads);
+}
+
+void ExpectDomainResultsIdentical(const ExperimentPointResult& a,
+                                  const ExperimentPointResult& b) {
+  EXPECT_EQ(a.flows_completed, b.flows_completed);
+  EXPECT_EQ(a.flows_total, b.flows_total);
+  EXPECT_EQ(a.pause_frames, b.pause_frames);
+  EXPECT_EQ(a.resume_frames, b.resume_frames);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.out_of_order, b.out_of_order);
+  EXPECT_EQ(a.asymmetric_acks, b.asymmetric_acks);
+  EXPECT_EQ(a.lhcs_triggers, b.lhcs_triggers);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.fct.count(), b.fct.count());
+  for (std::size_t f = 0; f < a.fct.count(); ++f) {
+    const FlowResult& fa = a.fct.results()[f];
+    const FlowResult& fb = b.fct.results()[f];
+    EXPECT_EQ(fa.spec.id, fb.spec.id) << "flow " << f;
+    EXPECT_EQ(fa.spec.src, fb.spec.src) << "flow " << f;
+    EXPECT_EQ(fa.spec.dst, fb.spec.dst) << "flow " << f;
+    EXPECT_EQ(fa.spec.size_bytes, fb.spec.size_bytes) << "flow " << f;
+    EXPECT_EQ(fa.spec.start_time, fb.spec.start_time) << "flow " << f;
+    EXPECT_EQ(fa.fct, fb.fct) << "flow " << f;
+    EXPECT_TRUE(SameBits(fa.slowdown, fb.slowdown)) << "flow " << f;
+  }
+  ExpectSeriesIdentical(a.queue_bytes, b.queue_bytes);
+  ExpectSeriesIdentical(a.utilization, b.utilization);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    ExpectSeriesIdentical(a.flows[i].pacing_gbps, b.flows[i].pacing_gbps);
+    ExpectSeriesIdentical(a.flows[i].goodput_gbps, b.flows[i].goodput_gbps);
+  }
+}
+
+void RunDomainMatrix(const char* spec_text) {
+  for (CcMode mode : kAllModes) {
+    const ExperimentPointResult base = RunDomainPoint(spec_text, mode, 1, 1);
+    EXPECT_GT(base.flows_total, 0u);
+    for (int domains : {2, 8}) {
+      for (int threads : {1, 4}) {
+        SCOPED_TRACE(std::string("mode=") + CcModeName(mode) +
+                     " domains=" + std::to_string(domains) +
+                     " threads=" + std::to_string(threads));
+        ExpectDomainResultsIdentical(
+            base, RunDomainPoint(spec_text, mode, domains, threads));
+      }
+    }
+  }
+}
+
+TEST(DomainEquivalenceTest, FatTreeFctBitIdenticalAcrossDomainsAllModes) {
+  // Per-pod partition of a k=4 fat-tree under a size-mixed poisson load:
+  // every flow crosses at least one domain boundary (host -> edge stays
+  // in-pod, but the workload spreads sources over all pods).
+  RunDomainMatrix(R"(
+name = fat_tree_domain_equivalence
+topology.kind = fat_tree
+topology.k = 4
+workload.kind = poisson
+workload.num_flows = 40
+workload.cdf = web_search
+workload.load = 0.5
+run.duration_us = 0
+run.max_sim_ms = 50
+)");
+}
+
+TEST(DomainEquivalenceTest, LeafSpineFctBitIdenticalAcrossDomainsAllModes) {
+  // Per-leaf-group partition with the spine layer in its own domain; the
+  // all-to-all shuffle makes every leaf pair exchange cross-domain
+  // handoffs in both directions.
+  RunDomainMatrix(R"(
+name = leaf_spine_domain_equivalence
+topology.kind = leaf_spine
+topology.leaves = 2
+topology.spines = 2
+topology.hosts_per_leaf = 2
+topology.oversubscription = 2
+workload.kind = all_to_all
+workload.size_bytes = 40000
+workload.stagger_us = 1
+run.duration_us = 0
+run.max_sim_ms = 50
+)");
+}
+
+TEST(DomainEquivalenceTest, DumbbellSeriesBitIdenticalAcrossDomainsAllModes) {
+  // The dumbbell has no natural partition (every node in group 0), so any
+  // exec_domains value degenerates to one populated lane — the fallback
+  // path. Its monitored time series must still be untouched.
+  RunDomainMatrix(R"(
+name = dumbbell_domain_equivalence
+topology.kind = dumbbell
+topology.num_senders = 2
+workload.kind = elephants
+workload.flows = 0@0,1@40
+run.duration_us = 150
+)");
+}
+
 }  // namespace
 }  // namespace fncc

@@ -1,0 +1,186 @@
+// Order-word and cross-lane mailbox unit tests — the determinism
+// primitives under exec/DomainScheduler. The ordering contract
+// (sim/event_queue.hpp): at equal timestamps, link deliveries (explicit
+// (edge << 32 | nth) words, bit 63 clear) run before native events
+// (kNativeOrderBit | per-queue FIFO counter), deliveries ordered by edge
+// then per-edge FIFO, natives by scheduling order. Because the words name
+// a directed edge rather than a lane, the order is a partition invariant:
+// a handoff re-injected at a window barrier lands exactly where the
+// serial run would have popped it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "../test_util.hpp"
+#include "net/egress_port.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace fncc {
+namespace {
+
+using test::MakeData;
+using test::SinkEndpoint;
+
+void AppendArg(void* p0, void* /*p1*/, std::uint64_t arg) {
+  static_cast<std::vector<int>*>(p0)->push_back(static_cast<int>(arg));
+}
+
+TypedEvent Tag(std::vector<int>* out, int tag) {
+  return TypedEvent{.run = &AppendArg,
+                    .drop = nullptr,
+                    .p0 = out,
+                    .p1 = nullptr,
+                    .arg = static_cast<std::uint64_t>(tag)};
+}
+
+void DrainAll(EventQueue& q, std::vector<int>* popped_tags = nullptr) {
+  while (!q.Empty()) {
+    Time t = 0;
+    std::uint64_t order = 0;
+    q.PopNext(&t, &order)();
+    if (popped_tags != nullptr) popped_tags->push_back(0);
+  }
+}
+
+// Simultaneous (t, order) arrivals: deliveries beat natives, deliveries
+// sort by (edge, nth), natives keep FIFO — independent of insertion
+// order. Run at a near time (timing-wheel path) and a far time (heap
+// path); both structures must enforce the same contract.
+TEST(DomainOrderWordTest, EqualTimeTieBreakIsEdgeThenNative) {
+  for (const Time t : {Time{5'000}, Time{1} << 40}) {
+    EventQueue q;
+    std::vector<int> ran;
+    // Natives first: they mint smaller FIFO counters than the explicit
+    // words inserted after them, so popping them last exercises the
+    // drain-order repair, not just stable insertion order.
+    q.Schedule(t, [&ran] { ran.push_back(100); });
+    q.Schedule(t, [&ran] { ran.push_back(101); });
+    q.ScheduleOrdered(t, (1ull << 32) | 0, Tag(&ran, 10));  // edge 1, nth 0
+    q.ScheduleOrdered(t, (0ull << 32) | 0, Tag(&ran, 0));   // edge 0, nth 0
+    q.ScheduleOrdered(t, (0ull << 32) | 1, Tag(&ran, 1));   // edge 0, nth 1
+    DrainAll(q);
+    EXPECT_EQ(ran, (std::vector<int>{0, 1, 10, 100, 101})) << "t=" << t;
+  }
+}
+
+// Same contract through the timing wheel's counting-sort drain path
+// (taken for large same-tick batches): a small population of explicit
+// words must still run before hundreds of earlier-inserted natives.
+TEST(DomainOrderWordTest, LargeBatchDrainKeepsDeliveriesFirst) {
+  EventQueue q;
+  std::vector<int> ran;
+  const Time t = 5'000;
+  for (int i = 0; i < 300; ++i) {
+    q.Schedule(t, [&ran, i] { ran.push_back(1000 + i); });
+  }
+  q.ScheduleOrdered(t, (7ull << 32) | 1, Tag(&ran, 1));
+  q.ScheduleOrdered(t, (7ull << 32) | 0, Tag(&ran, 0));
+  DrainAll(q);
+  ASSERT_EQ(ran.size(), 302u);
+  EXPECT_EQ(ran[0], 0);
+  EXPECT_EQ(ran[1], 1);
+  for (int i = 0; i < 300; ++i) EXPECT_EQ(ran[2 + i], 1000 + i);
+}
+
+// Two cross-lane ports transmitting packets that arrive at the sink at
+// the same instant: delivery order must follow the ports' Connect order
+// (their directed-edge indices), not the transmit order — matching what
+// a single-queue run pops.
+TEST(DomainMailboxTest, SimultaneousHandoffsDeliverInEdgeOrder) {
+  Simulator sim;
+  sim.Partition(2);
+  SinkEndpoint sink(&sim, 0, "sink");
+  EgressPort port_a(&sim);
+  EgressPort port_b(&sim);
+  const Time prop = Microseconds(1);
+  port_a.Connect({&sink, 0}, 100.0, prop);  // lower edge index
+  port_b.Connect({&sink, 0}, 100.0, prop);
+  port_a.SetCrossLane(1);
+  port_b.SetCrossLane(1);
+  sim.set_domain_lookahead(prop);
+
+  {
+    // Transmit b before a; identical sizes finish serializing — and thus
+    // arrive — at the same instant.
+    Simulator::ActiveLaneScope scope(&sim, 0);
+    port_b.Enqueue(MakeData(1, 0, 1000, /*flow=*/2));
+    port_a.Enqueue(MakeData(1, 0, 1000, /*flow=*/1));
+  }
+  sim.Run();
+
+  ASSERT_EQ(sink.received.size(), 2u);
+  EXPECT_EQ(sink.received[0]->flow, 1u);  // port_a's edge index is lower
+  EXPECT_EQ(sink.received[1]->flow, 2u);
+  // Serialization (80 ns at 100 Gbps) + propagation.
+  EXPECT_EQ(sim.Now(), 80'000 + 1'000'000);
+}
+
+// The handoff re-materializes the packet in the destination lane's arena;
+// every wire field must survive the copy.
+TEST(DomainMailboxTest, HandoffPreservesPacketFields) {
+  Simulator sim;
+  sim.Partition(2);
+  SinkEndpoint sink(&sim, 7, "sink");
+  EgressPort port(&sim);
+  port.Connect({&sink, 3}, 100.0, Microseconds(1));
+  port.SetCrossLane(1);
+  sim.set_domain_lookahead(Microseconds(1));
+
+  {
+    Simulator::ActiveLaneScope scope(&sim, 0);
+    PacketPtr p = MakeData(4, 7, 1234, /*flow=*/9, /*sport=*/1111,
+                           /*dport=*/2222);
+    p->ecn_ce = true;
+    port.Enqueue(std::move(p));
+  }
+  sim.Run();
+
+  ASSERT_EQ(sink.received.size(), 1u);
+  const Packet& got = *sink.received[0];
+  EXPECT_EQ(got.src, 4u);
+  EXPECT_EQ(got.dst, 7u);
+  EXPECT_EQ(got.flow, 9u);
+  EXPECT_EQ(got.sport, 1111);
+  EXPECT_EQ(got.dport, 2222);
+  EXPECT_EQ(got.size_bytes, 1234u);
+  EXPECT_TRUE(got.ecn_ce);
+}
+
+// The partitioned run and the classic single-queue run of the same
+// two-port scenario agree on delivery order and finish time.
+TEST(DomainMailboxTest, CrossLaneMatchesSingleLaneRun) {
+  auto run = [](bool partitioned) {
+    Simulator sim;
+    if (partitioned) sim.Partition(2);
+    SinkEndpoint sink(&sim, 0, "sink");
+    EgressPort port_a(&sim);
+    EgressPort port_b(&sim);
+    const Time prop = Microseconds(1);
+    port_a.Connect({&sink, 0}, 100.0, prop);
+    port_b.Connect({&sink, 0}, 100.0, prop);
+    if (partitioned) {
+      port_a.SetCrossLane(1);
+      port_b.SetCrossLane(1);
+      sim.set_domain_lookahead(prop);
+    }
+    {
+      Simulator::ActiveLaneScope scope(&sim, 0);
+      port_b.Enqueue(MakeData(1, 0, 1000, /*flow=*/2));
+      port_a.Enqueue(MakeData(1, 0, 1000, /*flow=*/1));
+      port_a.Enqueue(MakeData(1, 0, 500, /*flow=*/3));
+    }
+    sim.Run();
+    std::vector<FlowId> flows;
+    for (const PacketPtr& p : sink.received) flows.push_back(p->flow);
+    return std::make_pair(flows, sim.Now());
+  };
+  const auto serial = run(false);
+  const auto lanes = run(true);
+  EXPECT_EQ(serial.first, lanes.first);
+  EXPECT_EQ(serial.second, lanes.second);
+}
+
+}  // namespace
+}  // namespace fncc

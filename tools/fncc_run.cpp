@@ -13,9 +13,12 @@
 //   fncc_run topology.kind=leaf_spine workload.kind=all_to_all
 //            run.duration_us=0 sweep.mode=all output.fct_csv=fct.csv
 //
-// Sweeps fan out over FNCC_THREADS threads (default: hardware concurrency)
-// with bit-identical results at any thread count.
+// The thread budget resolves --threads N > FNCC_THREADS > hardware
+// concurrency. Multi-point sweeps fan points over it; a single point
+// hands it to the intra-point domain scheduler (scenario.exec_domains).
+// Results are bit-identical at any thread and domain count.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <string>
@@ -83,7 +86,7 @@ void PrintBucketTable(const std::string& which,
 /// One tiny spec per registered topology x workload pair: every pair must
 /// build and run end to end. The ctest tier1 smoke and the CI job call
 /// this; a newly registered topology or workload is covered automatically.
-int RunSmoke() {
+int RunSmoke(int threads) {
   std::vector<ExperimentSpec> specs;
   for (const std::string& topo : TopologyRegistry::Names()) {
     for (const std::string& wl : WorkloadRegistry::Names()) {
@@ -113,7 +116,24 @@ int RunSmoke() {
       specs.push_back(std::move(spec));
     }
   }
-  const int threads = ThreadPool::DefaultThreadCount();
+  // The PDES showcase at smoke scale: the specs/fat_tree_k16.exp point
+  // with a short horizon, run through the auto domain partition (k+1
+  // lanes) so CI exercises the cross-lane handoff path on every build.
+  {
+    ExperimentSpec spec;
+    spec.name = "fat_tree_k16-pdes-short";
+    spec.topology = "fat_tree";
+    spec.workload = "permutation";
+    spec.topo.k = 16;
+    spec.wl.num_flows = 64;
+    spec.wl.size_bytes = 20'000;
+    spec.cdf = "fb_hadoop";
+    spec.scenario.exec_domains = 0;  // auto
+    spec.run.duration = 0;  // run to completion
+    spec.run.max_sim_time = 50 * kMillisecond;
+    ValidateSpec(spec);
+    specs.push_back(std::move(spec));
+  }
   std::printf("smoke: %zu topology x workload pairs on %d thread(s)\n",
               specs.size(), threads);
   const std::vector<ExperimentPointResult> results =
@@ -144,6 +164,7 @@ int RunSmoke() {
 
 int main(int argc, char** argv) {
   bool list = false, print_only = false, smoke = false;
+  int cli_threads = 0;  // 0 = unset, fall back to FNCC_THREADS / hardware
   std::string spec_file;
   std::vector<std::string> overrides;
   for (int i = 1; i < argc; ++i) {
@@ -154,10 +175,19 @@ int main(int argc, char** argv) {
       print_only = true;
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--threads") {
+      if (i + 1 >= argc || (cli_threads = std::atoi(argv[++i])) < 1) {
+        std::fprintf(stderr,
+                     "fncc_run: --threads needs a positive integer\n");
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: fncc_run [--list | --smoke | --print] [spec-file] "
-          "[key=value ...]\n");
+          "usage: fncc_run [--list | --smoke | --print] [--threads N] "
+          "[spec-file] [key=value ...]\n"
+          "  --threads N   thread budget; precedence is --threads, then\n"
+          "                the FNCC_THREADS environment variable, then\n"
+          "                hardware concurrency\n");
       return 0;
     } else if (arg.find('=') != std::string::npos) {
       overrides.push_back(arg);
@@ -170,12 +200,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --threads beats FNCC_THREADS beats hardware concurrency.
+  const int threads =
+      cli_threads > 0 ? cli_threads : ThreadPool::DefaultThreadCount();
+
   try {
     if (list) {
       PrintRegistries();
       return 0;
     }
-    if (smoke) return RunSmoke();
+    if (smoke) return RunSmoke(threads);
 
     ExperimentSpec spec =
         spec_file.empty() ? ExperimentSpec{} : ParseSpecFile(spec_file);
@@ -193,7 +227,6 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const int threads = ThreadPool::DefaultThreadCount();
     std::printf("%s: %zu point(s) on %d thread(s)\n", spec.name.c_str(),
                 points.size(), threads);
     const WallTimer timer;
