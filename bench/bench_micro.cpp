@@ -12,12 +12,15 @@
 #include "cc/hpcc.hpp"
 #include "core/fncc.hpp"
 #include "harness/dumbbell_runner.hpp"
+#include "harness/experiment_runner.hpp"
+#include "harness/experiment_spec.hpp"
 #include "legacy_event_queue.hpp"
 #include "legacy_host_path.hpp"
 #include "net/packet_pool.hpp"
 #include "net/routing.hpp"
 #include "net/switch.hpp"
 #include "sim/event_queue.hpp"
+#include "stats/fct_sink.hpp"
 #include "transport/host.hpp"
 
 namespace fncc {
@@ -399,6 +402,74 @@ void BM_SwitchForward(benchmark::State& state) {
       benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_SwitchForward);
+
+// ------------------------------------------------------- streaming pipeline
+// The per-completion cost of the bounded-memory FCT path: two quantile
+// sketches + size-bucket state updated per flow, no retained FlowResult.
+// Stats-only (no CSV) so the number measures the online reduction, not the
+// filesystem. Presence-gated in scripts/check_bench_regression.py (the
+// sink has no legacy in-binary counterpart to form a ratio with, and a
+// throughput gate on sketch math would mostly measure machine noise).
+void BM_FctSink(benchmark::State& state) {
+  FctSinkOptions options;  // stats-only: quantile sketches + bucket state
+  options.bucket_edges = {10'000, 100'000, 1'000'000, 10'000'000};
+  FctSink sink(options);
+  FlowSpec spec;
+  spec.src = 0;
+  spec.dst = 1;
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    ++i;
+    spec.id = static_cast<FlowId>(i);
+    spec.size_bytes = 1'000 + (i * 7919) % 2'000'000;
+    spec.start_time = static_cast<Time>(i) * Microseconds(1);
+    spec.ideal_fct = Microseconds(10) + static_cast<Time>((i * 104'729) %
+                                                          100'000);
+    const Time fct =
+        spec.ideal_fct +
+        static_cast<Time>((i * 15'485'863) % (400 * kMicrosecond));
+    sink.Append(spec, fct);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["sketch_buckets"] =
+      static_cast<double>(sink.slowdown_sketch().bucket_count());
+}
+BENCHMARK(BM_FctSink);
+
+// End-to-end streaming launch: a run-to-completion dumbbell point with
+// flows pulled from the workload FlowSource one lookahead window at a
+// time, each completion drained to a stats-only sink and its FlowTable
+// slot recycled. items = completed flows; the register/launch/
+// drain/release cycle is the whole measured loop. Small fixed-size CDF so
+// the bench exercises flow churn, not bulk byte transfer.
+void BM_StreamingLaunch(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  ExperimentSpec spec;
+  spec.name = "bench_streaming";
+  spec.topology = "dumbbell";
+  spec.topo.num_senders = 4;
+  spec.workload = "poisson";
+  spec.wl.load = 0.5;
+  spec.wl.num_flows = flows;
+  spec.run.duration = 0;
+  spec.run.max_sim_time = 10 * kSecond;
+  spec.run.monitor = false;
+  spec.run.launch_window = Microseconds(100);
+  const TopologyParams topo = ResolveTopologyParams(spec);
+  WorkloadParams wl = ResolveWorkloadParams(spec);
+  wl.cdf = SizeCdf({{4'000.0, 0.5}, {16'000.0, 1.0}});
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    FctSinkOptions options;
+    FctSink sink(options);
+    const ExperimentPointResult r =
+        RunResolvedPoint(spec, topo, wl, /*intra_threads=*/1, &sink);
+    completed += r.flows_completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  state.SetLabel("items = completed flows");
+}
+BENCHMARK(BM_StreamingLaunch)->Arg(4096)->Unit(benchmark::kMillisecond);
 
 void BM_DumbbellSimulation(benchmark::State& state) {
   // End-to-end simulator throughput: events/second over a full scenario.

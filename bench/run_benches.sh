@@ -86,11 +86,18 @@ if [ "$LIB_TYPE" != "release" ]; then
   fi
 fi
 
+# fncc_hw_threads: hardware context for the wall-time entries (e.g. the
+# end-to-end BM_StreamingLaunch / BM_Dumbbell* numbers) — same stamp the
+# PDES section below records, so every emitted JSON is self-describing
+# about the machine it ran on.
+HW_THREADS="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)"
+
 "$BENCH" \
   --benchmark_out="$OUT" \
   --benchmark_out_format=json \
   --benchmark_context=fncc_build_type="$BUILD_TYPE" \
   --benchmark_context=fncc_threads="$FNCC_THREADS" \
+  --benchmark_context=fncc_hw_threads="$HW_THREADS" \
   --benchmark_context=fncc_debug_bench_lib_ack="$LIB_ACK" \
   --benchmark_min_time=0.2
 
@@ -149,6 +156,16 @@ for arg in (64, 1024, 8192, 65536):
 fwd = ips("BM_SwitchForward")
 if fwd:
     print(f"  switch forward         {fwd/1e6:8.1f}M pkts/s (full pipeline)")
+
+print("== streaming FCT pipeline ==")
+sink = by_name.get("BM_FctSink")
+if sink:
+    print(f"  fct sink append        {sink['items_per_second']/1e6:8.1f}M flows/s"
+          f"  sketch_buckets={sink.get('sketch_buckets', '?')}")
+stream = ips("BM_StreamingLaunch/4096")
+if stream:
+    print(f"  streaming launch       {stream/1e3:8.1f}k flows/s "
+          f"(register+launch+drain+release, end to end)")
 EOF
 fi
 
@@ -161,7 +178,6 @@ fi
 PDES_BENCH="$BUILD_DIR/bench_fatree_pdes"
 PDES_OUT="${3:-BENCH_fatree_pdes.json}"
 if [ -x "$PDES_BENCH" ]; then
-  HW_THREADS="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo unknown)"
   "$PDES_BENCH" \
     --benchmark_out="$PDES_OUT" \
     --benchmark_out_format=json \

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <memory>
 #include <set>
+#include <unordered_map>
 
 #include "core/fncc.hpp"
 #include "exec/domain_scheduler.hpp"
@@ -13,6 +14,8 @@
 #include "net/packet_pool.hpp"
 #include "sim/log.hpp"
 #include "stats/csv.hpp"
+#include "stats/fct_sink.hpp"
+#include "workload/flow_source.hpp"
 
 namespace fncc {
 
@@ -54,6 +57,10 @@ bool CompletionBefore(const CompletionRecord& a, const CompletionRecord& b) {
 /// Resolves scenario.exec_domains to a concrete lane count for `point`:
 /// 0 = auto picks the topology's natural partition; zero propagation
 /// delay forces a single lane (no lookahead window to run ahead in).
+/// Streaming injection (run.launch_window > 0) also forces a single lane:
+/// drained completions release FlowTable slots, and recycled FlowIds
+/// would break the cross-lane merge's native tie-break (which orders by
+/// id); one lane makes tally push order the canonical order outright.
 int ResolveDomainCount(const ExperimentSpec& point,
                        const TopologyParams& topo_params) {
   const ScenarioConfig& sc = point.scenario;
@@ -61,6 +68,7 @@ int ResolveDomainCount(const ExperimentSpec& point,
                     ? TopologyNaturalDomains(point.topology, topo_params)
                     : sc.exec_domains;
   if (sc.propagation_delay <= 0) domains = 1;
+  if (point.run.launch_window > 0) domains = 1;
   if (domains < 1) domains = 1;
   if (domains > 64) domains = 64;
   return domains;
@@ -71,9 +79,10 @@ int ResolveDomainCount(const ExperimentSpec& point,
 ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
                                        const TopologyParams& topo_params,
                                        const WorkloadParams& wl_params,
-                                       int intra_threads) {
+                                       int intra_threads, FctSink* sink) {
   const WallTimer timer;
   const ScenarioConfig& sc = point.scenario;
+  const bool streaming = point.run.launch_window > 0;
   ExperimentPointResult result;
   result.label = point.label;
 
@@ -93,13 +102,18 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
   net.SealDomains();
 
   WorkloadHosts roles{topo.hosts, topo.senders, topo.receiver};
-  std::vector<GeneratedFlow> flows =
-      WorkloadRegistry::Generate(point.workload, rng, roles, wl_params);
-  result.flows_total = flows.size();
+  // Streaming injection pulls from the workload's FlowSource below; the
+  // eager path materializes the whole flow list up front.
+  std::vector<GeneratedFlow> flows;
+  if (!streaming) {
+    flows = WorkloadRegistry::Generate(point.workload, rng, roles, wl_params);
+    result.flows_total = flows.size();
+  }
 
   // Completion hook before launch (records only — schedules nothing, so
   // the event stream is untouched). Records go to the active lane's tally
-  // and are merged into canonical order after the run.
+  // and are merged into canonical order chunk by chunk as the run
+  // advances.
   std::vector<LaneTally> tallies(
       static_cast<std::size_t>(sim.num_lanes()));
   for (Endpoint* ep : net.hosts()) {
@@ -112,10 +126,58 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
       tally.retransmits += qp.retransmit_events();
     };
   }
-  const auto flows_completed = [&tallies] {
-    std::size_t n = 0;
-    for (const LaneTally& tally : tallies) n += tally.records.size();
-    return n;
+
+  // Streaming bookkeeping: the table id a launch minted -> the flow's
+  // dense launch serial (the id the eager path would have minted — drained
+  // records are re-stamped with it, so output is unchanged) and its QP
+  // (counters are harvested before the slot is released).
+  struct LiveFlow {
+    FlowId serial = 0;
+    SenderQp* qp = nullptr;
+  };
+  std::unordered_map<FlowId, LiveFlow> live;
+  FlowTable* flow_table =
+      streaming ? &static_cast<Host*>(net.hosts().front())->flow_table()
+                : nullptr;
+
+  // Drains every tallied completion to the output (sink or recorder).
+  // Chunks partition time — RunUntil(T) processes every event at t <= T,
+  // same-time cascades included — and equal-key records (one delivery
+  // batch completing several flows) stay in lane push order under
+  // stable_sort, so the chunk-by-chunk emission order equals the old
+  // single global sort at every domain count.
+  std::vector<CompletionRecord> chunk;
+  const auto drain = [&] {
+    chunk.clear();
+    for (LaneTally& tally : tallies) {
+      result.retransmits += tally.retransmits;
+      tally.retransmits = 0;
+      chunk.insert(chunk.end(), tally.records.begin(), tally.records.end());
+      tally.records.clear();
+    }
+    std::stable_sort(chunk.begin(), chunk.end(), CompletionBefore);
+    for (CompletionRecord& r : chunk) {
+      if (streaming) {
+        const auto it = live.find(r.spec.id);
+        // Every completion is a live registered flow; harvest the frozen
+        // QP counters before the slot goes away.
+        result.asymmetric_acks += it->second.qp->asymmetric_acks();
+        if (const auto* fncc =
+                dynamic_cast<const FnccAlgorithm*>(&it->second.qp->cc())) {
+          result.lhcs_triggers += fncc->lhcs_triggers();
+        }
+        const FlowId table_id = r.spec.id;
+        r.spec.id = it->second.serial;
+        live.erase(it);
+        flow_table->Release(table_id);
+      }
+      if (sink != nullptr) {
+        sink->Append(r.spec, r.fct);
+      } else {
+        result.fct.Record(r.spec, r.fct);
+      }
+    }
+    result.flows_completed += chunk.size();
   };
 
   // Unbounded flows (size 0): line rate for the entire duration, rounded
@@ -145,7 +207,8 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
   // order (queue, utilization, then per-flow pacing/goodput pairs) is the
   // historical micro-runner order — it fixes the (time, seq) order of
   // simultaneous sampler events and therefore the exact event stream.
-  const bool monitored = point.run.monitor && topo.has_congestion_point();
+  const bool monitored =
+      !streaming && point.run.monitor && topo.has_congestion_point();
   std::unique_ptr<PeriodicSampler> queue_sampler;
   std::unique_ptr<PeriodicSampler> util_sampler;
   std::shared_ptr<RateMeter> util_meter;
@@ -199,32 +262,81 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
   // DomainScheduler picks the serial reference path (plain RunUntil)
   // whenever the point has a single lane or a single thread.
   DomainScheduler sched(&sim, intra_threads);
-  if (point.run.duration > 0) {
+  if (streaming) {
+    // Streaming injection: launch everything starting inside one lookahead
+    // window of the clock, run to the window edge, drain (and release) the
+    // completions, repeat. Live per-flow state is bounded by the window's
+    // concurrency, not the workload length.
+    const Time window = point.run.launch_window;
+    std::unique_ptr<FlowSource> source =
+        WorkloadRegistry::MakeSource(point.workload, rng, roles, wl_params);
+    GeneratedFlow next_flow;
+    bool have_next = source->Next(&next_flow);
+    Time last_start = 0;
+    std::uint64_t launched = 0;
+    while (true) {
+      const Time horizon = sim.Now() + window;
+      while (have_next && next_flow.spec.start_time <= horizon) {
+        if (next_flow.spec.start_time < last_start) {
+          throw SpecError(
+              "streaming launch (run.launch_window_us) needs a workload "
+              "sorted by start time: flow " +
+              std::to_string(launched + 1) + " starts at " +
+              std::to_string(next_flow.spec.start_time) +
+              " after a flow starting at " + std::to_string(last_start));
+        }
+        last_start = next_flow.spec.start_time;
+        if (next_flow.spec.size_bytes == 0) {
+          throw SpecError(
+              "streaming launch needs sized flows (duration-budget flows "
+              "with size_bytes = 0 require the eager path)");
+        }
+        if (next_flow.stop < kTimeInfinity) {
+          throw SpecError(
+              "streaming launch does not support flows with stop times "
+              "(completed slots are recycled; an outstanding abort timer "
+              "would dangle)");
+        }
+        ++launched;
+        Simulator::ActiveLaneScope scope(
+            &sim, net.node(next_flow.spec.src)->domain());
+        SenderQp* qp = LaunchFlow(net, sc, next_flow.spec);
+        live.emplace(qp->spec().id,
+                     LiveFlow{static_cast<FlowId>(launched), qp});
+        have_next = source->Next(&next_flow);
+      }
+      if (!have_next && live.empty()) break;
+      if (sim.Now() >= point.run.max_sim_time) break;
+      Time target = horizon;
+      if (sim.events_pending() == 0) {
+        // Only aborted/stuck flows have no events; with no future flows
+        // either, nothing can make progress.
+        if (!have_next) break;
+        target = next_flow.spec.start_time;  // idle gap: jump to the next
+      }
+      if (target > point.run.max_sim_time) target = point.run.max_sim_time;
+      sched.RunUntil(target);
+      drain();
+    }
+    drain();
+    result.flows_total = launched;
+  } else if (point.run.duration > 0) {
     sched.RunUntil(point.run.duration);
+    drain();
   } else {
     // Run in chunks until every flow finishes (or the wall is hit — only
-    // possible with a broken configuration, thanks to the RTO).
-    const Time chunk = 2 * kMillisecond;
-    while (flows_completed() < result.flows_total &&
+    // possible with a broken configuration, thanks to the RTO). Tallies
+    // are empty at each condition check (drained every chunk), so the
+    // emitted count is the completion count.
+    const Time chunk_len = 2 * kMillisecond;
+    while (result.flows_completed < result.flows_total &&
            sim.Now() < point.run.max_sim_time) {
       if (sim.events_pending() == 0) break;
-      sched.RunUntil(sim.Now() + chunk);
+      sched.RunUntil(sim.Now() + chunk_len);
+      drain();
     }
   }
 
-  // Merge per-lane completions into the single-queue recording order.
-  std::vector<CompletionRecord> completions;
-  completions.reserve(flows_completed());
-  for (LaneTally& tally : tallies) {
-    result.retransmits += tally.retransmits;
-    completions.insert(completions.end(), tally.records.begin(),
-                       tally.records.end());
-  }
-  std::sort(completions.begin(), completions.end(), CompletionBefore);
-  for (const CompletionRecord& r : completions) {
-    result.fct.Record(r.spec, r.fct);
-  }
-  result.flows_completed = completions.size();
   if (result.flows_completed < result.flows_total &&
       point.run.duration <= 0) {
     Log(LogLevel::kWarn, sim.Now(), "experiment run incomplete: %zu/%zu flows",
@@ -250,6 +362,15 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
       result.lhcs_triggers += fncc->lhcs_triggers();
     }
   }
+  // Streaming: completed flows were harvested at drain time; what's left
+  // in `live` is the incomplete tail (timed out). The sums are integers,
+  // so the map's iteration order doesn't matter.
+  for (const auto& [id, lf] : live) {
+    result.asymmetric_acks += lf.qp->asymmetric_acks();
+    if (const auto* fncc = dynamic_cast<const FnccAlgorithm*>(&lf.qp->cc())) {
+      result.lhcs_triggers += fncc->lhcs_triggers();
+    }
+  }
   result.events_processed = sim.events_processed();
   // Pool telemetry sums over every lane's arena. Unlike the counters
   // above it is NOT a partition invariant (which lane's arena services a
@@ -262,7 +383,7 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
 }
 
 ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point,
-                                         int intra_threads) {
+                                         int intra_threads, FctSink* sink) {
   if (!point.sweep.empty()) {
     throw SpecError(
         "spec still has sweep axes (" + std::to_string(point.sweep.size()) +
@@ -271,11 +392,20 @@ ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point,
   }
   ValidateSpec(point);
   return RunResolvedPoint(point, ResolveTopologyParams(point),
-                          ResolveWorkloadParams(point), intra_threads);
+                          ResolveWorkloadParams(point), intra_threads, sink);
 }
 
 std::vector<ExperimentPointResult> RunExperimentPoints(
-    const std::vector<ExperimentSpec>& points, int num_threads) {
+    const std::vector<ExperimentSpec>& points, int num_threads,
+    const std::vector<FctSink*>& sinks) {
+  if (!sinks.empty() && sinks.size() != points.size()) {
+    throw SpecError("sinks list must be empty or one entry per point (" +
+                    std::to_string(sinks.size()) + " sinks, " +
+                    std::to_string(points.size()) + " points)");
+  }
+  const auto sink_for = [&sinks](std::size_t i) {
+    return sinks.empty() ? nullptr : sinks[i];
+  };
   // One level of parallelism at a time: a single point gets the whole
   // thread budget for its intra-point domain windows (a no-op for
   // single-lane points); multi-point lists parallelize across points and
@@ -284,13 +414,16 @@ std::vector<ExperimentPointResult> RunExperimentPoints(
   if (points.size() == 1) {
     const int threads =
         num_threads > 0 ? num_threads : ThreadPool::DefaultThreadCount();
-    return {RunExperimentPoint(points[0], threads)};
+    return {RunExperimentPoint(points[0], threads, sink_for(0))};
   }
   SweepRunner runner(num_threads);
   // wall_time_seconds is stamped inside RunResolvedPoint — one source of
-  // truth whether a point runs through a sweep or standalone.
+  // truth whether a point runs through a sweep or standalone. Each sink
+  // belongs to exactly one point's job, so the fan-out needs no locking.
   return runner.Map<ExperimentPointResult>(
-      points.size(), [&](std::size_t i) { return RunExperimentPoint(points[i]); });
+      points.size(), [&](std::size_t i) {
+        return RunExperimentPoint(points[i], 1, sink_for(i));
+      });
 }
 
 std::vector<ExperimentPointResult> RunExperiment(const ExperimentSpec& spec,
@@ -333,7 +466,49 @@ std::string InsertTag(const std::string& filename, const std::string& tag) {
   return filename.substr(0, dot) + "." + tag + filename.substr(dot);
 }
 
+/// Per-point artifact tags: the sweep label, made unique if a sweep lists
+/// the same axis value twice; single points use the plain filename (all
+/// tags empty). The single naming authority behind both PointFctCsvPaths
+/// and WriteExperimentOutputs.
+std::vector<std::string> PointTags(const std::vector<std::string>& labels) {
+  std::vector<std::string> tags(labels.size());
+  std::set<std::string> used;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels.size() == 1) break;
+    std::string tag = labels[i];
+    if (tag.empty()) tag = "p";
+    if (labels[i].empty()) tag += std::to_string(i);
+    if (!used.insert(tag).second) {
+      tag += '-';
+      tag += std::to_string(i);
+      used.insert(tag);
+    }
+    tags[i] = tag;
+  }
+  return tags;
+}
+
+std::vector<std::string> SpecLabels(const std::vector<ExperimentSpec>& points) {
+  std::vector<std::string> labels;
+  labels.reserve(points.size());
+  for (const ExperimentSpec& p : points) labels.push_back(p.label);
+  return labels;
+}
+
 }  // namespace
+
+std::vector<std::string> PointFctCsvPaths(
+    const ExperimentSpec& spec, const std::vector<ExperimentSpec>& points) {
+  std::vector<std::string> paths(points.size());
+  if (spec.output.fct_csv.empty()) return paths;
+  const std::filesystem::path dir =
+      spec.output.dir.empty() ? "." : spec.output.dir;
+  const std::vector<std::string> tags = PointTags(SpecLabels(points));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    paths[i] = (dir / InsertTag(spec.output.fct_csv, tags[i])).string();
+  }
+  return paths;
+}
 
 ExperimentArtifacts WriteExperimentOutputs(
     const ExperimentSpec& spec, const std::vector<ExperimentSpec>& points,
@@ -349,22 +524,10 @@ ExperimentArtifacts WriteExperimentOutputs(
                     ec.message());
   }
 
-  // Per-point artifact tags: the sweep label, made unique if a sweep lists
-  // the same axis value twice; single points use the plain filename.
-  std::vector<std::string> tags(results.size());
-  std::set<std::string> used;
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    if (results.size() == 1) break;
-    std::string tag = results[i].label;
-    if (tag.empty()) tag = "p";
-    if (results[i].label.empty()) tag += std::to_string(i);
-    if (!used.insert(tag).second) {
-      tag += '-';
-      tag += std::to_string(i);
-      used.insert(tag);
-    }
-    tags[i] = tag;
-  }
+  std::vector<std::string> labels;
+  labels.reserve(results.size());
+  for (const ExperimentPointResult& r : results) labels.push_back(r.label);
+  const std::vector<std::string> tags = PointTags(labels);
 
   std::vector<std::string> fct_files(results.size());
   std::vector<std::string> series_files(results.size());
@@ -372,7 +535,11 @@ ExperimentArtifacts WriteExperimentOutputs(
     if (!spec.output.fct_csv.empty()) {
       const std::string path =
           (dir / InsertTag(spec.output.fct_csv, tags[i])).string();
-      if (!WriteFctCsv(path, results[i].fct)) {
+      if (spec.output.stream_fct) {
+        // The per-point FctSink already wrote this file during the run
+        // (PointFctCsvPaths hands streaming callers these exact paths);
+        // just record it in the manifest's file map.
+      } else if (!WriteFctCsv(path, results[i].fct)) {
         throw SpecError("failed to write " + path);
       }
       fct_files[i] = path;

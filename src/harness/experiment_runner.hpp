@@ -22,6 +22,8 @@
 
 namespace fncc {
 
+class FctSink;  // stats/fct_sink.hpp
+
 /// Per-flow rate series, sampled while monitoring: the CC algorithm's
 /// instantaneous pacing rate and acknowledged goodput.
 struct FlowSeries {
@@ -68,17 +70,35 @@ struct ExperimentPointResult {
 /// intra-point domain scheduler when scenario.exec_domains partitions the
 /// fabric (1 = windows run inline; irrelevant for single-lane points);
 /// results are bit-identical at every value.
+///
+/// A non-null `sink` switches the point to streaming FCT collection:
+/// completions are drained to the sink — in the canonical merge order, in
+/// time chunks as the run advances — instead of accumulating in
+/// result.fct (which stays empty; read count/means/quantiles from the
+/// sink). The emitted records are identical to the buffered path's.
 ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point,
-                                         int intra_threads = 1);
+                                         int intra_threads = 1,
+                                         FctSink* sink = nullptr);
 
 /// The trusted core: runs `point` with already-resolved topology/workload
 /// params (no validation, no cdf-name lookup). The adapters the legacy
 /// harness APIs are built on use this to inject programmatic params (e.g.
 /// a custom SizeCdf object).
+///
+/// point.run.launch_window > 0 selects streaming flow injection: flows
+/// are pulled from the workload's FlowSource (which must yield
+/// non-decreasing start times) and launched one lookahead window ahead of
+/// the clock; each drained completion releases its FlowTable slot, so
+/// live per-flow state is O(concurrent flows) instead of O(total flows).
+/// CSV/record output is unchanged: drained records are re-stamped with
+/// the flow's dense launch serial, the ids the eager path mints. The
+/// streaming path runs single-lane (see ResolveDomainCount) and skips
+/// monitors (the spec validator enforces monitor = false).
 ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
                                        const TopologyParams& topo_params,
                                        const WorkloadParams& wl_params,
-                                       int intra_threads = 1);
+                                       int intra_threads = 1,
+                                       FctSink* sink = nullptr);
 
 /// Runs every point as an independent SweepRunner job (per-job Simulator,
 /// PacketPool and RNG), results in point order. num_threads = 0 picks
@@ -86,8 +106,12 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
 /// The thread budget goes to one level of parallelism: multi-point lists
 /// parallelize across points (each point's domains run inline); a single
 /// point hands the whole budget to its intra-point domain scheduler.
+/// `sinks` (empty, or one per point — entries may be null) streams each
+/// point's completions to its own FctSink; a sink is only ever touched by
+/// the job running its point, so the fan-out stays unsynchronized.
 std::vector<ExperimentPointResult> RunExperimentPoints(
-    const std::vector<ExperimentSpec>& points, int num_threads = 0);
+    const std::vector<ExperimentSpec>& points, int num_threads = 0,
+    const std::vector<FctSink*>& sinks = {});
 
 /// ExpandSweep(spec) + RunExperimentPoints.
 std::vector<ExperimentPointResult> RunExperiment(const ExperimentSpec& spec,
@@ -97,6 +121,15 @@ std::vector<ExperimentPointResult> RunExperiment(const ExperimentSpec& spec,
 struct ExperimentArtifacts {
   std::vector<std::string> files;
 };
+
+/// The per-point FCT CSV paths WriteExperimentOutputs resolves from
+/// spec.output (dir / fct_csv with the point's label tag inserted; all
+/// empty when output.fct_csv is unset). Streaming callers open their
+/// FctSinks on exactly these paths before running, and
+/// WriteExperimentOutputs (with output.stream_fct) then records the
+/// already-written files instead of re-emitting them.
+std::vector<std::string> PointFctCsvPaths(
+    const ExperimentSpec& spec, const std::vector<ExperimentSpec>& points);
 
 /// Emits the artifacts spec.output asks for: per-point FCT CSV and
 /// time-series CSV (multi-point sweeps insert the point label before the

@@ -240,6 +240,7 @@ void ApplyKey(ExperimentSpec& spec, const std::string& key,
   if (key == "workload.group_stagger_us") { spec.wl.group_stagger = TimeFromUs(key, value); return; }
   if (key == "workload.flows") { spec.wl.long_flows = FlowsFromList(key, value); return; }
   if (key == "workload.port_base") { spec.wl.port_base = static_cast<std::uint16_t>(ToBoundedU64(key, value, 65'535)); return; }
+  if (key == "workload.trace_file") { spec.wl.trace_file = value; return; }
 
   if (key == "scenario.mode") { spec.scenario.mode = ModeFromName(key, value); return; }
   if (key == "scenario.link_gbps") { spec.scenario.link_gbps = ToDouble(key, value); return; }
@@ -268,6 +269,7 @@ void ApplyKey(ExperimentSpec& spec, const std::string& key,
   if (key == "run.rate_sample_us") { spec.run.rate_sample_interval = TimeFromUs(key, value); return; }
   if (key == "run.util_sample_us") { spec.run.util_sample_interval = TimeFromUs(key, value); return; }
   if (key == "run.monitor") { spec.run.monitor = ToBool(key, value); return; }
+  if (key == "run.launch_window_us") { spec.run.launch_window = TimeFromUs(key, value); return; }
 
   // Sweep axes. An empty value is rejected, not treated as "clear the
   // axis" — a spec file whose value line was accidentally emptied must not
@@ -317,6 +319,7 @@ void ApplyKey(ExperimentSpec& spec, const std::string& key,
   if (key == "output.timeseries_csv") { spec.output.timeseries_csv = value; return; }
   if (key == "output.manifest") { spec.output.manifest = value; return; }
   if (key == "output.buckets") { spec.output.buckets = value; return; }
+  if (key == "output.stream_fct") { spec.output.stream_fct = ToBool(key, value); return; }
   // clang-format on
 
   throw SpecError("unknown key '" + key + "'");
@@ -401,6 +404,11 @@ void ValidateSpec(const ExperimentSpec& spec) {
             "elephants with workload.size_bytes = 0 (duration-budget sizing) "
             "need run.duration_us > 0");
   }
+  if (spec.workload == "trace") {
+    Require(!spec.wl.trace_file.empty(),
+            "workload 'trace' needs workload.trace_file (a "
+            "start_us,src,dst,bytes CSV)");
+  }
 
   // Scenario ranges.
   Require(spec.scenario.link_gbps > 0.0, "scenario.link_gbps must be > 0");
@@ -439,6 +447,17 @@ void ValidateSpec(const ExperimentSpec& spec) {
           "run.queue_sample_us must be > 0");
   Require(spec.run.rate_sample_interval > 0, "run.rate_sample_us must be > 0");
   Require(spec.run.util_sample_interval > 0, "run.util_sample_us must be > 0");
+  Require(spec.run.launch_window >= 0, "run.launch_window_us must be >= 0");
+  if (spec.run.launch_window > 0) {
+    // Streaming injection drains completions chunk by chunk; a fixed-duration
+    // run or samplers would need the whole flow list up front.
+    Require(spec.run.duration == 0,
+            "run.launch_window_us > 0 (streaming injection) requires "
+            "run.duration_us = 0 (run to completion)");
+    Require(!spec.run.monitor,
+            "run.launch_window_us > 0 (streaming injection) requires "
+            "run.monitor = false");
+  }
 
   // Output ranges. buckets selects a bucket-edge table; the dispatch in
   // stats/fct (BucketEdgesByName) is the single source of truth for which
@@ -529,7 +548,17 @@ ExperimentSpec ParseSpecFile(const std::string& path) {
   if (!in) throw SpecError("cannot open spec file '" + path + "'");
   std::ostringstream text;
   text << in.rdbuf();
-  return ParseSpecText(text.str(), path);
+  ExperimentSpec spec = ParseSpecText(text.str(), path);
+  // A relative trace_file is relative to the spec file, not the cwd — a
+  // spec in specs/ that names a sibling trace works from anywhere. The
+  // resolved path round-trips through SpecToText unchanged.
+  if (!spec.wl.trace_file.empty() && spec.wl.trace_file.front() != '/') {
+    const std::size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos) {
+      spec.wl.trace_file = path.substr(0, slash + 1) + spec.wl.trace_file;
+    }
+  }
+  return spec;
 }
 
 // ----------------------------------------------------------------- expand
@@ -631,6 +660,9 @@ std::string SpecToText(const ExperimentSpec& spec) {
     out << "flows = " << FlowsToList(spec.wl.long_flows) << "\n";
   }
   out << "port_base = " << spec.wl.port_base << "\n";
+  if (!spec.wl.trace_file.empty()) {
+    out << "trace_file = " << spec.wl.trace_file << "\n";
+  }
 
   out << "\n[scenario]\n";
   out << "mode = " << CcModeName(spec.scenario.mode) << "\n";
@@ -673,6 +705,10 @@ std::string SpecToText(const ExperimentSpec& spec) {
   out << "util_sample_us = " << FormatTimeUs(spec.run.util_sample_interval)
       << "\n";
   out << "monitor = " << (spec.run.monitor ? "true" : "false") << "\n";
+  if (spec.run.launch_window != 0) {
+    out << "launch_window_us = " << FormatTimeUs(spec.run.launch_window)
+        << "\n";
+  }
 
   if (!spec.sweep.empty()) {
     out << "\n[sweep]\n";
@@ -726,6 +762,9 @@ std::string SpecToText(const ExperimentSpec& spec) {
   }
   if (!spec.output.buckets.empty()) {
     out << "buckets = " << spec.output.buckets << "\n";
+  }
+  if (spec.output.stream_fct) {
+    out << "stream_fct = true\n";
   }
   return out.str();
 }

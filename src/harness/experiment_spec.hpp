@@ -56,6 +56,13 @@ struct RunSpec {
   /// exposes a congestion point. Sampler events interleave with the
   /// simulation, so toggling this changes event counts (not flow behavior).
   bool monitor = true;
+  /// > 0 enables streaming flow injection: the runner pulls flows from the
+  /// workload's FlowSource and launches them one lookahead window at a
+  /// time instead of materializing the whole flow list (per-flow memory
+  /// O(live flows)). Requires run-to-completion (duration 0), monitor off,
+  /// a start-sorted workload, and forces a single exec domain. 0 = the
+  /// eager launch path (the default; bit-identical historical behavior).
+  Time launch_window = 0;
 };
 
 /// Cross-product sweep axes; empty vector = axis not swept. Expansion
@@ -87,6 +94,12 @@ struct OutputSpec {
   /// "web_search" / "fb_hadoop": also print the per-size-bucket slowdown
   /// table for each point (the Fig. 14/15 shape). Empty = off.
   std::string buckets;
+  /// Stream FCT records: fncc_run opens a per-point FctSink that appends
+  /// each completed flow to the point's fct_csv as it finishes and keeps
+  /// only online quantile sketches in memory (no retained FlowResult
+  /// list). The CSV bytes are identical to the buffered path; the printed
+  /// bucket table switches to sketch-approximate percentiles.
+  bool stream_fct = false;
 };
 
 struct ExperimentSpec {

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "stats/fct_sink.hpp"
+
 namespace fncc {
 
 namespace {
@@ -28,18 +30,14 @@ bool WriteTimeSeriesCsv(
 }
 
 bool WriteFctCsv(const std::string& path, const FctRecorder& recorder) {
-  FilePtr f(std::fopen(path.c_str(), "w"));
-  if (!f) return false;
-  std::fprintf(f.get(),
-               "flow,src,dst,size_bytes,start_us,fct_us,ideal_us,slowdown\n");
-  for (const FlowResult& r : recorder.results()) {
-    std::fprintf(f.get(), "%u,%u,%u,%llu,%.3f,%.3f,%.3f,%.4f\n", r.spec.id,
-                 r.spec.src, r.spec.dst,
-                 static_cast<unsigned long long>(r.spec.size_bytes),
-                 ToMicroseconds(r.spec.start_time), ToMicroseconds(r.fct),
-                 ToMicroseconds(r.spec.ideal_fct), r.slowdown);
-  }
-  return true;
+  // One formatting path: replay the retained records through the streaming
+  // sink (stats/fct_sink.hpp), which owns the row format.
+  FctSinkOptions options;
+  options.csv_path = path;
+  FctSink sink(std::move(options));
+  if (!sink.ok()) return false;
+  for (const FlowResult& r : recorder.results()) sink.Append(r.spec, r.fct);
+  return sink.Finish();
 }
 
 bool WriteBucketCsv(const std::string& path,

@@ -23,9 +23,13 @@ BucketStats Reduce(std::uint64_t edge, std::vector<double> slowdowns) {
   b.max_size_bytes = edge;
   b.count = slowdowns.size();
   b.avg = Mean(slowdowns);
-  b.p50 = Percentile(slowdowns, 50);
-  b.p95 = Percentile(slowdowns, 95);
-  b.p99 = Percentile(slowdowns, 99);
+  // One sort instead of three copy-and-sorts (Percentile by const-ref
+  // copies internally); PercentileSorted reads the same interpolated
+  // order statistics.
+  std::sort(slowdowns.begin(), slowdowns.end());
+  b.p50 = PercentileSorted(slowdowns, 50);
+  b.p95 = PercentileSorted(slowdowns, 95);
+  b.p99 = PercentileSorted(slowdowns, 99);
   return b;
 }
 }  // namespace

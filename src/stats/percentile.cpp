@@ -1,21 +1,58 @@
 #include "stats/percentile.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace fncc {
 
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  if (values.size() == 1) return values[0];
+namespace {
+
+/// Shared rank math: rank = p/100 * (n-1), split into the lower order
+/// statistic and the interpolation fraction.
+struct Rank {
+  std::size_t lo;
+  double frac;
+};
+
+Rank RankOf(double p, std::size_t n) {
   const double rank =
-      std::clamp(p, 0.0, 100.0) / 100.0 *
-      static_cast<double>(values.size() - 1);
+      std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(n - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
-  const double frac = rank - static_cast<double>(lo);
-  if (lo + 1 >= values.size()) return values.back();
-  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+  return {lo, rank - static_cast<double>(lo)};
+}
+
+}  // namespace
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
+  const Rank r = RankOf(p, sorted.size());
+  if (r.lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[r.lo] * (1.0 - r.frac) + sorted[r.lo + 1] * r.frac;
+}
+
+double PercentileInPlace(std::vector<double>& values, double p) {
+  if (values.empty()) return 0.0;
+  if (values.size() == 1) return values[0];
+  const Rank r = RankOf(p, values.size());
+  if (r.lo + 1 >= values.size()) {
+    return *std::max_element(values.begin(), values.end());
+  }
+  const auto nth = values.begin() + static_cast<std::ptrdiff_t>(r.lo);
+  std::nth_element(values.begin(), nth, values.end());
+  const double lo_value = *nth;
+  if (r.frac == 0.0) return lo_value;
+  // The (lo+1)-th order statistic is the minimum of the upper partition —
+  // exactly the double the sorted path would read at values[lo + 1].
+  const double hi_value = *std::min_element(nth + 1, values.end());
+  return lo_value * (1.0 - r.frac) + hi_value * r.frac;
+}
+
+double Percentile(const std::vector<double>& values, double p) {
+  std::vector<double> copy = values;
+  return PercentileInPlace(copy, p);
 }
 
 double Mean(const std::vector<double>& values) {

@@ -6,8 +6,19 @@
 namespace fncc {
 
 /// p in [0, 100], linear interpolation between order statistics.
-/// Returns 0.0 for an empty input.
-double Percentile(std::vector<double> values, double p);
+/// Returns 0.0 for an empty input. Copies `values` internally (the old
+/// by-value semantics without forcing a copy at every call site); use
+/// PercentileInPlace / PercentileSorted to skip the copy.
+double Percentile(const std::vector<double>& values, double p);
+
+/// Percentile without the copy: partially reorders `values` in place
+/// (nth_element, O(n) instead of O(n log n)). Identical result to
+/// Percentile().
+double PercentileInPlace(std::vector<double>& values, double p);
+
+/// Percentile over an already ascending-sorted vector, O(1). The caller
+/// owns the sort; results match Percentile() exactly.
+double PercentileSorted(const std::vector<double>& sorted, double p);
 
 double Mean(const std::vector<double>& values);
 

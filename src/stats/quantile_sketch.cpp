@@ -1,0 +1,84 @@
+#include "stats/quantile_sketch.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fncc {
+
+QuantileSketch::QuantileSketch(double alpha) : alpha_(alpha) {
+  assert(alpha > 0.0 && alpha < 1.0);
+  gamma_ = (1.0 + alpha) / (1.0 - alpha);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::BucketIndex(double value) const {
+  // Bucket i covers (gamma^(i-1), gamma^i]; i can be negative for
+  // sub-1 values (slowdowns are >= 1, FCTs in us often aren't).
+  return static_cast<std::int32_t>(
+      std::ceil(std::log(value) * inv_log_gamma_));
+}
+
+double QuantileSketch::BucketValue(std::int32_t index) const {
+  // 2*gamma^i/(gamma+1): within alpha relative error of every value the
+  // bucket covers ((gamma-1)/(gamma+1) == alpha).
+  return 2.0 * std::pow(gamma_, static_cast<double>(index)) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::Add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  if (value <= 0.0) {
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[BucketIndex(value)];
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  assert(alpha_ == other.alpha_ && "sketches must share one alpha");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+}
+
+double QuantileSketch::Quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  // Same rank convention as Percentile(): rank p/100 * (n-1); the sample
+  // whose cumulative count first exceeds the rank is the answer (the
+  // sketch cannot interpolate between neighbors it never kept).
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                      static_cast<double>(count_ - 1);
+  double cum = static_cast<double>(zero_count_);
+  if (cum > rank && zero_count_ > 0) {
+    return std::clamp(0.0, min_, max_);
+  }
+  for (const auto& [index, n] : buckets_) {
+    cum += static_cast<double>(n);
+    if (cum > rank) {
+      return std::clamp(BucketValue(index), min_, max_);
+    }
+  }
+  return max_;
+}
+
+bool QuantileSketch::operator==(const QuantileSketch& other) const {
+  return alpha_ == other.alpha_ && count_ == other.count_ &&
+         zero_count_ == other.zero_count_ && buckets_ == other.buckets_ &&
+         (count_ == 0 || (min_ == other.min_ && max_ == other.max_));
+}
+
+}  // namespace fncc

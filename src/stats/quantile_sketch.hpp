@@ -1,0 +1,77 @@
+// Mergeable streaming quantile sketch with a relative-error guarantee —
+// the bounded-memory replacement for retaining every FCT/slowdown sample.
+//
+// The sketch is a logarithmic histogram (the DDSketch construction): value
+// v > 0 lands in bucket ceil(log_gamma(v)) with gamma = (1+alpha)/(1-alpha),
+// so every bucket spans a factor of gamma and the bucket's representative
+// value is within a relative error of `alpha` of anything stored in it.
+// With the default alpha = 0.005, Quantile() is within 0.5% of the exact
+// order statistic Percentile() computes — and the bucket count stays
+// logarithmic in the value range (the full double range fits in a few
+// thousand buckets), so memory is O(log range), independent of the sample
+// count.
+//
+// Determinism contract: the sketch holds only integer counts keyed by
+// integer bucket indices plus exact min/max — no floating-point
+// accumulator whose value could depend on insertion order. Merge() adds
+// counts, so merging per-lane sketches is associative, commutative, and
+// bit-identical in ANY merge order; the harness merges along the canonical
+// FCT order and single-lane and N-lane runs produce identical sketches.
+// (Order-dependent sums — mean numerators — belong in the caller, which
+// appends in canonical order; see stats/fct_sink.hpp.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace fncc {
+
+class QuantileSketch {
+ public:
+  /// `alpha` is the relative-error bound, in (0, 1); default 0.5%.
+  explicit QuantileSketch(double alpha = kDefaultAlpha);
+
+  static constexpr double kDefaultAlpha = 0.005;
+
+  /// Adds one sample. Values <= 0 (never produced by FCT/slowdown, but
+  /// tolerated) share one exact "zero" bucket.
+  void Add(double value);
+
+  /// Adds every count of `other` (which must use the same alpha) into this
+  /// sketch. Associative and commutative — bit-identical at any order.
+  void Merge(const QuantileSketch& other);
+
+  /// The approximate p-th percentile, p in [0, 100]. Uses the same rank
+  /// convention as Percentile() (rank p/100 * (n-1)); the returned bucket
+  /// representative is within `alpha()` relative error of the exact order
+  /// statistic, clamped to the observed [min, max]. 0.0 when empty.
+  [[nodiscard]] double Quantile(double p) const;
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  /// Distinct log-buckets in use — the sketch's memory footprint.
+  [[nodiscard]] std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Structural equality (same alpha, counts, extrema) — what the
+  /// merge-determinism tests assert.
+  bool operator==(const QuantileSketch& other) const;
+
+ private:
+  [[nodiscard]] std::int32_t BucketIndex(double value) const;
+  [[nodiscard]] double BucketValue(std::int32_t index) const;
+
+  double alpha_;
+  double gamma_;      // (1 + alpha) / (1 - alpha)
+  double inv_log_gamma_;
+  // Sorted bucket index -> count. std::map keeps Quantile()'s cumulative
+  // walk in value order with no per-query sort.
+  std::map<std::int32_t, std::uint64_t> buckets_;
+  std::uint64_t zero_count_ = 0;  // samples <= 0, kept exact
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace fncc

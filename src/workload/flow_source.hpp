@@ -1,0 +1,61 @@
+// Pull-based flow generation: the streaming interface over workload
+// builders. A FlowSource hands out one GeneratedFlow at a time, so the
+// harness can launch from a bounded lookahead window instead of
+// materializing a million-flow std::vector up front (run.launch_window_us
+// — see harness/experiment_runner). Eager builders become trivial
+// VectorFlowSource adapters; generators with a native incremental form
+// (poisson, trace replay) register a WorkloadSourceFn and keep per-flow
+// memory O(1).
+//
+// Contract: flows come back in generation order — the order the eager
+// builder would emit — which fixes launch order, FlowId density and RNG
+// draw order; streaming and eager runs of the same spec are bit-identical.
+// The streaming launcher additionally requires non-decreasing
+// spec.start_time (true for poisson and validated for traces; it rejects
+// out-of-order sources at run time).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "workload/traffic_gen.hpp"
+
+namespace fncc {
+
+class FlowSource {
+ public:
+  virtual ~FlowSource() = default;
+
+  /// Fills *out with the next flow; false when the stream is exhausted.
+  /// Sources backed by external input (trace files) throw
+  /// std::invalid_argument with file:line context on malformed rows.
+  virtual bool Next(GeneratedFlow* out) = 0;
+
+  /// Total flow count when known up front (adapters, fixed-count
+  /// generators); 0 = unknown until exhausted (trace files).
+  [[nodiscard]] virtual std::size_t size_hint() const { return 0; }
+};
+
+/// The eager-builder adapter: owns a generated flow list and streams it.
+class VectorFlowSource final : public FlowSource {
+ public:
+  explicit VectorFlowSource(std::vector<GeneratedFlow> flows)
+      : flows_(std::move(flows)) {}
+
+  bool Next(GeneratedFlow* out) override {
+    if (next_ >= flows_.size()) return false;
+    *out = flows_[next_++];
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size_hint() const override {
+    return flows_.size();
+  }
+
+ private:
+  std::vector<GeneratedFlow> flows_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace fncc

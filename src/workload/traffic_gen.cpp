@@ -6,45 +6,83 @@
 #include <stdexcept>
 
 #include "sim/named_registry.hpp"
+#include "workload/flow_source.hpp"
+#include "workload/trace_replay.hpp"
 
 namespace fncc {
+
+namespace {
+
+/// The incremental form of GeneratePoisson: one flow per Next(), drawing
+/// from the shared Rng in exactly the eager loop's order (gap, src, dst,
+/// sport, dport, size — sequential per flow), so draining this source
+/// reproduces GeneratePoisson bit for bit while holding O(1) state.
+class PoissonFlowSource final : public FlowSource {
+ public:
+  PoissonFlowSource(Rng& rng, const SizeCdf& cdf, std::vector<NodeId> hosts,
+                    const PoissonTrafficConfig& config)
+      : rng_(rng), cdf_(cdf), hosts_(std::move(hosts)), config_(config) {
+    assert(hosts_.size() >= 2);
+    assert(config.load > 0.0 && config.load <= 1.0);
+    // Aggregate arrival rate lambda (flows/s) such that the expected
+    // offered bytes fill `load` of every host's access link on average:
+    //   lambda * E[size] * 8 = load * link_gbps * 1e9 * num_hosts.
+    const double lambda = config.load * config.link_gbps * 1e9 *
+                          static_cast<double>(hosts_.size()) /
+                          (cdf_.mean_bytes() * 8.0);
+    mean_gap_sec_ = 1.0 / lambda;
+    t_ = config.start_time;
+  }
+
+  bool Next(GeneratedFlow* out) override {
+    if (emitted_ >= config_.num_flows) return false;
+    t_ += Seconds(rng_.Exponential(mean_gap_sec_));
+    FlowSpec f;
+    f.id = config_.first_flow_id + static_cast<FlowId>(emitted_);
+    const std::size_t s =
+        static_cast<std::size_t>(rng_.UniformInt(0, hosts_.size() - 1));
+    std::size_t d =
+        static_cast<std::size_t>(rng_.UniformInt(0, hosts_.size() - 2));
+    if (d >= s) ++d;
+    f.src = hosts_[s];
+    f.dst = hosts_[d];
+    f.sport = static_cast<std::uint16_t>(config_.port_base +
+                                         rng_.UniformInt(0, 40'000));
+    f.dport = static_cast<std::uint16_t>(config_.port_base +
+                                         rng_.UniformInt(0, 40'000));
+    f.size_bytes = cdf_.Sample(rng_);
+    f.start_time = t_;
+    ++emitted_;
+    out->spec = f;
+    out->stop = kTimeInfinity;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size_hint() const override {
+    return static_cast<std::size_t>(config_.num_flows);
+  }
+
+ private:
+  Rng& rng_;
+  SizeCdf cdf_;
+  std::vector<NodeId> hosts_;
+  PoissonTrafficConfig config_;
+  double mean_gap_sec_ = 0.0;
+  Time t_ = 0;
+  int emitted_ = 0;
+};
+
+}  // namespace
 
 std::vector<FlowSpec> GeneratePoisson(Rng& rng, const SizeCdf& cdf,
                                       const std::vector<NodeId>& hosts,
                                       const PoissonTrafficConfig& config) {
-  assert(hosts.size() >= 2);
-  assert(config.load > 0.0 && config.load <= 1.0);
-
-  // Aggregate arrival rate lambda (flows/s) such that the expected offered
-  // bytes fill `load` of every host's access link on average:
-  //   lambda * E[size] * 8 = load * link_gbps * 1e9 * num_hosts.
-  const double lambda = config.load * config.link_gbps * 1e9 *
-                        static_cast<double>(hosts.size()) /
-                        (cdf.mean_bytes() * 8.0);
-  const double mean_gap_sec = 1.0 / lambda;
-
+  // Drain the incremental source: one code path for eager and streaming.
+  PoissonFlowSource source(rng, cdf, hosts, config);
   std::vector<FlowSpec> flows;
-  flows.reserve(config.num_flows);
-  Time t = config.start_time;
-  for (int i = 0; i < config.num_flows; ++i) {
-    t += Seconds(rng.Exponential(mean_gap_sec));
-    FlowSpec f;
-    f.id = config.first_flow_id + static_cast<FlowId>(i);
-    const std::size_t s =
-        static_cast<std::size_t>(rng.UniformInt(0, hosts.size() - 1));
-    std::size_t d =
-        static_cast<std::size_t>(rng.UniformInt(0, hosts.size() - 2));
-    if (d >= s) ++d;
-    f.src = hosts[s];
-    f.dst = hosts[d];
-    f.sport = static_cast<std::uint16_t>(
-        config.port_base + rng.UniformInt(0, 40'000));
-    f.dport = static_cast<std::uint16_t>(
-        config.port_base + rng.UniformInt(0, 40'000));
-    f.size_bytes = cdf.Sample(rng);
-    f.start_time = t;
-    flows.push_back(f);
-  }
+  flows.reserve(static_cast<std::size_t>(config.num_flows));
+  GeneratedFlow gf;
+  while (source.Next(&gf)) flows.push_back(gf.spec);
   return flows;
 }
 
@@ -235,8 +273,8 @@ std::vector<GeneratedFlow> BuildElephants(Rng& /*rng*/,
   return flows;
 }
 
-std::vector<GeneratedFlow> BuildPoisson(Rng& rng, const WorkloadHosts& hosts,
-                                        const WorkloadParams& p) {
+PoissonTrafficConfig PoissonConfigFromParams(const WorkloadHosts& hosts,
+                                             const WorkloadParams& p) {
   RequirePopulation(hosts, 2);
   if (!(p.load > 0.0 && p.load <= 1.0)) {
     BadParam("poisson load must be in (0, 1]");
@@ -248,7 +286,31 @@ std::vector<GeneratedFlow> BuildPoisson(Rng& rng, const WorkloadHosts& hosts,
   config.start_time = p.start_time;
   config.num_flows = p.num_flows;
   config.port_base = p.port_base;
+  return config;
+}
+
+std::vector<GeneratedFlow> BuildPoisson(Rng& rng, const WorkloadHosts& hosts,
+                                        const WorkloadParams& p) {
+  const PoissonTrafficConfig config = PoissonConfigFromParams(hosts, p);
   return Wrap(GeneratePoisson(rng, p.cdf, hosts.all, config));
+}
+
+std::unique_ptr<FlowSource> MakePoissonSource(Rng& rng,
+                                              const WorkloadHosts& hosts,
+                                              const WorkloadParams& p) {
+  const PoissonTrafficConfig config = PoissonConfigFromParams(hosts, p);
+  return std::make_unique<PoissonFlowSource>(rng, p.cdf, hosts.all, config);
+}
+
+std::vector<GeneratedFlow> BuildTrace(Rng& /*rng*/, const WorkloadHosts& hosts,
+                                      const WorkloadParams& p) {
+  // Eager form: drain the streaming source (validating the whole file).
+  std::unique_ptr<FlowSource> source = MakeTraceSource(hosts, p);
+  std::vector<GeneratedFlow> flows;
+  GeneratedFlow gf;
+  while (source->Next(&gf)) flows.push_back(gf);
+  if (flows.empty()) BadParam("trace file has no flow rows");
+  return flows;
 }
 
 std::vector<GeneratedFlow> BuildIncast(Rng& /*rng*/,
@@ -293,34 +355,50 @@ std::vector<GeneratedFlow> BuildStaggeredIncast(Rng& /*rng*/,
                                       p.port_base));
 }
 
-NamedRegistry<WorkloadBuildFn>& Entries() {
-  static NamedRegistry<WorkloadBuildFn>* entries = [] {
-    auto* r = new NamedRegistry<WorkloadBuildFn>("workload");
+/// One registry entry: the eager builder plus its optional native
+/// streaming form (null = MakeSource wraps the builder's output in a
+/// VectorFlowSource).
+struct WorkloadEntry {
+  WorkloadBuildFn build;
+  WorkloadSourceFn source;
+};
+
+NamedRegistry<WorkloadEntry>& Entries() {
+  static NamedRegistry<WorkloadEntry>* entries = [] {
+    auto* r = new NamedRegistry<WorkloadEntry>("workload");
     r->Register("elephants",
                 "long-lived flows from workload.flows "
                 "(sender@start_us[:stop_us]); size 0 = outlast run.duration",
-                BuildElephants);
+                {BuildElephants, nullptr});
     r->Register("poisson",
                 "open-loop Poisson arrivals at workload.load over "
                 "workload.cdf (num_flows flows, uniform src/dst)",
-                BuildPoisson);
+                {BuildPoisson, MakePoissonSource});
     r->Register("incast",
                 "all topology senders -> receiver, size_bytes each, "
                 "stagger_us apart (default 2 MB)",
-                BuildIncast);
+                {BuildIncast, nullptr});
     r->Register("permutation",
                 "random derangement: every host sends size_bytes to a "
                 "distinct peer (default 1 MB)",
-                BuildPermutation);
+                {BuildPermutation, nullptr});
     r->Register("all_to_all",
                 "shuffle: every host sends size_bytes to every other host, "
                 "sources staggered by stagger_us (default 100 KB)",
-                BuildAllToAll);
+                {BuildAllToAll, nullptr});
     r->Register("staggered_incast",
                 "workload.groups contiguous host groups, each incasting to "
                 "its last host; bursts offset by group_stagger_us "
                 "(default 500 KB)",
-                BuildStaggeredIncast);
+                {BuildStaggeredIncast, nullptr});
+    r->Register("trace",
+                "replay workload.trace_file (start_us,src,dst,bytes CSV "
+                "rows, start-sorted; host indices in creation order)",
+                {BuildTrace,
+                 [](Rng& /*rng*/, const WorkloadHosts& hosts,
+                    const WorkloadParams& p) {
+                   return MakeTraceSource(hosts, p);
+                 }});
     return r;
   }();
   return *entries;
@@ -331,7 +409,15 @@ NamedRegistry<WorkloadBuildFn>& Entries() {
 void WorkloadRegistry::Register(const std::string& name,
                                 const std::string& description,
                                 WorkloadBuildFn build) {
-  Entries().Register(name, description, std::move(build));
+  Entries().Register(name, description, {std::move(build), nullptr});
+}
+
+void WorkloadRegistry::Register(const std::string& name,
+                                const std::string& description,
+                                WorkloadBuildFn build,
+                                WorkloadSourceFn source) {
+  Entries().Register(name, description,
+                     {std::move(build), std::move(source)});
 }
 
 bool WorkloadRegistry::Contains(const std::string& name) {
@@ -341,7 +427,16 @@ bool WorkloadRegistry::Contains(const std::string& name) {
 std::vector<GeneratedFlow> WorkloadRegistry::Generate(
     const std::string& name, Rng& rng, const WorkloadHosts& hosts,
     const WorkloadParams& params) {
-  return Entries().At(name)(rng, hosts, params);
+  return Entries().At(name).build(rng, hosts, params);
+}
+
+std::unique_ptr<FlowSource> WorkloadRegistry::MakeSource(
+    const std::string& name, Rng& rng, const WorkloadHosts& hosts,
+    const WorkloadParams& params) {
+  const WorkloadEntry& entry = Entries().At(name);
+  if (entry.source) return entry.source(rng, hosts, params);
+  return std::make_unique<VectorFlowSource>(
+      entry.build(rng, hosts, params));
 }
 
 std::vector<std::string> WorkloadRegistry::Names() {

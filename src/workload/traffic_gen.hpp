@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -121,9 +122,19 @@ struct WorkloadParams {
   std::vector<LongFlow> long_flows;   // elephants
   SizeCdf cdf = SizeCdf::WebSearch(); // poisson
   std::uint16_t port_base = 10'000;
+  std::string trace_file;             // trace (CSV path; see trace_replay)
 };
 
 using WorkloadBuildFn = std::function<std::vector<GeneratedFlow>(
+    Rng& rng, const WorkloadHosts& hosts, const WorkloadParams& params)>;
+
+class FlowSource;  // workload/flow_source.hpp
+
+/// Optional native streaming form of a workload: builds a FlowSource that
+/// draws flows incrementally (identical flows, in the identical order, to
+/// the eager WorkloadBuildFn — including RNG draw order). The referenced
+/// rng/hosts/params must outlive the returned source.
+using WorkloadSourceFn = std::function<std::unique_ptr<FlowSource>(
     Rng& rng, const WorkloadHosts& hosts, const WorkloadParams& params)>;
 
 /// Process-global name -> generator map. Built-ins (elephants, poisson,
@@ -133,9 +144,13 @@ using WorkloadBuildFn = std::function<std::vector<GeneratedFlow>(
 /// sweeps.
 class WorkloadRegistry {
  public:
-  /// Throws std::invalid_argument on a duplicate name.
+  /// Throws std::invalid_argument on a duplicate name. The overload with a
+  /// WorkloadSourceFn additionally registers a native streaming form
+  /// (workloads without one stream through a VectorFlowSource adapter).
   static void Register(const std::string& name, const std::string& description,
                        WorkloadBuildFn build);
+  static void Register(const std::string& name, const std::string& description,
+                       WorkloadBuildFn build, WorkloadSourceFn source);
 
   [[nodiscard]] static bool Contains(const std::string& name);
 
@@ -145,6 +160,15 @@ class WorkloadRegistry {
                                              Rng& rng,
                                              const WorkloadHosts& hosts,
                                              const WorkloadParams& params);
+
+  /// The streaming form of `name`: the registered native source when one
+  /// exists, else a VectorFlowSource over Generate(). Either way the
+  /// stream replays the eager builder's flows in generation order. The
+  /// referenced rng/hosts/params must outlive the source.
+  static std::unique_ptr<FlowSource> MakeSource(const std::string& name,
+                                                Rng& rng,
+                                                const WorkloadHosts& hosts,
+                                                const WorkloadParams& params);
 
   /// Registered names, sorted; and a one-line description per name.
   [[nodiscard]] static std::vector<std::string> Names();

@@ -4,6 +4,8 @@
 // output exactly (the adapters are thin for a reason).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -13,6 +15,21 @@
 
 namespace fncc {
 namespace {
+
+/// A tiny valid trace between hosts 0 and 1 (present in every registered
+/// topology), written to a temp file — the "trace" workload's required
+/// input when the registry matrix sweeps over it.
+std::string WriteTempTrace() {
+  const std::string path =
+      testing::TempDir() + "registry_matrix_trace.csv";
+  std::ofstream out(path);
+  out << "start_us,src,dst,bytes\n";
+  for (int i = 0; i < 6; ++i) {
+    out << i * 10 << "." << 5 << "," << (i % 2) << "," << ((i + 1) % 2)
+        << ",20000\n";
+  }
+  return path;
+}
 
 TEST(TopologyRegistryTest, NamesAndUnknownRejection) {
   for (const char* name : {"dumbbell", "chain_merge", "fat_tree",
@@ -76,6 +93,7 @@ TEST(TopologyRegistryTest, BadParamsRejected) {
 // workload sufficient for it to work everywhere (fncc_run --smoke runs the
 // same matrix from the CLI).
 TEST(ExperimentRegistryTest, EveryTopologyWorkloadPairRunsOneMillisecond) {
+  const std::string trace_path = WriteTempTrace();
   for (const std::string& topo : TopologyRegistry::Names()) {
     for (const std::string& wl : WorkloadRegistry::Names()) {
       SCOPED_TRACE(topo + " x " + wl);
@@ -97,6 +115,7 @@ TEST(ExperimentRegistryTest, EveryTopologyWorkloadPairRunsOneMillisecond) {
       spec.wl.groups = (topo == "chain_merge") ? 1 : 2;
       spec.cdf = "fb_hadoop";
       spec.run.duration = Milliseconds(1);
+      if (wl == "trace") spec.wl.trace_file = trace_path;
       ValidateSpec(spec);
       const ExperimentPointResult r = RunExperimentPoint(spec);
       EXPECT_GT(r.flows_total, 0u);

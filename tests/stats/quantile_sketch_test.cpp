@@ -1,0 +1,214 @@
+// QuantileSketch accuracy against the exact order statistic, the
+// merge-determinism contract the PDES lanes rely on, and the FctSink's
+// streaming CSV / online-stats equivalence with the retained path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/csv.hpp"
+#include "stats/fct_sink.hpp"
+#include "stats/percentile.hpp"
+#include "stats/quantile_sketch.hpp"
+
+namespace fncc {
+namespace {
+
+/// |approx - exact| within the sketch's relative-error bound. The exact
+/// Percentile() interpolates between order statistics while the sketch
+/// returns a bucket representative, so compare against the neighboring
+/// order statistics' envelope, widened by alpha.
+void ExpectWithinAlpha(const QuantileSketch& sketch,
+                       const std::vector<double>& values, double p) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const double exact = PercentileSorted(sorted, p);
+  const double approx = sketch.Quantile(p);
+  const double tol = sketch.alpha() * 2.0 * std::abs(exact) + 1e-12;
+  EXPECT_NEAR(approx, exact, tol) << "p=" << p;
+}
+
+TEST(QuantileSketchTest, HeavyTailAccuracy) {
+  // Pareto-ish slowdown distribution: most samples near 1, a long tail.
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  QuantileSketch sketch;
+  std::vector<double> values;
+  for (int i = 0; i < 200'000; ++i) {
+    const double v = 1.0 / std::pow(1.0 - u(rng), 0.7);  // >= 1, heavy tail
+    values.push_back(v);
+    sketch.Add(v);
+  }
+  ASSERT_EQ(sketch.count(), values.size());
+  for (double p : {1.0, 50.0, 90.0, 99.0, 99.9}) {
+    ExpectWithinAlpha(sketch, values, p);
+  }
+  // The whole 200k-sample stream fits in a few hundred log-buckets.
+  EXPECT_LT(sketch.bucket_count(), 4'000u);
+}
+
+TEST(QuantileSketchTest, AllEqualCollapsesToOneBucket) {
+  QuantileSketch sketch;
+  std::vector<double> values(10'000, 3.25);
+  for (double v : values) sketch.Add(v);
+  EXPECT_EQ(sketch.bucket_count(), 1u);
+  for (double p : {0.0, 50.0, 100.0}) {
+    // min == max clamps the representative to the exact value.
+    EXPECT_DOUBLE_EQ(sketch.Quantile(p), 3.25) << "p=" << p;
+  }
+}
+
+TEST(QuantileSketchTest, TwoPointDistribution) {
+  QuantileSketch sketch;
+  std::vector<double> values;
+  for (int i = 0; i < 900; ++i) values.push_back(1.0);
+  for (int i = 0; i < 100; ++i) values.push_back(100.0);
+  for (double v : values) sketch.Add(v);
+  ExpectWithinAlpha(sketch, values, 50.0);
+  ExpectWithinAlpha(sketch, values, 99.9);
+  EXPECT_DOUBLE_EQ(sketch.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sketch.max(), 100.0);
+}
+
+TEST(QuantileSketchTest, ZeroAndNegativeShareExactBucket) {
+  QuantileSketch sketch;
+  sketch.Add(0.0);
+  sketch.Add(-2.0);
+  sketch.Add(5.0);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_DOUBLE_EQ(sketch.min(), -2.0);
+  // The shared non-positive bucket represents as 0 (exact for the FCT
+  // use case, where <= 0 never occurs).
+  EXPECT_DOUBLE_EQ(sketch.Quantile(0), 0.0);
+  EXPECT_NEAR(sketch.Quantile(100), 5.0, 5.0 * 2.0 * sketch.alpha());
+}
+
+TEST(QuantileSketchTest, MergeIsOrderInvariant) {
+  // Split one sample stream across four "lanes", merge the lane sketches
+  // in two different orders, and compare against the single-lane sketch:
+  // all three must be structurally identical (the PDES determinism
+  // contract — integer counts only, no order-dependent accumulator).
+  std::mt19937_64 rng(11);
+  std::lognormal_distribution<double> dist(2.0, 1.5);
+  QuantileSketch single;
+  std::vector<QuantileSketch> lanes(4, QuantileSketch{});
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = dist(rng);
+    single.Add(v);
+    lanes[static_cast<std::size_t>(i) % 4].Add(v);
+  }
+  QuantileSketch forward;
+  for (const QuantileSketch& lane : lanes) forward.Merge(lane);
+  QuantileSketch backward;
+  for (auto it = lanes.rbegin(); it != lanes.rend(); ++it) {
+    backward.Merge(*it);
+  }
+  EXPECT_TRUE(forward == single);
+  EXPECT_TRUE(backward == single);
+  EXPECT_TRUE(forward == backward);
+}
+
+TEST(PercentileVariantsTest, AllThreeFormsAgree) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(0.5, 40.0);
+  std::vector<double> values;
+  for (int i = 0; i < 1'001; ++i) values.push_back(u(rng));
+  for (double p : {0.0, 12.5, 50.0, 95.0, 99.9, 100.0}) {
+    const double by_copy = Percentile(values, p);
+    std::vector<double> scratch = values;
+    const double in_place = PercentileInPlace(scratch, p);
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    const double on_sorted = PercentileSorted(sorted, p);
+    EXPECT_DOUBLE_EQ(by_copy, in_place) << "p=" << p;
+    EXPECT_DOUBLE_EQ(by_copy, on_sorted) << "p=" << p;
+  }
+  // Percentile must not reorder its input (the old by-value semantics).
+  std::vector<double> copy = values;
+  (void)Percentile(copy, 50.0);
+  EXPECT_EQ(copy, values);
+}
+
+FlowSpec MakeSpec(FlowId id, std::uint64_t size, Time start, Time ideal) {
+  FlowSpec spec;
+  spec.id = id;
+  spec.src = 0;
+  spec.dst = 1;
+  spec.size_bytes = size;
+  spec.start_time = start;
+  spec.ideal_fct = ideal;
+  return spec;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(FctSinkTest, StreamedCsvMatchesWriteFctCsv) {
+  FctRecorder recorder;
+  std::vector<std::pair<FlowSpec, Time>> flows;
+  std::mt19937_64 rng(5);
+  for (FlowId id = 1; id <= 500; ++id) {
+    const std::uint64_t size = 1'000 + (rng() % 1'000'000);
+    const Time ideal = Microseconds(10) + static_cast<Time>(rng() % 100'000);
+    const Time fct = ideal + static_cast<Time>(rng() % 400'000);
+    flows.emplace_back(MakeSpec(id, size, Microseconds(id), ideal), fct);
+  }
+  const std::string legacy = testing::TempDir() + "fct_legacy.csv";
+  const std::string streamed = testing::TempDir() + "fct_streamed.csv";
+  FctSinkOptions options;
+  options.csv_path = streamed;
+  FctSink sink(options);
+  for (const auto& [spec, fct] : flows) {
+    recorder.Record(spec, fct);
+    sink.Append(spec, fct);
+  }
+  ASSERT_TRUE(sink.Finish());
+  ASSERT_TRUE(WriteFctCsv(legacy, recorder));
+  EXPECT_EQ(Slurp(streamed), Slurp(legacy));
+  std::remove(legacy.c_str());
+  std::remove(streamed.c_str());
+}
+
+TEST(FctSinkTest, OnlineStatsMatchRetainedReduction) {
+  std::mt19937_64 rng(9);
+  FctSinkOptions options;  // no CSV: stats-only sink
+  options.bucket_edges = {10'000, 100'000, 1'000'000};
+  FctSink sink(options);
+  std::vector<double> slowdowns;
+  for (FlowId id = 1; id <= 20'000; ++id) {
+    const std::uint64_t size = 500 + (rng() % 2'000'000);
+    const Time ideal = Microseconds(5) + static_cast<Time>(rng() % 50'000);
+    const Time fct =
+        ideal + static_cast<Time>(rng() % (id % 97 == 0 ? 5'000'000 : 20'000));
+    sink.Append(MakeSpec(id, size, 0, ideal), fct);
+    slowdowns.push_back(static_cast<double>(fct) /
+                        static_cast<double>(ideal));
+  }
+  EXPECT_EQ(sink.count(), slowdowns.size());
+  EXPECT_NEAR(sink.mean_slowdown(), Mean(slowdowns), 1e-9);
+  std::sort(slowdowns.begin(), slowdowns.end());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const double exact = PercentileSorted(slowdowns, p);
+    EXPECT_NEAR(sink.SlowdownQuantile(p), exact,
+                2.0 * QuantileSketch::kDefaultAlpha * exact + 1e-9)
+        << "p=" << p;
+  }
+  // Bucket rows exist and their counts cover every sample exactly once.
+  const std::vector<BucketStats> buckets = sink.BucketedApprox();
+  ASSERT_EQ(buckets.size(), options.bucket_edges.size());
+  std::size_t covered = 0;
+  for (const BucketStats& b : buckets) covered += b.count;
+  EXPECT_EQ(covered, slowdowns.size());
+}
+
+}  // namespace
+}  // namespace fncc

@@ -21,12 +21,16 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exec/thread_pool.hpp"
 #include "exec/wall_timer.hpp"
 #include "harness/experiment_runner.hpp"
+#include "stats/fct_sink.hpp"
 
 namespace {
 
@@ -69,13 +73,10 @@ void PrintPointSummary(std::size_t index, const ExperimentSpec& point,
               r.wall_time_seconds);
 }
 
-void PrintBucketTable(const std::string& which,
-                      const ExperimentPointResult& r) {
-  // `which` was validated by ValidateSpec against the same dispatch.
-  const std::vector<std::uint64_t> edges = BucketEdgesByName(which);
+void PrintBucketRows(const std::vector<BucketStats>& rows) {
   std::printf("%12s %8s %8s %8s %8s %8s\n", "size<=", "count", "avg", "p50",
               "p95", "p99");
-  for (const BucketStats& b : r.fct.Bucketed(edges)) {
+  for (const BucketStats& b : rows) {
     if (b.count == 0) continue;
     std::printf("%12llu %8zu %8.2f %8.2f %8.2f %8.2f\n",
                 static_cast<unsigned long long>(b.max_size_bytes), b.count,
@@ -83,10 +84,49 @@ void PrintBucketTable(const std::string& which,
   }
 }
 
+void PrintBucketTable(const std::string& which,
+                      const ExperimentPointResult& r) {
+  // `which` was validated by ValidateSpec against the same dispatch.
+  PrintBucketRows(r.fct.Bucketed(BucketEdgesByName(which)));
+}
+
+/// The streamed point's summary: headline quantiles from the sink's
+/// online sketches (exact records were never retained) and, when
+/// output.buckets asks for one, the sketch-approximate bucket table.
+void PrintStreamedSummary(const FctSink& sink, const std::string& buckets) {
+  if (sink.count() == 0) return;
+  std::printf(
+      "  slowdown mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  p99.9 %.2f  "
+      "(sketch, n=%llu)\n",
+      sink.mean_slowdown(), sink.SlowdownQuantile(50),
+      sink.SlowdownQuantile(90), sink.SlowdownQuantile(99),
+      sink.SlowdownQuantile(99.9),
+      static_cast<unsigned long long>(sink.count()));
+  if (!buckets.empty()) PrintBucketRows(sink.BucketedApprox());
+}
+
 /// One tiny spec per registered topology x workload pair: every pair must
 /// build and run end to end. The ctest tier1 smoke and the CI job call
 /// this; a newly registered topology or workload is covered automatically.
+/// The "trace" workload needs an input file: a tiny valid trace between
+/// hosts 0 and 1 (present in every registered topology), written to the
+/// temp dir once per smoke run.
+std::string WriteSmokeTrace() {
+  const std::filesystem::path path =
+      std::filesystem::temp_directory_path() / "fncc_smoke_trace.csv";
+  std::ofstream out(path);
+  out << "start_us,src,dst,bytes\n";
+  for (int i = 0; i < 12; ++i) {
+    out << i * 5 << "," << (i % 2) << "," << ((i + 1) % 2) << ",20000\n";
+  }
+  if (!out.good()) {
+    throw SpecError("smoke: cannot write " + path.string());
+  }
+  return path.string();
+}
+
 int RunSmoke(int threads) {
+  const std::string trace_path = WriteSmokeTrace();
   std::vector<ExperimentSpec> specs;
   for (const std::string& topo : TopologyRegistry::Names()) {
     for (const std::string& wl : WorkloadRegistry::Names()) {
@@ -106,6 +146,7 @@ int RunSmoke(int threads) {
       spec.wl.size_bytes = 20'000;
       spec.wl.groups = (topo == "chain_merge") ? 1 : 2;
       spec.cdf = "fb_hadoop";
+      if (wl == "trace") spec.wl.trace_file = trace_path;
       if (wl == "elephants") {
         spec.run.duration = Microseconds(50);
       } else {
@@ -115,6 +156,25 @@ int RunSmoke(int threads) {
       ValidateSpec(spec);
       specs.push_back(std::move(spec));
     }
+  }
+  // The streaming launch path at smoke scale: a poisson dumbbell pulled
+  // through the bounded lookahead window (must byte-match the eager run —
+  // the harness tests assert that; here it just has to complete).
+  {
+    ExperimentSpec spec;
+    spec.name = "dumbbell-poisson-streaming";
+    spec.topology = "dumbbell";
+    spec.workload = "poisson";
+    spec.topo.num_senders = 3;
+    spec.wl.num_flows = 64;
+    spec.wl.load = 0.5;
+    spec.cdf = "fb_hadoop";
+    spec.run.duration = 0;
+    spec.run.monitor = false;
+    spec.run.launch_window = Microseconds(100);
+    spec.run.max_sim_time = 50 * kMillisecond;
+    ValidateSpec(spec);
+    specs.push_back(std::move(spec));
   }
   // The PDES showcase at smoke scale: the specs/fat_tree_k16.exp point
   // with a short horizon, run through the auto domain partition (k+1
@@ -229,14 +289,50 @@ int main(int argc, char** argv) {
 
     std::printf("%s: %zu point(s) on %d thread(s)\n", spec.name.c_str(),
                 points.size(), threads);
+
+    // Streaming FCT collection: one sink per point, opened on the exact
+    // CSV paths WriteExperimentOutputs will record, writing rows as flows
+    // complete. The output directory must exist before the run starts.
+    std::vector<std::unique_ptr<FctSink>> sinks;
+    std::vector<FctSink*> sink_ptrs;
+    if (spec.output.stream_fct) {
+      const std::filesystem::path dir =
+          spec.output.dir.empty() ? "." : spec.output.dir;
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        throw SpecError("cannot create output.dir '" + dir.string() +
+                        "': " + ec.message());
+      }
+      const std::vector<std::string> csv_paths =
+          PointFctCsvPaths(spec, points);
+      for (const std::string& path : csv_paths) {
+        FctSinkOptions options;
+        options.csv_path = path;
+        if (!spec.output.buckets.empty()) {
+          options.bucket_edges = BucketEdgesByName(spec.output.buckets);
+        }
+        sinks.push_back(std::make_unique<FctSink>(std::move(options)));
+        sink_ptrs.push_back(sinks.back().get());
+      }
+    }
+
     const WallTimer timer;
     const std::vector<ExperimentPointResult> results =
-        RunExperimentPoints(points, threads);
+        RunExperimentPoints(points, threads, sink_ptrs);
     const double wall = timer.Seconds();
+
+    for (auto& sink : sinks) {
+      if (!sink->Finish()) {
+        throw SpecError("failed to write " + sink->csv_path());
+      }
+    }
 
     for (std::size_t i = 0; i < results.size(); ++i) {
       PrintPointSummary(i, points[i], results[i]);
-      if (!spec.output.buckets.empty() && results[i].fct.count() > 0) {
+      if (spec.output.stream_fct) {
+        PrintStreamedSummary(*sinks[i], spec.output.buckets);
+      } else if (!spec.output.buckets.empty() && results[i].fct.count() > 0) {
         PrintBucketTable(spec.output.buckets, results[i]);
       }
     }
