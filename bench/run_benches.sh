@@ -178,6 +178,12 @@ fi
 PDES_BENCH="$BUILD_DIR/bench_fatree_pdes"
 PDES_OUT="${3:-BENCH_fatree_pdes.json}"
 if [ -x "$PDES_BENCH" ]; then
+  # min_warmup_time: the fat-tree entries take ~1s per iteration, so
+  # min_time is satisfied by the FIRST iteration -- without a warm-up the
+  # first benchmark in the binary records cold (page faults, allocator
+  # growth) while the serial reference at the end runs warm, skewing the
+  # gated /1 ratio by >15%. The flag keeps benchmark names stable, unlike
+  # the ->MinWarmUpTime() builder which renames entries.
   "$PDES_BENCH" \
     --benchmark_out="$PDES_OUT" \
     --benchmark_out_format=json \
@@ -185,7 +191,8 @@ if [ -x "$PDES_BENCH" ]; then
     --benchmark_context=fncc_threads="$FNCC_THREADS" \
     --benchmark_context=fncc_hw_threads="$HW_THREADS" \
     --benchmark_context=fncc_debug_bench_lib_ack="$LIB_ACK" \
-    --benchmark_min_time=0.2
+    --benchmark_min_time=0.2 \
+    --benchmark_min_warmup_time=0.5
 
   echo ""
   echo "wrote $PDES_OUT (fncc_threads=$FNCC_THREADS, hw_threads=$HW_THREADS)"
@@ -216,6 +223,15 @@ for d in (2, 4, 8):
 hw = data.get("context", {}).get("fncc_hw_threads", "?")
 print(f"  (recorded with fncc_hw_threads={hw}; speedup needs >= domains "
       f"hardware threads)")
+
+print("== window coordination: barrier cycle vs legacy Submit+Wait pair ==")
+for n in (2, 4):
+    new = by_name.get(f"BM_WindowBarrier/{n}/real_time")
+    old = by_name.get(f"BM_LegacyWindowPair/{n}/real_time")
+    if new and old:
+        print(f"  participants={n}        barrier {new['real_time']:8.0f} ns"
+              f"  vs pool pair {old['real_time']:8.0f} ns  "
+              f"-> {old['real_time']/new['real_time']:.2f}x (gated)")
 EOF
   fi
 else

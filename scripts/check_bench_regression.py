@@ -209,8 +209,11 @@ def main() -> int:
     for pattern, legacy_pattern in pairs:
         base = speedup_ratios(base_ips, pattern, legacy_pattern)
         cur = speedup_ratios(cur_ips, pattern, legacy_pattern)
+        # Arg suffixes may carry modifier tails ('/2/real_time' from
+        # UseRealTime benchmarks like BM_WindowBarrier); sort on the
+        # leading numeric arg only.
         common = sorted(set(base) & set(cur),
-                        key=lambda a: int(a.lstrip("/")))
+                        key=lambda a: int(a.lstrip("/").split("/")[0]))
         if not common:
             print(f"error: no {pattern} + {legacy_pattern} arg pairs shared "
                   f"between {args.baseline} and {args.current}",

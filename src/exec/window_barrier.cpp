@@ -1,0 +1,39 @@
+#include "exec/window_barrier.hpp"
+
+namespace fncc {
+
+namespace {
+inline void SpinPause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+}  // namespace
+
+void WindowBarrier::Release() {
+  arrived_.store(0, std::memory_order_relaxed);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  generation_.notify_all();
+}
+
+WindowBarrier::Arrival WindowBarrier::WaitForRelease(std::uint32_t gen) {
+  // Brief spin first: on a window cadence of microseconds the release
+  // usually lands before a futex round-trip would have. Kept short so an
+  // oversubscribed core (more participants than hardware threads) wastes
+  // at most a few hundred cycles before yielding to the thread it waits on.
+  constexpr int kSpinIters = 256;
+  for (int i = 0; i < kSpinIters; ++i) {
+    if (generation_.load(std::memory_order_acquire) != gen) {
+      return Arrival::kSpun;
+    }
+    SpinPause();
+  }
+  while (generation_.load(std::memory_order_acquire) == gen) {
+    generation_.wait(gen, std::memory_order_acquire);
+  }
+  return Arrival::kSlept;
+}
+
+}  // namespace fncc

@@ -1,6 +1,8 @@
 #include "harness/experiment_runner.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -61,6 +63,28 @@ bool CompletionBefore(const CompletionRecord& a, const CompletionRecord& b) {
 /// drained completions release FlowTable slots, and recycled FlowIds
 /// would break the cross-lane merge's native tie-break (which orders by
 /// id); one lane makes tally push order the canonical order outright.
+/// Window telemetry opt-in: the spec key, or FNCC_PDES_STATS set to
+/// anything but "" / "0" in the environment.
+bool PdesStatsRequested(const ExperimentSpec& point) {
+  if (point.output.pdes_stats) return true;
+  const char* env = std::getenv("FNCC_PDES_STATS");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+/// Schedules `qp`'s abort at `stop` — routed through the flow table's
+/// generation check rather than a raw QP pointer, so a slot released (and
+/// possibly recycled) before the timer fires makes the abort a no-op
+/// instead of a dangling call. This is what lets streaming injection
+/// (which recycles slots per completion) carry flows with finite stop
+/// times. Must run under the source host's lane scope.
+void ScheduleFlowAbort(Simulator& sim, FlowTable* table, Time stop,
+                       const SenderQp* qp) {
+  sim.ScheduleAt(stop, [table, id = qp->spec().id] {
+    FlowSlot* slot = table->Lookup(id);  // null when stale or released
+    if (slot != nullptr && slot->qp() != nullptr) slot->qp()->Abort();
+  });
+}
+
 int ResolveDomainCount(const ExperimentSpec& point,
                        const TopologyParams& topo_params) {
   const ScenarioConfig& sc = point.scenario;
@@ -136,9 +160,10 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
     SenderQp* qp = nullptr;
   };
   std::unordered_map<FlowId, LiveFlow> live;
+  // The fabric-shared flow table (every host holds the same one); abort
+  // timers are routed through its generation check in both launch paths.
   FlowTable* flow_table =
-      streaming ? &static_cast<Host*>(net.hosts().front())->flow_table()
-                : nullptr;
+      &static_cast<Host*>(net.hosts().front())->flow_table();
 
   // Drains every tallied completion to the output (sink or recorder).
   // Chunks partition time — RunUntil(T) processes every event at t <= T,
@@ -199,7 +224,7 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
     SenderQp* qp = LaunchFlow(net, sc, gf.spec);
     qps.push_back(qp);
     if (gf.stop < kTimeInfinity) {
-      sim.ScheduleAt(gf.stop, [qp] { qp->Abort(); });
+      ScheduleFlowAbort(sim, flow_table, gf.stop, qp);
     }
   }
 
@@ -259,9 +284,13 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
     }
   }
 
-  // DomainScheduler picks the serial reference path (plain RunUntil)
-  // whenever the point has a single lane or a single thread.
-  DomainScheduler sched(&sim, intra_threads);
+  // DomainScheduler spawns its persistent lane workers once here; they
+  // stay parked at the window barrier across every RunUntil chunk below.
+  // Single-lane (or single-thread, untelemetered) points pick the serial
+  // reference path instead.
+  const bool pdes_stats_on = PdesStatsRequested(point);
+  DomainScheduler sched(&sim, intra_threads,
+                        pdes_stats_on ? &result.pdes_stats : nullptr);
   if (streaming) {
     // Streaming injection: launch everything starting inside one lookahead
     // window of the clock, run to the window edge, drain (and release) the
@@ -291,16 +320,17 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
               "streaming launch needs sized flows (duration-budget flows "
               "with size_bytes = 0 require the eager path)");
         }
-        if (next_flow.stop < kTimeInfinity) {
-          throw SpecError(
-              "streaming launch does not support flows with stop times "
-              "(completed slots are recycled; an outstanding abort timer "
-              "would dangle)");
-        }
         ++launched;
         Simulator::ActiveLaneScope scope(
             &sim, net.node(next_flow.spec.src)->domain());
         SenderQp* qp = LaunchFlow(net, sc, next_flow.spec);
+        if (next_flow.stop < kTimeInfinity) {
+          // Safe with recycled slots: the timer holds the FlowId, and the
+          // table's generation check turns a fired timer for a completed
+          // (released) flow into a no-op — even if the slot already hosts
+          // a new flow.
+          ScheduleFlowAbort(sim, flow_table, next_flow.stop, qp);
+        }
         live.emplace(qp->spec().id,
                      LiveFlow{static_cast<FlowId>(launched), qp});
         have_next = source->Next(&next_flow);
@@ -372,6 +402,7 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
     }
   }
   result.events_processed = sim.events_processed();
+  result.pdes_windows = sim.windows_executed();
   // Pool telemetry sums over every lane's arena. Unlike the counters
   // above it is NOT a partition invariant (which lane's arena services a
   // packet depends on the partition), so equivalence comparisons must
@@ -495,6 +526,46 @@ std::vector<std::string> SpecLabels(const std::vector<ExperimentSpec>& points) {
   return labels;
 }
 
+template <typename Container>
+void WriteJsonUintArray(std::ostream& out, const char* key,
+                        const Container& values, bool last = false) {
+  out << "  \"" << key << "\": [";
+  bool first = true;
+  for (const auto v : values) {
+    out << (first ? "" : ", ") << v;
+    first = false;
+  }
+  out << "]" << (last ? "" : ",") << "\n";
+}
+
+/// The per-point window-telemetry dump (`output.pdes_stats`). Kept out of
+/// the manifest's file map on purpose: thread attribution and barrier
+/// waits are machine-variant, and the manifest must stay bit-identical
+/// across machines and thread counts.
+void WritePdesStatsJson(const std::string& path, const std::string& name,
+                        const ExperimentPointResult& r) {
+  std::ofstream out(path);
+  if (!out) throw SpecError("failed to write " + path);
+  const PdesStats& s = r.pdes_stats;
+  out << "{\n";
+  out << "  \"name\": \"" << JsonEscape(name) << "\",\n";
+  out << "  \"label\": \"" << JsonEscape(r.label) << "\",\n";
+  out << "  \"lanes\": " << s.lanes << ",\n";
+  out << "  \"participants\": " << s.participants << ",\n";
+  out << "  \"windows\": " << s.windows << ",\n";
+  out << "  \"events\": " << s.events << ",\n";
+  WriteJsonUintArray(out, "lane_windows", s.lane_windows);
+  WriteJsonUintArray(out, "lane_events", s.lane_events);
+  WriteJsonUintArray(out, "events_per_window_log2", s.events_per_window_log2);
+  WriteJsonUintArray(out, "thread_lane_windows", s.thread_lane_windows);
+  WriteJsonUintArray(out, "thread_steals", s.thread_steals);
+  WriteJsonUintArray(out, "thread_barrier_spins", s.thread_barrier_spins);
+  WriteJsonUintArray(out, "thread_barrier_sleeps", s.thread_barrier_sleeps,
+                     /*last=*/true);
+  out << "}\n";
+  if (!out.good()) throw SpecError("failed to write " + path);
+}
+
 }  // namespace
 
 std::vector<std::string> PointFctCsvPaths(
@@ -561,6 +632,12 @@ ExperimentArtifacts WriteExperimentOutputs(
         throw SpecError("failed to write " + path);
       }
       series_files[i] = path;
+      artifacts.files.push_back(path);
+    }
+    if (results[i].pdes_stats.participants > 0) {
+      const std::string path =
+          (dir / InsertTag(spec.name + "_pdes_stats.json", tags[i])).string();
+      WritePdesStatsJson(path, spec.name, results[i]);
       artifacts.files.push_back(path);
     }
   }

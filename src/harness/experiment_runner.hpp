@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/pdes_stats.hpp"
 #include "harness/experiment_spec.hpp"
 #include "stats/fct.hpp"
 #include "stats/timeseries.hpp"
@@ -59,6 +60,19 @@ struct ExperimentPointResult {
   // packet services.
   std::uint64_t pool_packets_created = 0;
   std::uint64_t pool_packets_acquired = 0;
+
+  /// PDES windows the point executed (0 for unpartitioned points).
+  /// Deterministic at a fixed partitioning — the serial and threaded
+  /// engines run the identical window sequence — but obviously varies with
+  /// the domain count, so it stays out of manifests and equivalence
+  /// assertions (it feeds the windows/sec bench counter).
+  std::uint64_t pdes_windows = 0;
+
+  /// Window telemetry, filled only when the point ran with
+  /// output.pdes_stats (or FNCC_PDES_STATS=1); see exec/pdes_stats.hpp for
+  /// the machine-variant contract. pdes_stats.participants == 0 means
+  /// telemetry was off.
+  PdesStats pdes_stats;
 
   /// Host wall-clock seconds (telemetry only; excluded from the
   /// determinism guarantee and equivalence comparisons).

@@ -320,6 +320,7 @@ void ApplyKey(ExperimentSpec& spec, const std::string& key,
   if (key == "output.manifest") { spec.output.manifest = value; return; }
   if (key == "output.buckets") { spec.output.buckets = value; return; }
   if (key == "output.stream_fct") { spec.output.stream_fct = ToBool(key, value); return; }
+  if (key == "output.pdes_stats") { spec.output.pdes_stats = ToBool(key, value); return; }
   // clang-format on
 
   throw SpecError("unknown key '" + key + "'");
@@ -765,6 +766,9 @@ std::string SpecToText(const ExperimentSpec& spec) {
   }
   if (spec.output.stream_fct) {
     out << "stream_fct = true\n";
+  }
+  if (spec.output.pdes_stats) {
+    out << "pdes_stats = true\n";
   }
   return out.str();
 }

@@ -100,6 +100,12 @@ struct OutputSpec {
   /// list). The CSV bytes are identical to the buffered path; the printed
   /// bucket table switches to sketch-approximate percentiles.
   bool stream_fct = false;
+  /// Collect PDES window telemetry (exec/pdes_stats.hpp) and write it as a
+  /// per-point `<name>_pdes_stats.json`. Machine-variant by contract
+  /// (thread attribution, barrier waits), so the file is never listed in
+  /// the manifest and never part of equivalence assertions. FNCC_PDES_STATS=1
+  /// in the environment enables it without touching the spec.
+  bool pdes_stats = false;
 };
 
 struct ExperimentSpec {

@@ -39,7 +39,7 @@ EgressPort::EgressPort(EgressPort&& other) noexcept
          "EgressPort moved with deliveries in flight");
   // Mailboxes register `this` with the simulator, so a port must not move
   // after SetCrossLane — Network::SealDomains runs after all wiring.
-  assert(!cross_lane_ && other.outbox_.empty() &&
+  assert(!cross_lane_ && other.outbox_[0].empty() && other.outbox_[1].empty() &&
          "EgressPort moved after cross-lane sealing");
 }
 
@@ -79,7 +79,9 @@ void EgressPort::SetCrossLane(int peer_lane) {
   // and warms peer (foreign-lane) state — both are off-limits mid-window.
   prefetch_ = nullptr;
   lookahead_ = 0;
-  sim_->RegisterMailbox(peer_lane, this, &EgressPort::DrainHandoffsThunk);
+  sim_->RegisterMailbox(peer_lane, this, &EgressPort::DrainHandoffsThunk,
+                        &EgressPort::PendingHandoffMinTimeThunk,
+                        &EgressPort::PendingHandoffCountThunk);
 }
 
 void EgressPort::Enqueue(PacketPtr pkt) {
@@ -205,10 +207,15 @@ void EgressPort::FinishTransmit() {
   const std::uint64_t order = order_base_ | order_count_++;
   assert((order_count_ >> 32) == 0 && "per-edge delivery counter overflow");
   if (cross_lane_) {
-    // Foreign-lane peer: buffer the handoff for the window barrier and
-    // return the original to this lane's arena. No event is scheduled here
-    // — the destination lane schedules (and counts) the delivery.
-    outbox_.push_back(Handoff{sim_->Now() + prop_delay_, order, *raw});
+    // Foreign-lane peer: buffer the handoff in the active outbox phase —
+    // sealed at this window's end barrier, injected by the destination
+    // lane during the next window — and return the original to this lane's
+    // arena. No event is scheduled here; the destination lane schedules
+    // (and counts) the delivery.
+    const int phase = sim_->outbox_phase();
+    const Time t = sim_->Now() + prop_delay_;
+    outbox_[phase].push_back(Handoff{t, order, *raw});
+    if (t < outbox_min_[phase]) outbox_min_[phase] = t;
     WrapRawPacket(raw);
   } else if (lookahead_ > 0) {
     // Prefetching peer: thread the packet onto the in-flight chain (its
@@ -248,9 +255,23 @@ void EgressPort::DrainHandoffsThunk(void* port) {
   static_cast<EgressPort*>(port)->DrainHandoffs();
 }
 
+Time EgressPort::PendingHandoffMinTimeThunk(void* port) {
+  return static_cast<EgressPort*>(port)->PendingHandoffMinTime();
+}
+
+std::size_t EgressPort::PendingHandoffCountThunk(void* port) {
+  return static_cast<EgressPort*>(port)->PendingHandoffCount();
+}
+
 void EgressPort::DrainHandoffs() {
-  if (outbox_.empty()) return;
-  for (const Handoff& h : outbox_) {
+  // The sealed buffer: the phase flipped at the barrier after the window
+  // that filled it, so nobody appends here while we read. The source lane
+  // may simultaneously be appending this window's sends to the other
+  // (active) buffer.
+  const int sealed = sim_->outbox_phase() ^ 1;
+  std::vector<Handoff>& box = outbox_[sealed];
+  if (box.empty()) return;
+  for (const Handoff& h : box) {
     // Re-materialize in the destination lane's arena (the active lane
     // here): acquire, copy every field, then restore the handle plumbing
     // the struct copy clobbered — the acquiring pool's reclaimer and the
@@ -268,7 +289,8 @@ void EgressPort::DrainHandoffs() {
                    .p1 = raw,
                    .arg = static_cast<std::uint64_t>(peer_.port)});
   }
-  outbox_.clear();  // keeps capacity; the outbox stays allocation-warm
+  box.clear();  // keeps capacity; the outbox stays allocation-warm
+  outbox_min_[sealed] = kTimeInfinity;
 }
 
 }  // namespace fncc

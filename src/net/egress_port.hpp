@@ -40,6 +40,7 @@
 // (t, order) sequence.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -87,9 +88,21 @@ class EgressPort {
   void SetCrossLane(int peer_lane);
   [[nodiscard]] bool cross_lane() const { return cross_lane_; }
 
-  /// Injects buffered handoffs into the peer lane's queue. Called by the
-  /// simulator at window barriers, under the destination lane's scope.
+  /// Injects the sealed (previous-window) outbox buffer into the peer
+  /// lane's queue. Called by the simulator inside the destination lane's
+  /// window, under that lane's scope — safe against concurrent appends,
+  /// which target the other (active) buffer.
   void DrainHandoffs();
+
+  /// Earliest buffered handoff delivery time across both outbox buffers
+  /// (kTimeInfinity if empty), and the buffered handoff count — the
+  /// mailbox hooks behind Simulator::NextEventTime / events_pending.
+  [[nodiscard]] Time PendingHandoffMinTime() const {
+    return outbox_min_[0] < outbox_min_[1] ? outbox_min_[0] : outbox_min_[1];
+  }
+  [[nodiscard]] std::size_t PendingHandoffCount() const {
+    return outbox_[0].size() + outbox_[1].size();
+  }
 
   /// Queues a data-plane packet (data/ACK/CNP) for transmission.
   void Enqueue(PacketPtr pkt);
@@ -174,6 +187,8 @@ class EgressPort {
   static void DeliverEvent(void* node, void* pkt, std::uint64_t port);
   static void DropPacketEvent(void* unused, void* pkt, std::uint64_t arg);
   static void DrainHandoffsThunk(void* port);
+  static Time PendingHandoffMinTimeThunk(void* port);
+  static std::size_t PendingHandoffCountThunk(void* port);
   /// Chain variant: unlinks the head of the in-flight chain, tops up the
   /// prefetch window, then delivers inline — same instant, same order as
   /// the direct path.
@@ -214,7 +229,14 @@ class EgressPort {
     std::uint64_t order;  // this edge's order word for the packet
     Packet pkt;
   };
-  std::vector<Handoff> outbox_;
+  /// Double-buffered by the simulator's window phase: sends of window w
+  /// append to outbox_[phase] while the destination lane drains the sealed
+  /// outbox_[phase ^ 1] (window w-1's sends) — run and drain share one
+  /// window with no barrier between them. outbox_min_ tracks each buffer's
+  /// earliest delivery time so Simulator::NextEventTime can bound the next
+  /// window by handoffs not yet in any queue.
+  std::vector<Handoff> outbox_[2];
+  Time outbox_min_[2] = {kTimeInfinity, kTimeInfinity};
   bool cross_lane_ = false;
   int peer_lane_ = 0;
 

@@ -88,10 +88,12 @@ void Simulator::Partition(int lanes) {
   t_active_sim_ = this;
 }
 
-void Simulator::RegisterMailbox(int dst_lane, void* ctx, MailboxDrainFn drain) {
+void Simulator::RegisterMailbox(int dst_lane, void* ctx, MailboxDrainFn drain,
+                                MailboxMinTimeFn min_time,
+                                MailboxPendingFn pending) {
   assert(multi_ && dst_lane >= 0 && dst_lane < num_lanes());
   mailboxes_[static_cast<std::size_t>(dst_lane)].push_back(
-      Mailbox{ctx, drain});
+      Mailbox{ctx, drain, min_time, pending});
 }
 
 void Simulator::Run() {
@@ -136,6 +138,18 @@ Time Simulator::NextEventTime() {
     const Time t = l->queue.NextTime();
     if (t < next) next = t;
   }
+  // Buffered cross-lane handoffs bound the next window too: the window
+  // starting at `next` drains them into their lanes before running, so a
+  // buffered delivery earlier than every queued event must open (and size)
+  // the window exactly as if it were already queued. This is what makes
+  // the fused drain-then-run window sequence identical to the historical
+  // run-then-drain one.
+  for (const auto& lane_boxes : mailboxes_) {
+    for (const Mailbox& m : lane_boxes) {
+      const Time t = m.min_time(m.ctx);
+      if (t < next) next = t;
+    }
+  }
   return next;
 }
 
@@ -178,17 +192,26 @@ void Simulator::SettleLanes(Time t) {
   }
 }
 
-// Serial reference implementation of the window protocol; the threaded
-// driver in exec/domain_scheduler.cpp runs the same phases with barriers in
-// place of the sequential loops, so both produce identical pop orders.
+// Serial reference implementation of the window protocol; the persistent
+// worker engine in exec/domain_scheduler.cpp runs the same fused windows
+// with a barrier in place of the sequential loop, so both produce
+// identical pop orders. Each window drains the previous window's sealed
+// handoffs (per lane, before that lane runs), runs every lane to `close`,
+// then flips the outbox phase to seal this window's sends. A Stop() lands
+// after the flip — sends stay sealed, and because NextEventTime counts
+// them, a later run resumes exactly where an unstopped run would have.
 void Simulator::RunMulti(Time bound, bool settle) {
   for (;;) {
     const Time start = NextEventTime();
     if (start == kTimeInfinity || start > bound) break;
     const Time close = WindowClose(start, bound);
-    for (Lane* l : lanes_) RunLaneWindow(l->id, close);
+    ++windows_executed_;
+    for (Lane* l : lanes_) {
+      DrainLaneMailboxes(l->id);
+      RunLaneWindow(l->id, close);
+    }
+    FlipOutboxPhase();
     if (stop_requested()) break;
-    for (Lane* l : lanes_) DrainLaneMailboxes(l->id);
   }
   if (settle) {
     SettleLanes(bound);

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -151,9 +152,16 @@ class Simulator {
     for (const Lane* l : lanes_) n += l->events_processed;
     return n;
   }
+  /// Pending work across all lanes: queued events plus cross-lane handoffs
+  /// still buffered in port outboxes (each becomes an event at the next
+  /// window's drain — callers polling for quiescence between RunUntil
+  /// calls must see them).
   [[nodiscard]] std::size_t events_pending() const {
     std::size_t n = 0;
     for (const Lane* l : lanes_) n += l->queue.size();
+    for (const auto& lane_boxes : mailboxes_) {
+      for (const Mailbox& m : lane_boxes) n += m.pending(m.ctx);
+    }
     return n;
   }
 
@@ -247,16 +255,33 @@ class Simulator {
   [[nodiscard]] Time domain_lookahead() const { return lookahead_; }
 
   /// Registers a cross-lane mailbox: `drain(ctx)` runs under lane
-  /// `dst_lane`'s scope at every window barrier and moves buffered handoffs
-  /// into that lane's queue (EgressPort::DrainHandoffs). Register after
-  /// wiring completes — `ctx` must be a stable pointer.
+  /// `dst_lane`'s scope at every window barrier and moves the *sealed*
+  /// outbox buffer's handoffs into that lane's queue
+  /// (EgressPort::DrainHandoffs). `min_time(ctx)` reports the earliest
+  /// buffered delivery time (kTimeInfinity if none) so NextEventTime can
+  /// bound the next window by handoffs that are not yet in any queue;
+  /// `pending(ctx)` reports the buffered handoff count for
+  /// events_pending(). Register after wiring completes — `ctx` must be a
+  /// stable pointer.
   using MailboxDrainFn = void (*)(void* ctx);
-  void RegisterMailbox(int dst_lane, void* ctx, MailboxDrainFn drain);
+  using MailboxMinTimeFn = Time (*)(void* ctx);
+  using MailboxPendingFn = std::size_t (*)(void* ctx);
+  void RegisterMailbox(int dst_lane, void* ctx, MailboxDrainFn drain,
+                       MailboxMinTimeFn min_time, MailboxPendingFn pending);
 
   // Window protocol primitives, shared by the serial multi-lane loop here
-  // and the threaded exec/DomainScheduler. Sequence per window: all lanes
-  // RunLaneWindow(close), barrier, all lanes DrainLaneMailboxes, barrier.
-  /// Earliest pending event time across all lanes; kTimeInfinity if none.
+  // and the persistent-worker exec/DomainScheduler. The run and drain
+  // phases are fused behind one barrier per window by double-buffering the
+  // port outboxes: sends of window w append to the active buffer, the
+  // phase flips at the window's end barrier, and window w+1 drains the
+  // now-sealed buffer before running its events — no lane ever reads a
+  // buffer another lane is still appending to. Sequence per window:
+  // [prologue, single-threaded] flip phase, pick close; [work, per lane]
+  // DrainLaneMailboxes then RunLaneWindow(close); barrier.
+  /// Earliest pending work time across all lanes: queued events plus
+  /// buffered cross-lane handoffs (which window w+1 injects before running,
+  /// so they bound its start exactly as queued events do). kTimeInfinity
+  /// if fully drained.
   [[nodiscard]] Time NextEventTime();
   /// Exclusive upper bound of the window starting at `start`, bounded
   /// inclusively by `limit`: min(start + lookahead, limit + 1).
@@ -264,9 +289,10 @@ class Simulator {
   /// Runs lane `id`'s events with t < close under its scope. Safe to call
   /// concurrently for distinct lanes.
   void RunLaneWindow(int id, Time close);
-  /// Runs lane `id`'s registered mailbox drains under its scope. Safe for
-  /// distinct lanes concurrently, but must be barrier-separated from the
-  /// RunLaneWindow calls that fill the mailboxes.
+  /// Runs lane `id`'s registered mailbox drains under its scope, injecting
+  /// the sealed (previous-phase) outbox buffers. Safe for distinct lanes
+  /// concurrently — and, thanks to the double buffering, safe to run while
+  /// other lanes execute their windows (they append to the active phase).
   void DrainLaneMailboxes(int id);
   /// Advances every lane clock to `t` (RunUntil semantics); no-op if
   /// stopped.
@@ -274,6 +300,30 @@ class Simulator {
   void ClearStop() { stopped_.store(false, std::memory_order_relaxed); }
   [[nodiscard]] bool stop_requested() const {
     return stopped_.load(std::memory_order_relaxed);
+  }
+
+  /// Outbox double-buffer phase: cross-lane sends append to buffer
+  /// [outbox_phase()], drains read buffer [outbox_phase() ^ 1]. Flipped
+  /// once per window inside the single-threaded window prologue (the
+  /// barrier completion, or the serial loop's end-of-window step) — the
+  /// barrier's ordering is what publishes the flip to every lane.
+  [[nodiscard]] int outbox_phase() const { return outbox_phase_; }
+  void FlipOutboxPhase() { outbox_phase_ ^= 1; }
+
+  /// Count of PDES windows executed (serial and threaded engines count
+  /// identically: the window start sequence is a deterministic function of
+  /// the event stream). Deterministic at a fixed partitioning; feeds the
+  /// windows/sec bench counter and `output.pdes_stats`.
+  [[nodiscard]] std::uint64_t windows_executed() const {
+    return windows_executed_;
+  }
+  /// Called once per window by the driving engine's prologue.
+  void NoteWindowExecuted() { ++windows_executed_; }
+
+  /// Per-lane slice of events_processed() — the telemetry layer snapshots
+  /// it each window to attribute work to lanes.
+  [[nodiscard]] std::uint64_t lane_events_processed(int id) const {
+    return lanes_[static_cast<std::size_t>(id)]->events_processed;
   }
 
  private:
@@ -303,8 +353,12 @@ class Simulator {
   struct Mailbox {
     void* ctx;
     MailboxDrainFn drain;
+    MailboxMinTimeFn min_time;
+    MailboxPendingFn pending;
   };
   std::vector<std::vector<Mailbox>> mailboxes_;  // indexed by dst lane
+  int outbox_phase_ = 0;
+  std::uint64_t windows_executed_ = 0;
 
   /// The calling thread's active lane / simulator (see ActiveLaneScope).
   /// Only consulted when multi_ — unpartitioned simulators never touch it.

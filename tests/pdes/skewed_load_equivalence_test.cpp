@@ -1,0 +1,121 @@
+// Skewed-load domain equivalence: the persistent window engine's work
+// stealing (whole-lane claims off a shared ticket) must be invisible in
+// every simulation output even when the partition is maximally
+// unbalanced. An incast concentrates nearly all events in the victim's
+// lane — the other lanes' workers finish instantly and steal the hot
+// lane's mailbox drains and windows — so any ordering leak in the
+// claim/drain/run sequence shows up here first. Reference = the serial
+// single-lane run; exec_domains {2, 8} x threads {1, 4} must reproduce
+// its FCT records and counters bit for bit.
+//
+// (tests/exec has the uniform-load matrix; this dir is tier-1, so the
+// skewed contract also gates `ctest -L tier1`.)
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "harness/experiment_runner.hpp"
+#include "harness/experiment_spec.hpp"
+
+namespace fncc {
+namespace {
+
+::testing::AssertionResult SameBits(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bit pattern";
+}
+
+ExperimentPointResult RunPoint(const char* spec_text, CcMode mode,
+                               int domains, int threads) {
+  ExperimentSpec spec = ParseSpecText(spec_text);
+  spec.scenario.mode = mode;
+  spec.scenario.exec_domains = domains;
+  return RunExperimentPoint(spec, threads);
+}
+
+void ExpectIdentical(const ExperimentPointResult& a,
+                     const ExperimentPointResult& b) {
+  EXPECT_EQ(a.flows_completed, b.flows_completed);
+  EXPECT_EQ(a.flows_total, b.flows_total);
+  EXPECT_EQ(a.pause_frames, b.pause_frames);
+  EXPECT_EQ(a.resume_frames, b.resume_frames);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.out_of_order, b.out_of_order);
+  EXPECT_EQ(a.asymmetric_acks, b.asymmetric_acks);
+  EXPECT_EQ(a.lhcs_triggers, b.lhcs_triggers);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  ASSERT_EQ(a.fct.count(), b.fct.count());
+  for (std::size_t f = 0; f < a.fct.count(); ++f) {
+    const FlowResult& fa = a.fct.results()[f];
+    const FlowResult& fb = b.fct.results()[f];
+    EXPECT_EQ(fa.spec.id, fb.spec.id) << "flow " << f;
+    EXPECT_EQ(fa.spec.src, fb.spec.src) << "flow " << f;
+    EXPECT_EQ(fa.spec.dst, fb.spec.dst) << "flow " << f;
+    EXPECT_EQ(fa.spec.size_bytes, fb.spec.size_bytes) << "flow " << f;
+    EXPECT_EQ(fa.spec.start_time, fb.spec.start_time) << "flow " << f;
+    EXPECT_EQ(fa.fct, fb.fct) << "flow " << f;
+    EXPECT_TRUE(SameBits(fa.slowdown, fb.slowdown)) << "flow " << f;
+  }
+}
+
+// A representative CC spread, not all seven: the uniform matrix in
+// tests/exec already covers every mode, and the skew property under test
+// is mode-independent (it lives entirely in the engine).
+constexpr CcMode kModes[] = {CcMode::kFncc, CcMode::kHpcc, CcMode::kSwift};
+
+void RunSkewMatrix(const char* spec_text) {
+  for (CcMode mode : kModes) {
+    const ExperimentPointResult base = RunPoint(spec_text, mode, 1, 1);
+    EXPECT_GT(base.flows_total, 0u);
+    EXPECT_EQ(base.flows_completed, base.flows_total);
+    for (int domains : {2, 8}) {
+      for (int threads : {1, 4}) {
+        SCOPED_TRACE(std::string("mode=") + CcModeName(mode) +
+                     " domains=" + std::to_string(domains) +
+                     " threads=" + std::to_string(threads));
+        ExpectIdentical(base, RunPoint(spec_text, mode, domains, threads));
+      }
+    }
+  }
+}
+
+TEST(SkewedLoadEquivalenceTest, FatTreeIncastHotPod) {
+  // Every host incasts to the last host, so the final pod's lane carries
+  // nearly the whole event stream while the other pods' lanes go idle
+  // after their senders drain — the stealing-heavy regime.
+  RunSkewMatrix(R"(
+name = fat_tree_hot_pod
+topology.kind = fat_tree
+topology.k = 4
+workload.kind = incast
+workload.size_bytes = 100000
+workload.stagger_us = 1
+run.duration_us = 0
+run.max_sim_ms = 50
+)");
+}
+
+TEST(SkewedLoadEquivalenceTest, LeafSpineIncastHotLeaf) {
+  RunSkewMatrix(R"(
+name = leaf_spine_hot_leaf
+topology.kind = leaf_spine
+topology.leaves = 4
+topology.spines = 2
+topology.hosts_per_leaf = 2
+topology.oversubscription = 2
+workload.kind = incast
+workload.size_bytes = 100000
+workload.stagger_us = 1
+run.duration_us = 0
+run.max_sim_ms = 50
+)");
+}
+
+}  // namespace
+}  // namespace fncc

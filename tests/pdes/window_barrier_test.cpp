@@ -1,0 +1,119 @@
+// WindowBarrier unit tests — the synchronization primitive under the
+// persistent-lane engine in exec/DomainScheduler. The properties the
+// engine leans on, checked directly:
+//   - exactly one arriver per cycle observes Arrival::kLast and runs the
+//     completion callback, and it runs *before* any waiter is released
+//     (the single-threaded window prologue);
+//   - plain (non-atomic) state written by the completion is visible to
+//     every participant after release (the acq_rel arrival chain);
+//   - generations recycle indefinitely — thousands of cycles on the same
+//     barrier object with no reset call in between.
+// Run under TSan (CI's exec|pdes filter) these double as a data-race
+// check on the publish/observe pattern.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "exec/window_barrier.hpp"
+
+namespace fncc {
+namespace {
+
+// P threads x N cycles on one barrier: per cycle exactly one kLast, the
+// completion's plain writes visible to all, generation reuse throughout.
+// Cycle counts stay small: the suite must also pass on single-core
+// runners where every barrier cycle is a full scheduler round-trip.
+void RunCycles(int participants, int cycles) {
+  WindowBarrier barrier(participants);
+  // Plain (non-atomic) on purpose: the barrier's ordering is the only
+  // thing making these safe, which is exactly the engine's window-state
+  // pattern (bound_/close_/entry_ in DomainScheduler).
+  std::uint64_t counter = 0;
+  std::atomic<std::uint64_t> stale_seen{0};
+  std::atomic<int> last_count{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(participants));
+  for (int p = 0; p < participants; ++p) {
+    threads.emplace_back([&, p] {
+      for (int c = 0; c < cycles; ++c) {
+        const WindowBarrier::Arrival a = barrier.ArriveAndWait([&] {
+          ++counter;  // completion runs single-threaded
+          last_count.fetch_add(1, std::memory_order_relaxed);
+        });
+        if (a == WindowBarrier::Arrival::kLast) {
+          // The completion ran in this thread, before anyone released.
+          EXPECT_EQ(counter, static_cast<std::uint64_t>(c) + 1)
+              << "participant " << p << " cycle " << c;
+        }
+        // Every participant sees the completion's plain write after
+        // release — the visibility guarantee the engine's window state
+        // depends on.
+        if (counter != static_cast<std::uint64_t>(c) + 1) {
+          // Record rather than EXPECT in the hot loop; checked below.
+          stale_seen.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(cycles));
+  EXPECT_EQ(last_count.load(), cycles) << "one completion per cycle";
+  EXPECT_EQ(stale_seen.load(), 0u)
+      << "a participant observed stale window state after release";
+}
+
+TEST(WindowBarrierTest, TwoThreadsManyGenerations) { RunCycles(2, 2000); }
+
+TEST(WindowBarrierTest, FourThreads) { RunCycles(4, 500); }
+
+TEST(WindowBarrierTest, EightThreads) { RunCycles(8, 200); }
+
+TEST(WindowBarrierTest, SixteenThreads) { RunCycles(16, 50); }
+
+TEST(WindowBarrierTest, SingleParticipantNeverBlocks) {
+  WindowBarrier barrier(1);
+  int ran = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(barrier.ArriveAndWait([&] { ++ran; }),
+              WindowBarrier::Arrival::kLast);
+  }
+  EXPECT_EQ(ran, 100);
+  // The no-completion overload, same single-thread fast path.
+  EXPECT_EQ(barrier.ArriveAndWait(), WindowBarrier::Arrival::kLast);
+}
+
+// The DomainScheduler dtor handshake: the owner stores a shutdown
+// request, then arrives; workers exit on a PLAIN flag set inside the
+// completion (which either side may end up running), never on the
+// request atomic itself — a worker that read the atomic directly could
+// see it mid-cycle and exit without its final arrival, stranding the
+// owner. This is the usage pattern the engine relies on; the test hangs
+// (and the suite times out) if either half of the contract breaks.
+TEST(WindowBarrierTest, ShutdownHandshakeViaCompletionFlag) {
+  WindowBarrier barrier(2);
+  std::atomic<bool> shutdown{false};
+  bool stop = false;  // plain: written in completions, read after release
+  const auto completion = [&] {
+    // Exact even relaxed: the requester stores `shutdown` before its
+    // arrival, and the last arriver's counter RMW synchronizes with it.
+    if (shutdown.load(std::memory_order_relaxed)) stop = true;
+  };
+  std::thread worker([&] {
+    while (true) {
+      barrier.ArriveAndWait(completion);
+      if (stop) return;
+    }
+  });
+  for (int i = 0; i < 10; ++i) barrier.ArriveAndWait(completion);
+  shutdown.store(true, std::memory_order_release);
+  barrier.ArriveAndWait(completion);
+  worker.join();  // hangs if a wake or the final arrival is lost
+}
+
+}  // namespace
+}  // namespace fncc

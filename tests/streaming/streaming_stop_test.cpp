@@ -1,0 +1,97 @@
+// Finite stop times on the streaming launch path. Historically streaming
+// rejected workloads with stop times outright: the abort timer captured a
+// raw SenderQp*, which dangles once the streaming drain releases the
+// flow's slot. The timer now routes through the FlowTable's generation
+// check instead, so a stop time on a released flow is a no-op — and the
+// restriction is lifted.
+//
+// The regression that matters: a flow COMPLETES before its stop time,
+// the drain recycles its slot to a later flow, and then the stale timer
+// fires. With the raw-pointer scheme that aborted the slot's new tenant;
+// with the id-based scheme the generation mismatch drops it.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "harness/experiment_runner.hpp"
+#include "harness/experiment_spec.hpp"
+
+namespace fncc {
+namespace {
+
+// Two sized elephants on a dumbbell. Flow 0 completes long before its
+// stop time; flow 1 starts after flow 0's completion (so on the
+// streaming path it recycles flow 0's released slot) and is mid-flight
+// when flow 0's stale abort timer fires at 2015 us.
+ExperimentSpec StopSpec() {
+  ExperimentSpec spec;
+  spec.name = "streaming_stop_recycle";
+  spec.topology = "dumbbell";
+  spec.topo.num_senders = 2;
+  spec.workload = "elephants";
+  spec.wl.size_bytes = 2'000'000;
+  spec.wl.long_flows = {{0, 0, Microseconds(2015)},
+                        {1, Microseconds(2000), kTimeInfinity}};
+  spec.run.duration = 0;
+  spec.run.max_sim_time = 100 * kMillisecond;
+  spec.run.monitor = false;
+  ValidateSpec(spec);
+  return spec;
+}
+
+TEST(StreamingStopTest, StaleAbortTimerDoesNotKillRecycledSlot) {
+  ExperimentSpec eager = StopSpec();
+  const ExperimentPointResult ref = RunExperimentPoint(eager);
+  ASSERT_EQ(ref.flows_total, 2u);
+  ASSERT_EQ(ref.flows_completed, 2u) << "both flows finish under their stops";
+
+  ExperimentSpec streaming = StopSpec();
+  streaming.run.launch_window = Microseconds(100);
+  ValidateSpec(streaming);
+  const ExperimentPointResult got = RunExperimentPoint(streaming);
+
+  // Flow 1 lives in flow 0's recycled slot when the stale timer fires; it
+  // must survive and complete with the eager path's exact FCT.
+  EXPECT_EQ(got.flows_total, ref.flows_total);
+  EXPECT_EQ(got.flows_completed, ref.flows_completed);
+  ASSERT_EQ(got.fct.count(), ref.fct.count());
+  for (std::size_t i = 0; i < ref.fct.count(); ++i) {
+    const FlowResult& a = ref.fct.results()[i];
+    const FlowResult& b = got.fct.results()[i];
+    EXPECT_EQ(b.spec.id, a.spec.id) << "record " << i;
+    EXPECT_EQ(b.spec.src, a.spec.src) << "record " << i;
+    EXPECT_EQ(b.spec.size_bytes, a.spec.size_bytes) << "record " << i;
+    EXPECT_EQ(b.spec.start_time, a.spec.start_time) << "record " << i;
+    EXPECT_EQ(b.fct, a.fct) << "record " << i;
+  }
+  EXPECT_EQ(got.retransmits, ref.retransmits);
+  EXPECT_EQ(got.drops, ref.drops);
+}
+
+TEST(StreamingStopTest, AbortedFlowTerminatesRunCleanly) {
+  // A stop that lands mid-flight: the flow is aborted, never completes,
+  // and the streaming loop must still terminate (aborted flows have no
+  // pending events; with no future flows either, the run is over).
+  ExperimentSpec spec;
+  spec.name = "streaming_stop_abort";
+  spec.topology = "dumbbell";
+  spec.topo.num_senders = 2;
+  spec.workload = "elephants";
+  spec.wl.size_bytes = 2'000'000;
+  spec.wl.long_flows = {{0, 0, Microseconds(50)},  // aborted at 50 us
+                        {1, Microseconds(10), kTimeInfinity}};
+  spec.run.duration = 0;
+  spec.run.max_sim_time = 20 * kMillisecond;
+  spec.run.monitor = false;
+  spec.run.launch_window = Microseconds(100);
+  ValidateSpec(spec);
+
+  const ExperimentPointResult got = RunExperimentPoint(spec);
+  EXPECT_EQ(got.flows_total, 2u);
+  EXPECT_EQ(got.flows_completed, 1u);  // flow 1 finishes, flow 0 was cut
+  ASSERT_EQ(got.fct.count(), 1u);
+  EXPECT_EQ(got.fct.results()[0].spec.id, 2u);  // the surviving flow
+}
+
+}  // namespace
+}  // namespace fncc

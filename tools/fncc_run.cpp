@@ -71,6 +71,22 @@ void PrintPointSummary(std::size_t index, const ExperimentSpec& point,
               static_cast<unsigned long long>(r.retransmits),
               static_cast<unsigned long long>(r.events_processed),
               r.wall_time_seconds);
+  // Window telemetry headline (output.pdes_stats / FNCC_PDES_STATS=1):
+  // the full picture goes to the per-point _pdes_stats.json.
+  if (r.pdes_stats.participants > 0) {
+    std::uint64_t steals = 0;
+    for (std::uint64_t s : r.pdes_stats.thread_steals) steals += s;
+    std::printf(
+        "  pdes: %d lane(s) x %d thread(s), %llu windows, %.1f events/window, "
+        "%llu stolen lane-windows\n",
+        r.pdes_stats.lanes, r.pdes_stats.participants,
+        static_cast<unsigned long long>(r.pdes_stats.windows),
+        r.pdes_stats.windows > 0
+            ? static_cast<double>(r.pdes_stats.events) /
+                  static_cast<double>(r.pdes_stats.windows)
+            : 0.0,
+        static_cast<unsigned long long>(steals));
+  }
 }
 
 void PrintBucketRows(const std::vector<BucketStats>& rows) {
