@@ -4,11 +4,16 @@
 // serial reference (BM_FatTreePointSerial) that never calls
 // Simulator::Partition — the exact pre-partition code path.
 //
-// Three machine-independent facts come out of BENCH_fatree_pdes.json:
+// The machine-independent facts that come out of BENCH_fatree_pdes.json:
 //   - BM_FatTreePoint/1 vs BM_FatTreePointSerial/1: the overhead of the
 //     partition machinery when it degenerates to one lane. This ratio is
 //     what scripts/check_bench_regression.py gates (pair convention like
 //     BM_HostAckPath=BM_LegacyHostAckPath); it must stay ~1.
+//   - BM_FatTreePointStreamed/1 vs BM_FatTreePoint/1: the overhead of
+//     streaming injection (windowed launches + per-window drains + slot
+//     recycling) over the eager launch path on the same point — also
+//     ratio-gated at domains=1; the /2 and /8 args record the streamed
+//     multi-domain wall times alongside the eager ones.
 //   - BM_FatTreePoint/{2,4,8} vs /1: the domain speedup. This is wall
 //     time, so it scales with the worker threads actually available —
 //     run_benches.sh stamps fncc_threads into the JSON context; on a
@@ -31,6 +36,7 @@
 #include "exec/thread_pool.hpp"
 #include "exec/window_barrier.hpp"
 #include "harness/experiment_runner.hpp"
+#include "stats/fct_sink.hpp"
 
 namespace {
 
@@ -98,6 +104,44 @@ void BM_FatTreePointSerial(benchmark::State& state) {
   RunPoint(state, static_cast<int>(state.range(0)), 1);
 }
 BENCHMARK(BM_FatTreePointSerial)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// The same point with streaming injection composed on top: flows pulled
+/// from the workload source one launch window at a time, completions
+/// drained per window to a stats-only FctSink, FlowTable slots recycled.
+/// BM_FatTreePointStreamed/1 vs BM_FatTreePoint/1 is the gated
+/// machine-independent streamed-vs-eager ratio (both run the same events
+/// in the same binary; only the injection/drain protocol differs). The
+/// /2 and /8 args are wall-time entries like BM_FatTreePoint's —
+/// deliberately ungated, meaningful relative to fncc_hw_threads.
+void BM_FatTreePointStreamed(benchmark::State& state) {
+  const int exec_domains = static_cast<int>(state.range(0));
+  const int threads = ThreadPool::DefaultThreadCount();
+  ExperimentSpec spec = FatTreePointSpec(exec_domains);
+  spec.run.monitor = false;
+  spec.run.launch_window = Microseconds(100);
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::size_t flows = 0;
+  for (auto _ : state) {
+    FctSinkOptions options;  // stats-only: sketches, no CSV, no records
+    FctSink sink(options);
+    const ExperimentPointResult r = RunExperimentPoint(spec, threads, &sink);
+    events = r.events_processed;
+    windows += r.pdes_windows;
+    flows = r.flows_completed;
+    benchmark::DoNotOptimize(sink.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(events));
+  state.counters["events"] = static_cast<double>(events);
+  state.counters["flows"] = static_cast<double>(flows);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["windows_per_s"] =
+      benchmark::Counter(static_cast<double>(windows),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FatTreePointStreamed)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // Window-coordination microbenchmarks: the per-window synchronization cost

@@ -11,6 +11,7 @@
 
 #include "cc/hpcc.hpp"
 #include "core/fncc.hpp"
+#include "exec/thread_pool.hpp"
 #include "harness/dumbbell_runner.hpp"
 #include "harness/experiment_runner.hpp"
 #include "harness/experiment_spec.hpp"
@@ -470,6 +471,44 @@ void BM_StreamingLaunch(benchmark::State& state) {
   state.SetLabel("items = completed flows");
 }
 BENCHMARK(BM_StreamingLaunch)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+// Streaming launch composed with the conservative-PDES partition: the
+// same windowed register/launch/drain/release cycle on a fat-tree point
+// partitioned into exec_domains lanes (arg), worker threads from the
+// machine. items = completed flows, like BM_StreamingLaunch. Wall-time
+// entries (ungated): /1 tracks the coordinator-side streaming overhead on
+// a partitioned simulator, /2 and /8 the domain scaling of a streamed
+// point — meaningful relative to the recording machine's hw threads.
+void BM_StreamingLaunchDomains(benchmark::State& state) {
+  ExperimentSpec spec;
+  spec.name = "bench_streaming_domains";
+  spec.topology = "fat_tree";
+  spec.topo.k = 4;
+  spec.workload = "poisson";
+  spec.wl.load = 0.5;
+  spec.wl.num_flows = 2048;
+  spec.run.duration = 0;
+  spec.run.max_sim_time = 10 * kSecond;
+  spec.run.monitor = false;
+  spec.run.launch_window = Microseconds(100);
+  spec.scenario.exec_domains = static_cast<int>(state.range(0));
+  const TopologyParams topo = ResolveTopologyParams(spec);
+  WorkloadParams wl = ResolveWorkloadParams(spec);
+  wl.cdf = SizeCdf({{4'000.0, 0.5}, {16'000.0, 1.0}});
+  const int threads = ThreadPool::DefaultThreadCount();
+  std::uint64_t completed = 0;
+  for (auto _ : state) {
+    FctSinkOptions options;
+    FctSink sink(options);
+    const ExperimentPointResult r =
+        RunResolvedPoint(spec, topo, wl, threads, &sink);
+    completed += r.flows_completed;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+  state.SetLabel("items = completed flows");
+}
+BENCHMARK(BM_StreamingLaunchDomains)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_DumbbellSimulation(benchmark::State& state) {
   // End-to-end simulator throughput: events/second over a full scenario.

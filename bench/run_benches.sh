@@ -166,6 +166,11 @@ stream = ips("BM_StreamingLaunch/4096")
 if stream:
     print(f"  streaming launch       {stream/1e3:8.1f}k flows/s "
           f"(register+launch+drain+release, end to end)")
+for d in (1, 2, 8):
+    sd = ips(f"BM_StreamingLaunchDomains/{d}")
+    if sd:
+        print(f"  streaming domains={d}    {sd/1e3:8.1f}k flows/s "
+              f"(fat-tree point, exec_domains={d})")
 EOF
 fi
 
@@ -174,7 +179,8 @@ fi
 # domain speedup entries are wall-time measurements, meaningful only
 # relative to the worker threads the recording machine actually had.
 # scripts/check_bench_regression.py gates only the machine-independent
-# /1 ratio (BM_FatTreePoint=BM_FatTreePointSerial).
+# /1 ratios (BM_FatTreePoint=BM_FatTreePointSerial and the streamed
+# composition BM_FatTreePointStreamed=BM_FatTreePoint).
 PDES_BENCH="$BUILD_DIR/bench_fatree_pdes"
 PDES_OUT="${3:-BENCH_fatree_pdes.json}"
 if [ -x "$PDES_BENCH" ]; then
@@ -223,6 +229,20 @@ for d in (2, 4, 8):
 hw = data.get("context", {}).get("fncc_hw_threads", "?")
 print(f"  (recorded with fncc_hw_threads={hw}; speedup needs >= domains "
       f"hardware threads)")
+
+print("== streamed point: launch-window injection over the partition ==")
+s1 = wall("BM_FatTreePointStreamed/1")
+if s1 and d1:
+    print(f"  streamed domains=1    {s1:8.1f} ms  "
+          f"(vs eager {s1/d1:.2f}x, gated)")
+for d in (2, 8):
+    s = wall(f"BM_FatTreePointStreamed/{d}")
+    e = wall(f"BM_FatTreePoint/{d}")
+    if s and s1:
+        line = f"  streamed domains={d}    {s:8.1f} ms  -> {s1/s:.2f}x vs 1"
+        if e:
+            line += f"  (eager: {e:.1f} ms)"
+        print(line)
 
 print("== window coordination: barrier cycle vs legacy Submit+Wait pair ==")
 for n in (2, 4):

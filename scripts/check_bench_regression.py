@@ -9,6 +9,13 @@ measured in the same run on the same hardware. Gated pairs (new=legacy):
   BM_EventQueueScheduleRun = BM_LegacyEventQueueScheduleRun
   BM_HostAckPath           = BM_LegacyHostAckPath
 
+(The PDES bench JSON is gated with explicit --pair flags instead:
+BM_FatTreePoint=BM_FatTreePointSerial for the degenerate-partition
+overhead, BM_FatTreePointStreamed=BM_FatTreePoint for the streamed-vs-
+eager injection overhead at domains=1, and
+BM_WindowBarrier=BM_LegacyWindowPair for the window-coordination cycle —
+see the CI workflow.)
+
 The current run's ratio must stay within the threshold (default 20%) of
 the committed baseline's ratio for every benchmark arg present in both
 files. Repeated --pair NEW=LEGACY options REPLACE the default pair

@@ -60,6 +60,12 @@ void DomainScheduler::RunUntil(Time t) {
     sim_->RunUntil(t);
     return;
   }
+  // Anything the coordinator scheduled into lane queues since the last
+  // call (e.g. the streaming launcher's flow starts and abort timers) is
+  // already in place: the first PrepareWindow's NextEventTime reads every
+  // lane queue, so the opening window is bounded by pending launches
+  // exactly as by leftover events — conservative lookahead never skips a
+  // scheduled start.
   sim_->ClearStop();
   bound_ = t;
   entry_ = true;  // published to PrepareWindow by the coordinator's arrival

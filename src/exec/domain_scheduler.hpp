@@ -63,6 +63,14 @@ class DomainScheduler {
   /// Runs events with timestamp <= t, then settles every lane clock to
   /// exactly t — same contract as Simulator::RunUntil. Callable repeatedly
   /// (the harness advances in chunks); workers stay parked in between.
+  /// Between calls the coordinator may mutate lane state under explicit
+  /// ActiveLaneScopes — the streaming launcher schedules flow starts and
+  /// abort timers into their owning lanes and releases completed flows'
+  /// slots (cancelling lane-local events) this way. The barrier's arrival
+  /// chain makes those writes visible to the workers at the next cycle,
+  /// and because launches are enqueued before the next call, the window
+  /// prologue's NextEventTime always counts pending starts — the
+  /// lookahead can never open a window past a scheduled launch.
   void RunUntil(Time t);
 
  private:

@@ -45,24 +45,23 @@ struct LaneTally {
 
 /// Canonical completion order: by time; at equal time deliveries (bit 63
 /// clear) before natives, deliveries by their edge order word, natives by
-/// flow id. This is exactly the pop order of the partitioned event queues,
-/// so it matches execution order at every domain count — including one.
+/// the flow's dense launch serial. This is exactly the pop order of the
+/// partitioned event queues, so it matches execution order at every
+/// domain count — including one. The native tie-break is keyed by
+/// launch_serial, NOT spec.id: eager runs mint dense launch-ordered ids
+/// (serial == id, so nothing changes), but the streaming launcher
+/// recycles table slots, and a recycled id says nothing about launch
+/// order — the serial is the only identity that is both dense and
+/// partition-invariant.
 bool CompletionBefore(const CompletionRecord& a, const CompletionRecord& b) {
   if (a.t != b.t) return a.t < b.t;
   const bool a_native = (a.order & kNativeOrderBit) != 0;
   const bool b_native = (b.order & kNativeOrderBit) != 0;
   if (a_native != b_native) return b_native;
   if (!a_native) return a.order < b.order;
-  return a.spec.id < b.spec.id;
+  return a.spec.launch_serial < b.spec.launch_serial;
 }
 
-/// Resolves scenario.exec_domains to a concrete lane count for `point`:
-/// 0 = auto picks the topology's natural partition; zero propagation
-/// delay forces a single lane (no lookahead window to run ahead in).
-/// Streaming injection (run.launch_window > 0) also forces a single lane:
-/// drained completions release FlowTable slots, and recycled FlowIds
-/// would break the cross-lane merge's native tie-break (which orders by
-/// id); one lane makes tally push order the canonical order outright.
 /// Window telemetry opt-in: the spec key, or FNCC_PDES_STATS set to
 /// anything but "" / "0" in the environment.
 bool PdesStatsRequested(const ExperimentSpec& point) {
@@ -85,14 +84,38 @@ void ScheduleFlowAbort(Simulator& sim, FlowTable* table, Time stop,
   });
 }
 
+/// Resolves scenario.exec_domains to a concrete lane count for `point`.
+/// auto (0) picks the topology's natural partition, degrading to a single
+/// lane when there is no cross-domain lookahead to run ahead in (zero
+/// propagation delay) and clamping to the 64-lane engine limit. A pinned
+/// value (> 0) is honored EXACTLY or refused with a SpecError — never
+/// silently clamped: a user who asked for N lanes and got 1 would read a
+/// serial wall time as a scaling result. Streaming injection
+/// (run.launch_window > 0) composes with any lane count: flow starts
+/// carry partition-invariant launch-serial order words (see
+/// kFlowStartOrderBit), so recycled FlowTable ids no longer threaten the
+/// cross-lane completion merge.
 int ResolveDomainCount(const ExperimentSpec& point,
                        const TopologyParams& topo_params) {
   const ScenarioConfig& sc = point.scenario;
-  int domains = sc.exec_domains == 0
-                    ? TopologyNaturalDomains(point.topology, topo_params)
-                    : sc.exec_domains;
+  if (sc.exec_domains > 0) {
+    if (sc.exec_domains > 64) {
+      throw SpecError("scenario.exec_domains = " +
+                      std::to_string(sc.exec_domains) +
+                      " exceeds the engine's 64-lane limit");
+    }
+    if (sc.exec_domains > 1 && sc.propagation_delay <= 0) {
+      throw SpecError(
+          "scenario.exec_domains = " + std::to_string(sc.exec_domains) +
+          " cannot be honored with scenario.propagation_delay_us = 0: "
+          "cross-domain lookahead needs a positive link propagation delay "
+          "(set scenario.propagation_delay_us > 0, or exec_domains = "
+          "auto/1)");
+    }
+    return sc.exec_domains;
+  }
+  int domains = TopologyNaturalDomains(point.topology, topo_params);
   if (sc.propagation_delay <= 0) domains = 1;
-  if (point.run.launch_window > 0) domains = 1;
   if (domains < 1) domains = 1;
   if (domains > 64) domains = 64;
   return domains;
@@ -151,13 +174,16 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
     };
   }
 
-  // Streaming bookkeeping: the table id a launch minted -> the flow's
-  // dense launch serial (the id the eager path would have minted — drained
-  // records are re-stamped with it, so output is unchanged) and its QP
-  // (counters are harvested before the slot is released).
+  // Streaming bookkeeping: the table id a launch minted -> the flow's QP
+  // (counters are harvested before the slot is released) and its owning
+  // lane (Release cancels the QP's pending events, and Simulator::Cancel
+  // is only valid from the lane that scheduled them — the drain below
+  // re-enters that lane's scope per release). Touched only from the
+  // coordinator thread between RunUntil chunks, while the lane workers
+  // are parked at the window barrier.
   struct LiveFlow {
-    FlowId serial = 0;
     SenderQp* qp = nullptr;
+    int lane = 0;
   };
   std::unordered_map<FlowId, LiveFlow> live;
   // The fabric-shared flow table (every host holds the same one); abort
@@ -192,7 +218,16 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
           result.lhcs_triggers += fncc->lhcs_triggers();
         }
         const FlowId table_id = r.spec.id;
-        r.spec.id = it->second.serial;
+        // Re-stamp with the dense launch serial — the id the eager path
+        // would have minted — so streamed records and CSV rows are
+        // byte-identical to eager runs.
+        r.spec.id = static_cast<FlowId>(r.spec.launch_serial);
+        // Release under the flow's owning lane: tearing the QP down
+        // cancels its remaining events (RTO, stale start bookkeeping) in
+        // the lane queue that holds them. Safe while workers are parked —
+        // the barrier's arrival chain ordered every lane's window work
+        // before this coordinator-side drain.
+        Simulator::ActiveLaneScope scope(&sim, it->second.lane);
         live.erase(it);
         flow_table->Release(table_id);
       }
@@ -295,7 +330,15 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
     // Streaming injection: launch everything starting inside one lookahead
     // window of the clock, run to the window edge, drain (and release) the
     // completions, repeat. Live per-flow state is bounded by the window's
-    // concurrency, not the workload length.
+    // concurrency, not the workload length. Composes with any exec_domains
+    // partitioning: each launch enters the source host's lane (the start
+    // event and abort timer land in the owning queue, pre-scheduled before
+    // the next RunUntil chunk, so the window engine's NextEventTime always
+    // sees pending starts and the lookahead never skips one), and the
+    // per-lane completion tallies merge in canonical launch-serial order
+    // at each drain. All loop bookkeeping (source pull, launches, live
+    // map, releases) is coordinator-side between chunks, while the lane
+    // workers are parked at the window barrier.
     const Time window = point.run.launch_window;
     std::unique_ptr<FlowSource> source =
         WorkloadRegistry::MakeSource(point.workload, rng, roles, wl_params);
@@ -321,18 +364,24 @@ ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
               "with size_bytes = 0 require the eager path)");
         }
         ++launched;
-        Simulator::ActiveLaneScope scope(
-            &sim, net.node(next_flow.spec.src)->domain());
+        // The dense launch serial: the identity the eager path's minted
+        // ids carry implicitly. It rides in the spec through Register to
+        // the flow-start order word and the drained completion record, so
+        // equal-time cross-lane merges order by launch position even
+        // though the table id below is a recycled slot.
+        next_flow.spec.launch_serial = launched;
+        const int lane = net.node(next_flow.spec.src)->domain();
+        Simulator::ActiveLaneScope scope(&sim, lane);
         SenderQp* qp = LaunchFlow(net, sc, next_flow.spec);
         if (next_flow.stop < kTimeInfinity) {
           // Safe with recycled slots: the timer holds the FlowId, and the
           // table's generation check turns a fired timer for a completed
           // (released) flow into a no-op — even if the slot already hosts
-          // a new flow.
+          // a new flow (possibly registered by a host in another lane;
+          // the timer itself stays lane-local to this source host).
           ScheduleFlowAbort(sim, flow_table, next_flow.stop, qp);
         }
-        live.emplace(qp->spec().id,
-                     LiveFlow{static_cast<FlowId>(launched), qp});
+        live.emplace(qp->spec().id, LiveFlow{qp, lane});
         have_next = source->Next(&next_flow);
       }
       if (!have_next && live.empty()) break;

@@ -106,8 +106,11 @@ ExperimentPointResult RunExperimentPoint(const ExperimentSpec& point,
 /// live per-flow state is O(concurrent flows) instead of O(total flows).
 /// CSV/record output is unchanged: drained records are re-stamped with
 /// the flow's dense launch serial, the ids the eager path mints. The
-/// streaming path runs single-lane (see ResolveDomainCount) and skips
-/// monitors (the spec validator enforces monitor = false).
+/// streaming path composes with scenario.exec_domains — launches enter
+/// the source host's lane and flow starts carry partition-invariant
+/// launch-serial order words (sim/event_queue.hpp), so streamed outputs
+/// stay byte-identical at every exec_domains x threads combination. It
+/// skips monitors (the spec validator enforces monitor = false).
 ExperimentPointResult RunResolvedPoint(const ExperimentSpec& point,
                                        const TopologyParams& topo_params,
                                        const WorkloadParams& wl_params,

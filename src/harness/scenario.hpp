@@ -44,9 +44,11 @@ struct ScenarioConfig {
   /// partitioned into this many event lanes, advanced in lookahead-bounded
   /// windows (Simulator::Partition, exec/DomainScheduler). 1 = the classic
   /// single queue; 0 = auto — the topology's natural domain count
-  /// (TopologyNaturalDomains), forced back to 1 when propagation_delay is
-  /// zero (no lookahead window). Outputs are bit-identical at every
-  /// setting; >1 only changes wall-clock time.
+  /// (TopologyNaturalDomains), degrading to 1 when propagation_delay is
+  /// zero (no lookahead window). A pinned value > 1 is honored exactly or
+  /// refused with a SpecError (never silently clamped). Composes with
+  /// streaming injection (run.launch_window_us). Outputs are bit-identical
+  /// at every setting; >1 only changes wall-clock time.
   int exec_domains = 1;
 
   // CC knobs forwarded into CcConfig (paper defaults).

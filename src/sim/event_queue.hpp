@@ -48,6 +48,23 @@ inline constexpr EventId kInvalidEventId = 0;
 /// lane's queue it lands in.
 inline constexpr std::uint64_t kNativeOrderBit = 1ull << 63;
 
+/// Bit 62, set (together with kNativeOrderBit) on flow-start events. The
+/// third order-word class: starts are natives that can fire at the same
+/// timestamp in different lanes, so — like deliveries — they must carry a
+/// partition-invariant word instead of a minted per-queue counter. The
+/// word is kNativeOrderBit | kFlowStartOrderBit | the flow's dense launch
+/// serial (FlowSpec::launch_serial): unique among starts (serials are
+/// dense), disjoint from deliveries (bit 63: edge indices stay below
+/// 2^30, so a delivery never sets bits 62/63) and from minted natives
+/// (per-queue counters never reach 2^62). At equal timestamps, then:
+/// deliveries first (by wire position), minted natives next (per-queue
+/// FIFO), flow starts last (by launch order) — the same total order in
+/// every partitioning, which is what lets streaming injection (whose
+/// recycled FlowTable ids are NOT launch-ordered) fan out over exec
+/// domains. Any new native source that can fire at equal timestamps in
+/// different domains must mint its own invariant word the same way.
+inline constexpr std::uint64_t kFlowStartOrderBit = 1ull << 62;
+
 /// Closure-free event record for the packet hot path: `run(p0, p1, arg)`
 /// fires when the event is due; `drop(p0, p1, arg)`, if set, runs instead
 /// when the event is cancelled or the queue is torn down, releasing any

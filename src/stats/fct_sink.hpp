@@ -9,9 +9,13 @@
 // FlowResults.
 //
 // Determinism: callers append in the canonical FCT merge order (see
-// experiment_runner.cpp CompletionBefore), which fixes the CSV byte stream
-// and the floating-point sum order; the sketches are order-invariant
-// (stats/quantile_sketch.hpp). The CSV row format is byte-identical to the
+// experiment_runner.cpp CompletionBefore) — by completion time, then
+// deliveries by edge order word, then natives by dense launch serial.
+// Every key in that order is partition-invariant, so the per-lane tallies
+// of a multi-domain (scenario.exec_domains) run merge into the exact
+// byte stream a single-lane run appends, streamed or eager. That fixes
+// the CSV bytes and the floating-point sum order; the sketches are
+// order-invariant (stats/quantile_sketch.hpp). The CSV row format is byte-identical to the
 // legacy WriteFctCsv output — WriteFctCsv is now implemented on top of
 // this sink, so there is exactly one formatting path.
 #pragma once

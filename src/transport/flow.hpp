@@ -23,6 +23,17 @@ struct FlowSpec {
   /// Standalone completion time on an idle network (base RTT of the first
   /// packet + line-rate serialization of the rest); used for FCT slowdown.
   Time ideal_fct = 0;
+
+  /// Dense launch-order serial (1-based), the partition-invariant identity
+  /// behind the flow-start order word (sim/event_queue.hpp,
+  /// kFlowStartOrderBit) and the equal-time completion tie-break. 0 at
+  /// registration means "default to the minted id": eager runs never
+  /// recycle slots, so their ids ARE dense launch serials. The streaming
+  /// launcher, whose recycled table ids are not launch-ordered, stamps the
+  /// true serial before launch and re-stamps drained records with it —
+  /// keeping streamed outputs byte-identical to eager runs at every
+  /// exec_domains x threads combination.
+  std::uint64_t launch_serial = 0;
 };
 
 }  // namespace fncc

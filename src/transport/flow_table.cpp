@@ -58,6 +58,12 @@ SenderQp* FlowTable::Register(Host* host, FlowSpec spec,
   row = HotFlowRow{};
   row.generation = s.generation;  // the coherence invariant
   spec.id = MakeFlowId(slot, s.generation);
+  // Launch serial defaults to the minted id: without slot recycling, ids
+  // are dense registration-order serials, so the flow-start order word and
+  // the completion tie-break reduce to the historical id-based order. A
+  // caller that recycles slots (the streaming launcher) pre-stamps the
+  // true dense serial instead.
+  if (spec.launch_serial == 0) spec.launch_serial = spec.id;
   SenderQp* qp = ::new (s.qp_mem) SenderQp(host, spec, cc_config, &row);
   s.qp_live = true;
   // Intern the *post-construction* config: auto-resolved params (e.g.

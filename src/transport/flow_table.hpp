@@ -19,7 +19,11 @@
 //     authoritative; any caller-filled FlowSpec::id is overwritten. Ids are
 //     minted in registration order starting at 1, so scenarios that never
 //     release slots see the same dense 1..N ids the harness historically
-//     assigned — recorded FCT CSVs are unchanged.
+//     assigned — recorded FCT CSVs are unchanged. FlowSpec::launch_serial
+//     is preserved when the caller pre-stamped it (the streaming launcher,
+//     whose recycled ids are not launch-ordered) and defaults to the
+//     minted id otherwise — it feeds the partition-invariant flow-start
+//     order word (sim/event_queue.hpp, kFlowStartOrderBit).
 //   - One table per fabric: every Host of a simulation shares the same
 //     FlowTable (the harness host factory injects one shared instance), so
 //     a data packet's FlowId resolves to the same slot at the sender (QP)

@@ -32,15 +32,23 @@ SenderQp::SenderQp(Host* host, const FlowSpec& spec,
   });
   // Self-scheduled start keeps the event cancellable from this object
   // (Abort/Complete/flow-table Release), so no pending event can outlive
-  // the QP. Scheduled last: the CC's own timers (DCQCN) enqueue first,
-  // preserving the pre-flow-table event order exactly.
-  start_event_ =
-      sim_->ScheduleAt(spec_.start_time,
-                               TypedEvent{.run = &SenderQp::StartEvent,
-                                          .drop = nullptr,
-                                          .p0 = this,
-                                          .p1 = nullptr,
-                                          .arg = 0});
+  // the QP. The start carries the flow-start order word (see
+  // kFlowStartOrderBit): flows starting at the same timestamp in
+  // different lanes must order by launch serial, not by which queue
+  // minted a native counter — the serial is the same in every
+  // partitioning AND the same whether the table id was dense (eager) or
+  // recycled (streaming). At equal timestamps starts therefore run after
+  // the lane's minted natives (e.g. the CC's own DCQCN timers, enqueued
+  // just above) in launch order.
+  assert(spec_.launch_serial != 0 && spec_.launch_serial < kFlowStartOrderBit);
+  start_event_ = sim_->ScheduleAtOrdered(
+      spec_.start_time,
+      kNativeOrderBit | kFlowStartOrderBit | spec_.launch_serial,
+      TypedEvent{.run = &SenderQp::StartEvent,
+                 .drop = nullptr,
+                 .p0 = this,
+                 .p1 = nullptr,
+                 .arg = 0});
 }
 
 void SenderQp::StartEvent(void* qp, void* /*unused*/, std::uint64_t /*arg*/) {

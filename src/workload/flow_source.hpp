@@ -12,7 +12,11 @@
 // draw order; streaming and eager runs of the same spec are bit-identical.
 // The streaming launcher additionally requires non-decreasing
 // spec.start_time (true for poisson and validated for traces; it rejects
-// out-of-order sources at run time).
+// out-of-order sources at run time). Generation order is also the dense
+// launch-serial order the launcher stamps into FlowSpec::launch_serial —
+// the partition-invariant identity behind the flow-start order word
+// (sim/event_queue.hpp) that lets streamed points fan out over
+// scenario.exec_domains with byte-identical outputs.
 #pragma once
 
 #include <cstddef>

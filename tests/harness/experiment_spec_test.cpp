@@ -179,6 +179,54 @@ TEST(ExperimentSpecTest, RangeValidationFailsLoudly) {
   EXPECT_THROW(ValidateSpec(chain), SpecError);
 }
 
+TEST(ExperimentSpecTest, StreamingAndDomainValidation) {
+  // Streaming injection composes with pinned exec_domains — the combined
+  // configuration is valid, not clamped away.
+  ExperimentSpec ok;
+  ApplySpecOverrides(ok, {"workload.size_bytes=1000000", "run.duration_us=0",
+                          "run.max_sim_ms=10", "run.launch_window_us=100",
+                          "run.monitor=false", "scenario.exec_domains=8"});
+  EXPECT_NO_THROW(ValidateSpec(ok));
+
+  // Monitoring needs the full in-memory run; with streaming it is refused
+  // by name, never silently dropped.
+  ExperimentSpec monitored = ok;
+  ApplySpecOverride(monitored, "run.monitor", "true");
+  try {
+    ValidateSpec(monitored);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("run.monitor"), std::string::npos) << what;
+    EXPECT_NE(what.find("run.launch_window_us"), std::string::npos) << what;
+  }
+
+  // A pinned domain count the engine cannot honor is an error, not a
+  // silent clamp: beyond the 64-lane limit, or > 1 with zero propagation
+  // delay (no lookahead window to run conservative PDES under).
+  ExperimentSpec too_many;
+  ApplySpecOverride(too_many, "scenario.exec_domains", "65");
+  EXPECT_THROW(ValidateSpec(too_many), SpecError);
+
+  ExperimentSpec no_lookahead;
+  ApplySpecOverrides(no_lookahead, {"scenario.exec_domains=2",
+                                    "scenario.propagation_delay_us=0"});
+  try {
+    ValidateSpec(no_lookahead);
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("scenario.exec_domains"), std::string::npos) << what;
+    EXPECT_NE(what.find("propagation_delay_us"), std::string::npos) << what;
+  }
+
+  // `auto` stays valid with zero propagation delay: it resolves to 1.
+  ExperimentSpec auto_domains;
+  ApplySpecOverrides(auto_domains, {"scenario.exec_domains=auto",
+                                    "scenario.propagation_delay_us=0"});
+  EXPECT_NO_THROW(ValidateSpec(auto_domains));
+}
+
 TEST(ExperimentSpecTest, CliOverridePrecedence) {
   ExperimentSpec spec = ParseSpecText(
       "scenario.mode = FNCC\nscenario.seed = 1\nworkload.load = 0.5\n");

@@ -210,10 +210,38 @@ int RunSmoke(int threads) {
     ValidateSpec(spec);
     specs.push_back(std::move(spec));
   }
+  // Streaming x PDES composed: the same k=16 point with a pinned 8-lane
+  // partition, flows pulled through the launch window, and completions
+  // drained to a stats-only FctSink — so every CI build exercises the
+  // lane-aware launch, per-lane drain and slot recycling together (the
+  // tests/streaming suite asserts the byte-identity; here the composition
+  // just has to run and account every flow through the sink).
+  FctSink streamed_sink{FctSinkOptions{}};  // stats-only, no CSV
+  std::size_t streamed_index = 0;
+  {
+    ExperimentSpec spec;
+    spec.name = "fat_tree_k16-pdes-streamed";
+    spec.topology = "fat_tree";
+    spec.workload = "permutation";
+    spec.topo.k = 16;
+    spec.wl.num_flows = 64;
+    spec.wl.size_bytes = 20'000;
+    spec.cdf = "fb_hadoop";
+    spec.scenario.exec_domains = 8;
+    spec.run.duration = 0;  // run to completion
+    spec.run.monitor = false;
+    spec.run.launch_window = Microseconds(100);
+    spec.run.max_sim_time = 50 * kMillisecond;
+    ValidateSpec(spec);
+    streamed_index = specs.size();
+    specs.push_back(std::move(spec));
+  }
+  std::vector<FctSink*> sinks(specs.size(), nullptr);
+  sinks[streamed_index] = &streamed_sink;
   std::printf("smoke: %zu topology x workload pairs on %d thread(s)\n",
               specs.size(), threads);
   const std::vector<ExperimentPointResult> results =
-      RunExperimentPoints(specs, threads);
+      RunExperimentPoints(specs, threads, sinks);
   int failures = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ExperimentPointResult& r = results[i];
@@ -227,6 +255,13 @@ int RunSmoke(int threads) {
                 r.flows_completed, r.flows_total,
                 static_cast<unsigned long long>(r.events_processed));
     if (!ok) ++failures;
+  }
+  if (streamed_sink.count() != results[streamed_index].flows_total) {
+    std::fprintf(stderr,
+                 "smoke: streamed sink drained %llu of %zu flows\n",
+                 static_cast<unsigned long long>(streamed_sink.count()),
+                 results[streamed_index].flows_total);
+    ++failures;
   }
   if (failures > 0) {
     std::fprintf(stderr, "smoke: %d pair(s) failed\n", failures);
